@@ -1,0 +1,561 @@
+(* Benchmark harness regenerating every figure of the paper's evaluation,
+   plus the ablations of DESIGN.md and Bechamel micro-benchmarks.
+
+   Run everything (scaled-down defaults, a few minutes):
+       dune exec bench/main.exe
+   Run one section:
+       dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality |
+                                   ablation-spill | ablation-bloom |
+                                   ablation-cost | micro
+   Paper-scale parameters (slow):
+       dune exec bench/main.exe -- --full fig3
+
+   Figures are reproduced on the simulator backend (DESIGN.md §1.4): the
+   shapes — who wins, how curves move with T and k — are the reproduction
+   target; absolute ops/s are nominal for the modeled 80-core machine.
+   The EXPERIMENTS.md file records paper-vs-measured for each table. *)
+
+module Sim = Klsm_backend.Sim
+module R = Klsm_harness.Registry.Make (Sim)
+module T = Klsm_harness.Throughput.Make (Sim)
+module Q = Klsm_harness.Quality.Make (Sim)
+module SB = Klsm_harness.Sssp_bench.Make (Sim)
+module Report = Klsm_harness.Report
+
+let full = ref false
+let paper_threads = [ 1; 2; 3; 5; 10; 20; 40; 80 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: throughput per thread, two prefill sizes                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig3_one ~label ~prefill ~ops =
+  let threads = if !full then paper_threads else [ 1; 2; 5; 10; 20; 40; 80 ] in
+  let header = "impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads in
+  let rows =
+    List.map
+      (fun spec ->
+        R.spec_name spec
+        :: List.map
+             (fun t ->
+               let config =
+                 {
+                   T.default_config with
+                   num_threads = t;
+                   prefill;
+                   ops_per_thread = max 200 (ops / t);
+                 }
+               in
+               let r = T.run config spec in
+               Report.human_float r.T.throughput_per_thread)
+             threads)
+      R.figure3_specs
+  in
+  Report.section
+    (Printf.sprintf
+       "Figure 3 (%s): throughput/thread/s, prefill %d, 50-50 mix (sim)"
+       label prefill);
+  Report.table ~header rows
+
+let fig3 () =
+  if !full then begin
+    fig3_one ~label:"left" ~prefill:1_000_000 ~ops:400_000;
+    fig3_one ~label:"right" ~prefill:10_000_000 ~ops:400_000
+  end
+  else begin
+    fig3_one ~label:"left, scaled" ~prefill:10_000 ~ops:40_000;
+    fig3_one ~label:"right, scaled" ~prefill:100_000 ~ops:40_000
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: SSSP                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sssp_graph () =
+  if !full then Klsm_graph.Gen.erdos_renyi ~seed:42 ~n:10_000 ~p:0.5 ()
+  else Klsm_graph.Gen.erdos_renyi ~seed:42 ~n:600 ~p:0.5 ()
+
+let fig4a () =
+  let graph = sssp_graph () in
+  let reference = Klsm_graph.Dijkstra.run graph ~source:0 in
+  let threads = paper_threads in
+  let header = "impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads in
+  let rows =
+    List.map
+      (fun spec ->
+        R.spec_name spec
+        :: List.map
+             (fun t ->
+               let r = SB.run ~graph ~source:0 ~num_threads:t ~reference spec in
+               if not r.SB.correct then "WRONG"
+               else Printf.sprintf "%.2f" (r.SB.wall *. 1e3))
+             threads)
+      [ R.Wimmer_centralized; R.Wimmer_hybrid 256; R.Klsm 256 ]
+  in
+  Report.section
+    (Printf.sprintf
+       "Figure 4 (left): SSSP time (ms, simulated) vs threads, k=256, G(%d, 0.5)"
+       (Klsm_graph.Graph.num_nodes graph));
+  Report.table ~header rows
+
+let fig4b () =
+  let graph = sssp_graph () in
+  let reference = Klsm_graph.Dijkstra.run graph ~source:0 in
+  let t = 10 in
+  let ks = [ 0; 1; 4; 16; 64; 256; 1024; 4096; 16384 ] in
+  let header = "impl" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks in
+  let time_row name mk =
+    name
+    :: List.map
+         (fun k ->
+           let r = SB.run ~graph ~source:0 ~num_threads:t ~reference (mk k) in
+           if not r.SB.correct then "WRONG"
+           else Printf.sprintf "%.2f" (r.SB.wall *. 1e3))
+         ks
+  in
+  let extra_row name mk =
+    (name ^ " +it")
+    :: List.map
+         (fun k ->
+           let r = SB.run ~graph ~source:0 ~num_threads:t ~reference (mk k) in
+           Printf.sprintf "%+d" r.SB.extra_iterations)
+         ks
+  in
+  Report.section
+    (Printf.sprintf
+       "Figure 4 (right): SSSP time (ms, simulated) vs k at %d threads, \
+        G(%d, 0.5); '+it' rows = extra iterations vs sequential (paper \
+        §6.1: +362 for k-LSM(256), +305 for hybrid(4096), +3965 for \
+        k-LSM(16384) on G(10000, 0.5))"
+       t
+       (Klsm_graph.Graph.num_nodes graph));
+  Report.table ~header
+    [
+      time_row "centralized-k" (fun _ -> R.Wimmer_centralized);
+      time_row "hybrid-k" (fun k -> R.Wimmer_hybrid k);
+      time_row "k-lsm" (fun k -> R.Klsm k);
+      extra_row "hybrid-k" (fun k -> R.Wimmer_hybrid k);
+      extra_row "k-lsm" (fun k -> R.Klsm k);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Quality: rank errors (ablation A1)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quality () =
+  let t = 8 in
+  let specs =
+    [
+      R.Heap_lock;
+      R.Linden;
+      R.Multiq 2;
+      R.Spraylist;
+      R.Klsm 0;
+      R.Klsm 4;
+      R.Klsm 64;
+      R.Klsm 256;
+      R.Klsm 4096;
+      R.Dlsm;
+      R.Wimmer_hybrid 256;
+    ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let config = { Q.default_config with num_threads = t } in
+        let r = Q.run config spec in
+        let rho =
+          match spec with
+          | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (t * k)
+          | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
+          | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"
+        in
+        [
+          R.spec_name spec;
+          string_of_int r.Q.deletes;
+          Printf.sprintf "%.2f" r.Q.mean_rank_error;
+          Printf.sprintf "%.0f" r.Q.p99_rank_error;
+          string_of_int r.Q.max_rank_error;
+          rho;
+        ])
+      specs
+  in
+  Report.section
+    (Printf.sprintf "Quality: delete-min rank error at T=%d (sim)" t);
+  Report.table
+    ~header:[ "impl"; "deletes"; "mean"; "p99"; "max"; "rho = T*k" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A2: spill threshold.  The §4.3 rule spills local blocks above level
+   floor(log2 k) - 1; forcing other levels shows the batching effect on the
+   shared hot spot (CAS count) and throughput. *)
+let ablation_spill () =
+  let t = 10 in
+  let k = 256 in
+  let levels = [ -1; 0; 2; 4; 6; 8 ] in
+  let module K = Klsm_core.Klsm.Make (Sim) in
+  let module Xo = Klsm_primitives.Xoshiro in
+  let rows =
+    List.map
+      (fun lvl ->
+        let q = K.create_with ~k ~spill_max_level:lvl ~num_threads:t () in
+        let handles = Array.make t None in
+        Sim.parallel_run ~num_threads:t (fun tid ->
+            let h = K.register q tid in
+            handles.(tid) <- Some h;
+            let rng = Xo.create ~seed:(tid + 7) in
+            for _ = 1 to 2_000 do
+              K.insert h (Xo.int rng 1_000_000) 0
+            done);
+        let t0 = Sim.time () in
+        Sim.parallel_run ~num_threads:t (fun tid ->
+            let h =
+              match handles.(tid) with Some h -> h | None -> assert false
+            in
+            let rng = Xo.create ~seed:(tid + 77) in
+            for _ = 1 to 3_000 do
+              if Xo.bool rng then K.insert h (Xo.int rng 1_000_000) 0
+              else ignore (K.try_delete_min h)
+            done);
+        let elapsed = Sim.time () -. t0 in
+        let st = Sim.stats () in
+        [
+          string_of_int lvl;
+          string_of_int (1 lsl (lvl + 1));
+          Report.human_float
+            (float_of_int (t * 3_000) /. elapsed /. float_of_int t);
+          string_of_int st.Sim.cas;
+          string_of_int st.Sim.cas_failures;
+        ])
+      levels
+  in
+  Report.section
+    (Printf.sprintf
+       "Ablation A2: DistLSM spill threshold (k=%d, T=%d; the paper's rule \
+        gives max level %d)"
+       k t
+       (Klsm_primitives.Bits.floor_log2 k - 1));
+  Report.table
+    ~header:[ "max level"; "local cap"; "thr/thread"; "CAS ops"; "CAS fails" ]
+    rows
+
+(* A3: Bloom-filter local ordering on/off. *)
+let ablation_bloom () =
+  let t = 10 in
+  let module K = Klsm_core.Klsm.Make (Sim) in
+  let module Xo = Klsm_primitives.Xoshiro in
+  let run_one local_ordering =
+    let q = K.create_with ~k:256 ~local_ordering ~num_threads:t () in
+    let handles = Array.make t None in
+    Sim.parallel_run ~num_threads:t (fun tid ->
+        let h = K.register q tid in
+        handles.(tid) <- Some h;
+        let rng = Xo.create ~seed:(tid + 3) in
+        for _ = 1 to 3_000 do
+          K.insert h (Xo.int rng 1_000_000) 0
+        done);
+    let t0 = Sim.time () in
+    Sim.parallel_run ~num_threads:t (fun tid ->
+        let h = match handles.(tid) with Some h -> h | None -> assert false in
+        let rng = Xo.create ~seed:(tid + 33) in
+        for _ = 1 to 4_000 do
+          if Xo.bool rng then K.insert h (Xo.int rng 1_000_000) 0
+          else ignore (K.try_delete_min h)
+        done);
+    let elapsed = Sim.time () -. t0 in
+    float_of_int (t * 4_000) /. elapsed /. float_of_int t
+  in
+  let with_bloom = run_one true in
+  let without = run_one false in
+  Report.section "Ablation A3: local-ordering Bloom filters (k=256, T=10)";
+  Report.table
+    ~header:[ "configuration"; "thr/thread" ]
+    [
+      [ "with local ordering (paper)"; Report.human_float with_bloom ];
+      [ "without (ablated)"; Report.human_float without ];
+    ]
+
+(* Cost-model sensitivity: rerun a Figure 3 slice under a near-uniform
+   memory model to show which rankings depend on coherence costs. *)
+let ablation_cost () =
+  let slice = [ R.Heap_lock; R.Linden; R.Multiq 2; R.Klsm 256; R.Dlsm ] in
+  let run_with cost label =
+    Sim.configure ~cost ();
+    let rows =
+      List.map
+        (fun spec ->
+          let config =
+            {
+              T.default_config with
+              num_threads = 20;
+              prefill = 10_000;
+              ops_per_thread = 2_000;
+            }
+          in
+          let r = T.run config spec in
+          [ R.spec_name spec; Report.human_float r.T.throughput_per_thread ])
+        slice
+    in
+    Report.section
+      (Printf.sprintf "Ablation: cost-model sensitivity — %s (T=20)" label);
+    Report.table ~header:[ "impl"; "thr/thread" ] rows
+  in
+  run_with Klsm_backend.Cost_model.default "default (NUMA-like misses)";
+  run_with Klsm_backend.Cost_model.uniform "uniform (cheap coherence)";
+  Sim.configure ~cost:Klsm_backend.Cost_model.default ()
+
+(* Workload-distribution ablation: the paper benchmarks uniform keys; the
+   relaxed queues behave very differently under monotone (Dijkstra-like)
+   and adversarial descending keys. *)
+let ablation_workload () =
+  let module W = Klsm_harness.Workload in
+  let slice = [ R.Heap_lock; R.Multiq 2; R.Klsm 256; R.Dlsm ] in
+  let workloads =
+    [
+      W.Uniform (1 lsl 28);
+      W.Ascending 64;
+      W.Descending (1 lsl 30);
+      W.Clustered { clusters = 16; spread = 256; range = 1 lsl 28 };
+    ]
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        R.spec_name spec
+        :: List.map
+             (fun w ->
+               let config =
+                 {
+                   T.default_config with
+                   num_threads = 10;
+                   prefill = 10_000;
+                   ops_per_thread = 3_000;
+                   workload = w;
+                 }
+               in
+               let r = T.run config spec in
+               Report.human_float r.T.throughput_per_thread)
+             workloads)
+      slice
+  in
+  Report.section "Ablation: key-distribution sensitivity (T=10, thr/thread)";
+  Report.table ~header:("impl" :: List.map W.name workloads) rows
+
+(* Branch-and-bound application scaling: wall time and node expansions of
+   the parallel best-first knapsack solver vs thread count and k — the
+   application class the paper's introduction motivates. *)
+let bnb () =
+  let module E = Klsm_bnb.Engine.Make (Sim) in
+  let module K = Klsm_bnb.Knapsack in
+  let inst = K.random ~seed:9 ~n:30 () in
+  let optimum = K.dp_optimum inst in
+  let run ~threads ~k =
+    Sim.configure ~seed:1 ();
+    let s = E.solve ~k ~num_threads:threads (K.problem inst) in
+    if K.profit_of_best inst s.E.best <> optimum then
+      failwith "bnb: suboptimal result";
+    s
+  in
+  let threads = [ 1; 2; 5; 10; 20; 40 ] in
+  Report.section
+    "Application: parallel branch-and-bound knapsack (30 items; simulated      time and expansions; k=64)";
+  Report.table
+    ~header:("metric" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads)
+    [
+      ("time (ms)"
+      :: List.map
+           (fun t ->
+             Printf.sprintf "%.2f" ((run ~threads:t ~k:64).E.wall *. 1e3))
+           threads);
+      ("expanded"
+      :: List.map
+           (fun t -> string_of_int (run ~threads:t ~k:64).E.expanded)
+           threads);
+    ];
+  let ks = [ 0; 4; 64; 1024; 16384 ] in
+  Report.section "Branch-and-bound: relaxation k vs extra expansions (T=10)";
+  Report.table
+    ~header:("metric" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks)
+    [
+      ("time (ms)"
+      :: List.map
+           (fun k ->
+             Printf.sprintf "%.2f" ((run ~threads:10 ~k).E.wall *. 1e3))
+           ks);
+      ("expanded"
+      :: List.map (fun k -> string_of_int (run ~threads:10 ~k).E.expanded) ks);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (real backend, single thread)             *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let module K = Klsm_core.Klsm.Default in
+  let module D = Klsm_core.Dlsm.Default in
+  let module L = Klsm_baselines.Linden_pq.Default in
+  let module S = Klsm_baselines.Spraylist.Default in
+  let module M = Klsm_baselines.Multiq.Default in
+  let module H = Klsm_baselines.Locked_heap.Default in
+  let module Blk = Klsm_core.Block.Make (Klsm_backend.Real) in
+  let module I = Klsm_core.Item.Make (Klsm_backend.Real) in
+  let module Xo = Klsm_primitives.Xoshiro in
+  (* Steady-state "mixed op": one insert + one delete per run, so the
+     structure keeps its prefill size. *)
+  let mixed_pair name insert delete =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           insert ();
+           delete ()))
+  in
+  let rng = Xo.create ~seed:5 in
+  let prefill insert =
+    for _ = 1 to 10_000 do
+      insert (Xo.int rng 1_000_000)
+    done
+  in
+  let klsm_test k =
+    let q = K.create_with ~k ~num_threads:1 () in
+    let h = K.register q 0 in
+    prefill (fun key -> K.insert h key 0);
+    mixed_pair
+      (Printf.sprintf "klsm(%d)" k)
+      (fun () -> K.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (K.try_delete_min h))
+  in
+  let dlsm_test =
+    let q = D.create_with ~num_threads:1 () in
+    let h = D.register q 0 in
+    prefill (fun key -> D.insert h key 0);
+    mixed_pair "dlsm"
+      (fun () -> D.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (D.try_delete_min h))
+  in
+  let linden_test =
+    let q = L.create_with ~dummy:0 ~num_threads:1 () in
+    let h = L.register q 0 in
+    prefill (fun key -> L.insert h key 0);
+    mixed_pair "linden"
+      (fun () -> L.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (L.try_delete_min h))
+  in
+  let spray_test =
+    let q = S.create_with ~dummy:0 ~num_threads:1 () in
+    let h = S.register q 0 in
+    prefill (fun key -> S.insert h key 0);
+    mixed_pair "spraylist"
+      (fun () -> S.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (S.try_delete_min h))
+  in
+  let multiq_test =
+    let q = M.create_with ~num_threads:1 () in
+    let h = M.register q 0 in
+    prefill (fun key -> M.insert h key 0);
+    mixed_pair "multiq"
+      (fun () -> M.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (M.try_delete_min h))
+  in
+  let heap_test =
+    let q = H.create ~num_threads:1 () in
+    let h = H.register q 0 in
+    prefill (fun key -> H.insert h key 0);
+    mixed_pair "heap+lock"
+      (fun () -> H.insert h (Xo.int rng 1_000_000) 0)
+      (fun () -> ignore (H.try_delete_min h))
+  in
+  let merge_test =
+    (* Cost of merging two 256-item blocks — the LSM's unit of work. *)
+    let mk () =
+      let b = Blk.create_with_exemplar 8 (I.make 0 0) in
+      for i = 255 downto 0 do
+        Blk.append ~alive:(fun _ -> true) b (I.make (i * 2) 0)
+      done;
+      b
+    in
+    let b1 = mk () and b2 = mk () in
+    Test.make ~name:"block-merge-512"
+      (Staged.stage (fun () ->
+           ignore (Blk.merge ~alive:(fun it -> not (I.is_taken it)) b1 b2)))
+  in
+  let tests =
+    [
+      heap_test;
+      linden_test;
+      spray_test;
+      multiq_test;
+      klsm_test 0;
+      klsm_test 256;
+      klsm_test 4096;
+      dlsm_test;
+      merge_test;
+    ]
+  in
+  Report.section
+    "Micro-benchmarks (real backend, 1 thread, ns per insert+delete pair)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let rows = ref [] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let est =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ x ] -> Printf.sprintf "%.1f" x
+            | _ -> "?"
+          in
+          rows := [ name; est ] :: !rows)
+        results)
+    tests;
+  Report.table ~header:[ "operation"; "ns/op-pair" ] (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("fig3", fig3);
+    ("fig4a", fig4a);
+    ("fig4b", fig4b);
+    ("quality", quality);
+    ("ablation-spill", ablation_spill);
+    ("ablation-bloom", ablation_bloom);
+    ("ablation-cost", ablation_cost);
+    ("ablation-workload", ablation_workload);
+    ("bnb", bnb);
+    ("micro", micro);
+  ]
+
+let () =
+  let args =
+    Sys.argv |> Array.to_list |> List.tl
+    |> List.filter (fun a ->
+           if a = "--full" then begin
+             full := true;
+             false
+           end
+           else true)
+  in
+  let chosen = match args with [] -> List.map fst sections | l -> l in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          Sim.configure ~seed:0xC0FFEE ~cost:Klsm_backend.Cost_model.default ();
+          f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    chosen

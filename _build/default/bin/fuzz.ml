@@ -1,0 +1,87 @@
+(* Schedule fuzzer: hunts for conservation violations (lost or duplicated
+   items) in any queue implementation by running a mixed workload under
+   many random-preemption simulator schedules — dscheck-style, but with
+   the repository's own deterministic simulator.
+
+   Examples:
+     fuzz --impl klsm:8 --seeds 200
+     fuzz --impl dlsm --threads 6 --preempt 0.4 *)
+
+module Sim = Klsm_backend.Sim
+module R = Klsm_harness.Registry.Make (Sim)
+module Xo = Klsm_primitives.Xoshiro
+
+(* One fuzzed run; returns (duplicates, lost). *)
+let run_once ~seed ~num_threads ~per_thread ~preempt spec =
+  Sim.configure ~seed ~policy:(Sim.Random_preempt preempt) ();
+  let inst = R.make ~seed ~num_threads spec in
+  let total = num_threads * per_thread in
+  let got = Array.init num_threads (fun _ -> ref []) in
+  Sim.parallel_run ~num_threads (fun tid ->
+      let h = inst.R.register tid in
+      let rng = Xo.create ~seed:(seed + (31 * tid)) in
+      for i = 0 to per_thread - 1 do
+        let payload = (tid * per_thread) + i in
+        h.R.insert (Xo.int rng 100_000) payload;
+        if i land 1 = 1 then begin
+          match h.R.try_delete_min () with
+          | Some (_, v) -> got.(tid) := v :: !(got.(tid))
+          | None -> ()
+        end
+      done;
+      let misses = ref 0 in
+      while !misses < 300 do
+        match h.R.try_delete_min () with
+        | Some (_, v) ->
+            got.(tid) := v :: !(got.(tid));
+            misses := 0
+        | None -> incr misses
+      done);
+  let seen = Array.make total 0 in
+  Array.iter (fun l -> List.iter (fun v -> seen.(v) <- seen.(v) + 1) !l) got;
+  let dup = ref 0 and lost = ref 0 in
+  Array.iter (fun c -> if c > 1 then incr dup else if c = 0 then incr lost) seen;
+  (!dup, !lost)
+
+let run ~impls ~threads ~per_thread ~seeds ~seed0 ~preempt =
+  let specs =
+    match impls with
+    | [] -> [ R.Klsm 8; R.Klsm 256; R.Dlsm; R.Linden; R.Spraylist; R.Multiq 2 ]
+    | l -> List.filter_map R.parse_spec l
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun spec ->
+      let bad = ref 0 in
+      for seed = seed0 to seed0 + seeds - 1 do
+        let dup, lost = run_once ~seed ~num_threads:threads ~per_thread ~preempt spec in
+        if dup > 0 || lost > 0 then begin
+          incr bad;
+          incr failures;
+          Printf.printf "VIOLATION %s seed=%d dup=%d lost=%d\n%!"
+            (R.spec_name spec) seed dup lost
+        end
+      done;
+      Printf.printf "%-14s %d seeds, %d violations\n%!" (R.spec_name spec)
+        seeds !bad)
+    specs;
+  if !failures > 0 then exit 1
+
+open Cmdliner
+
+let impls = Arg.(value & opt_all string [] & info [ "impl" ] ~doc:"Queue spec (repeatable).")
+let threads = Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Simulated threads.")
+let per_thread = Arg.(value & opt int 300 & info [ "per-thread" ] ~doc:"Unique payloads per thread.")
+let seeds = Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of schedules to explore.")
+let seed0 = Arg.(value & opt int 1 & info [ "seed0" ] ~doc:"First seed.")
+let preempt = Arg.(value & opt float 0.25 & info [ "preempt" ] ~doc:"Preemption probability per atomic access.")
+
+let cmd =
+  let doc = "schedule fuzzer: conservation checking under random preemption" in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const (fun impls threads per_thread seeds seed0 preempt ->
+          run ~impls ~threads ~per_thread ~seeds ~seed0 ~preempt)
+      $ impls $ threads $ per_thread $ seeds $ seed0 $ preempt)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,83 @@
+(* CLI for the rank-error quality experiment (DESIGN.md ablation A1):
+   empirical delete-min rank errors per implementation and k, checked
+   against the paper's rho = T*k worst-case bound.
+
+   Only the simulator backend is supported: the oracle needs the
+   cooperative single-domain execution to observe operations in order. *)
+
+let run ~threads ~prefill ~ops ~impls ~seed ~csv =
+  let module R = Klsm_harness.Registry.Make (Klsm_backend.Sim) in
+  let module Q = Klsm_harness.Quality.Make (Klsm_backend.Sim) in
+  let specs =
+    match impls with
+    | [] ->
+        [
+          R.Heap_lock;
+          R.Linden;
+          R.Multiq 2;
+          R.Spraylist;
+          R.Klsm 0;
+          R.Klsm 4;
+          R.Klsm 64;
+          R.Klsm 256;
+          R.Klsm 4096;
+          R.Dlsm;
+          R.Wimmer_hybrid 256;
+        ]
+    | l -> List.filter_map R.parse_spec l
+  in
+  let rows =
+    List.map
+      (fun spec ->
+        let config =
+          { Q.default_config with num_threads = threads; prefill; ops_per_thread = ops / threads; seed }
+        in
+        let r = Q.run config spec in
+        let rho =
+          match spec with
+          | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (threads * k)
+          | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
+          | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"
+        in
+        Printf.eprintf "done %s\n%!" (R.spec_name spec);
+        [
+          R.spec_name spec;
+          string_of_int r.Q.deletes;
+          Printf.sprintf "%.2f" r.Q.mean_rank_error;
+          Printf.sprintf "%.0f" r.Q.p99_rank_error;
+          string_of_int r.Q.max_rank_error;
+          rho;
+        ])
+      specs
+  in
+  Klsm_harness.Report.section
+    (Printf.sprintf "Delete-min rank error (T=%d, prefill=%d)" threads prefill);
+  Klsm_harness.Report.table
+    ~header:[ "impl"; "deletes"; "mean"; "p99"; "max"; "rho bound" ]
+    rows;
+  match csv with
+  | Some path ->
+      Klsm_harness.Report.csv ~path
+        ~header:[ "impl"; "deletes"; "mean"; "p99"; "max"; "rho" ]
+        rows;
+      Printf.printf "wrote %s\n" path
+  | None -> ()
+
+open Cmdliner
+
+let threads = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Simulated threads.")
+let prefill = Arg.(value & opt int 20_000 & info [ "prefill" ] ~doc:"Prefilled keys.")
+let ops = Arg.(value & opt int 40_000 & info [ "ops" ] ~doc:"Total operations.")
+let impls = Arg.(value & opt_all string [] & info [ "impl" ] ~doc:"Implementations (repeatable).")
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Root seed.")
+let csv = Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Also write CSV here.")
+
+let cmd =
+  let doc = "delete-min rank-error quality measurement" in
+  Cmd.v (Cmd.info "quality" ~doc)
+    Term.(
+      const (fun threads prefill ops impls seed csv ->
+          run ~threads ~prefill ~ops ~impls ~seed ~csv)
+      $ threads $ prefill $ ops $ impls $ seed $ csv)
+
+let () = exit (Cmd.eval cmd)

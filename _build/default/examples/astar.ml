@@ -1,0 +1,124 @@
+(* A* pathfinding on a weighted grid with the Keyed (decrease-key) wrapper.
+
+   Run with:  dune exec examples/astar.exe
+
+   A* is the classic decrease-key consumer: when a better path to an open
+   node is found, its f-score must drop.  The k-LSM has no decrease-key —
+   the paper's §4.5 workaround (delete + reinsert via lazy deletion) is
+   packaged in Klsm_core.Keyed, which this example exercises: each grid
+   cell is a Keyed.element, improvements call decrease_key, and stale queue
+   entries evaporate inside the queue.
+
+   With an admissible heuristic and an *exact* queue, A* pops each node at
+   most once.  A relaxed queue may pop a node before its final g-score is
+   settled; as in label-correcting SSSP this costs re-expansions, never
+   correctness — we verify the path cost against plain Dijkstra. *)
+
+module Keyed = Klsm_core.Keyed.Default
+module Xoshiro = Klsm_primitives.Xoshiro
+
+let width = 120
+let height = 80
+
+let () =
+  let rng = Xoshiro.create ~seed:9 in
+  (* Cell terrain costs 1..9; a few impassable walls. *)
+  let cost = Array.init (width * height) (fun _ -> Xoshiro.int_in rng ~lo:1 ~hi:9) in
+  let wall = Array.init (width * height) (fun _ -> Xoshiro.float rng < 0.2) in
+  let id x y = (y * width) + x in
+  wall.(id 0 0) <- false;
+  wall.(id (width - 1) (height - 1)) <- false;
+  let start = id 0 0 and goal = id (width - 1) (height - 1) in
+
+  (* Build the graph: moving into a cell costs its terrain. *)
+  let edges = ref [] in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if not wall.(id x y) then
+        List.iter
+          (fun (dx, dy) ->
+            let nx = x + dx and ny = y + dy in
+            if nx >= 0 && nx < width && ny >= 0 && ny < height
+               && not wall.(id nx ny)
+            then edges := (id x y, id nx ny, cost.(id nx ny)) :: !edges)
+          [ (1, 0); (-1, 0); (0, 1); (0, -1) ]
+    done
+  done;
+  let graph = Klsm_graph.Graph.of_edges ~n:(width * height) !edges in
+
+  (* Reference: plain Dijkstra. *)
+  let reference = (Klsm_graph.Dijkstra.run graph ~source:start).Klsm_graph.Dijkstra.dist in
+
+  (* A* with the Keyed queue; heuristic = Manhattan distance (min terrain
+     cost 1 per step => admissible). *)
+  let h node =
+    let x = node mod width and y = node / width in
+    abs (x - (width - 1)) + abs (y - (height - 1))
+  in
+  let num_threads = 2 in
+  let g = Array.init (width * height) (fun _ -> Atomic.make max_int) in
+  let in_flight = Atomic.make 1 in
+  let expansions = Atomic.make 0 in
+  let q =
+    Keyed.create ~k:32
+      ~on_entry_consumed:(fun _ _ -> Atomic.decr in_flight)
+      ~num_threads ()
+  in
+  let elements = Array.init (width * height) (fun v -> Keyed.element v) in
+  Atomic.set g.(start) 0;
+  let goal_cost = Atomic.make max_int in
+  Klsm_backend.Real.parallel_run ~num_threads (fun tid ->
+      let hq = Keyed.register q tid in
+      if tid = 0 then ignore (Keyed.insert hq elements.(start) (h start));
+      let rec loop () =
+        match Keyed.try_delete_min hq with
+        | Some (el, _f) ->
+            let u = Keyed.value el in
+            let gu = Atomic.get g.(u) in
+            (* Prune expansions that cannot improve on the incumbent. *)
+            if gu + h u < Atomic.get goal_cost then begin
+              Atomic.incr expansions;
+              if u = goal then begin
+                let rec improve () =
+                  let cur = Atomic.get goal_cost in
+                  if gu < cur && not (Atomic.compare_and_set goal_cost cur gu)
+                  then improve ()
+                in
+                improve ()
+              end
+              else
+                Klsm_graph.Graph.iter_succ graph u ~f:(fun v w ->
+                    let ng = gu + w in
+                    let rec relax () =
+                      let cur = Atomic.get g.(v) in
+                      if ng < cur then
+                        if Atomic.compare_and_set g.(v) cur ng then begin
+                          Atomic.incr in_flight;
+                          (* A concurrent, even better relaxation may have
+                             queued the element already; return the token. *)
+                          if not (Keyed.insert hq elements.(v) (ng + h v))
+                          then Atomic.decr in_flight
+                        end
+                        else relax ()
+                    in
+                    relax ())
+            end;
+            Atomic.decr in_flight;
+            loop ()
+        | None ->
+            if Atomic.get in_flight > 0 then begin
+              Domain.cpu_relax ();
+              loop ()
+            end
+      in
+      loop ());
+
+  let astar_cost = Atomic.get goal_cost in
+  let exact = reference.(goal) in
+  Printf.printf "grid %dx%d, %d arcs\n" width height
+    (Klsm_graph.Graph.num_edges graph);
+  Printf.printf "A* path cost: %d (dijkstra: %d) %s\n" astar_cost exact
+    (if astar_cost = exact then "OK" else "MISMATCH");
+  Printf.printf "expansions: %d (nodes: %d)\n" (Atomic.get expansions)
+    (width * height);
+  if astar_cost <> exact then exit 1

@@ -1,0 +1,1 @@
+lib/backend/backend_intf.ml:

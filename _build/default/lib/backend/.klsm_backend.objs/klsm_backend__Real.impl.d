@@ -1,0 +1,1 @@
+lib/backend/real.ml: Array Atomic Domain Unix

@@ -1,0 +1,1 @@
+lib/backend/sim.ml: Array Cost_model Effect Float Klsm_primitives List Option

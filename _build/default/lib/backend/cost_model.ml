@@ -1,0 +1,48 @@
+(** Cost parameters of the simulated machine (see {!Backend_intf}).
+
+    Units are abstract "nanoseconds" of the simulated 80-core machine.  The
+    defaults are order-of-magnitude figures for a multi-socket Xeon of the
+    paper's era: an L1 hit costs ~1 ns, a cache line transferred from
+    another core's cache ~60 ns (cross-socket coherence), a read-modify-write
+    adds a few ns, and a failed CAS wastes the line transfer plus the retry.
+    The figures' {e shapes} (who scales, where curves cross) are insensitive
+    to the exact values; EXPERIMENTS.md shows a sensitivity note. *)
+
+type t = {
+  cache_hit : float;  (** access to a line already in this core's cache *)
+  cache_miss : float;  (** line transfer from another core / memory *)
+  rmw_extra : float;  (** additional cost of CAS/FAA over a read *)
+  cas_fail_extra : float;  (** additional wasted time on a failed CAS *)
+  work_unit : float;  (** one {!Backend_intf.S.tick} unit: streaming work *)
+  relax : float;  (** one [cpu_relax] *)
+  jitter : float;
+      (** relative cost noise (seeded, deterministic).  Real machines never
+          run in perfect lockstep; without jitter a deterministic min-clock
+          schedule can settle into periodic patterns where one thread loses
+          a lock race forever (a starvation artifact no real machine
+          exhibits). *)
+}
+
+let default =
+  {
+    cache_hit = 1.0;
+    cache_miss = 60.0;
+    rmw_extra = 5.0;
+    cas_fail_extra = 10.0;
+    work_unit = 0.5;
+    relax = 3.0;
+    jitter = 0.1;
+  }
+
+(* A machine where coherence traffic is nearly free: used by the sensitivity
+   ablation to show which conclusions depend on contention costs. *)
+let uniform =
+  {
+    cache_hit = 1.0;
+    cache_miss = 2.0;
+    rmw_extra = 1.0;
+    cas_fail_extra = 1.0;
+    work_unit = 0.5;
+    relax = 1.0;
+    jitter = 0.1;
+  }

@@ -1,0 +1,49 @@
+(** Deployment backend: [Stdlib.Atomic] + [Domain]. See {!Backend_intf}. *)
+
+let name = "real"
+
+type 'a atomic = 'a Atomic.t
+
+let make = Atomic.make
+let get = Atomic.get
+let set = Atomic.set
+let compare_and_set = Atomic.compare_and_set
+let exchange = Atomic.exchange
+let fetch_and_add = Atomic.fetch_and_add
+let tick _ = ()
+let cpu_relax = Domain.cpu_relax
+
+let relax_n n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+(* A genuine scheduling yield: on machines with fewer cores than domains
+   (this container has one), spinning with cpu_relax alone starves the
+   domain that holds the work for a whole OS timeslice.  A sub-millisecond
+   sleep releases the core. *)
+let yield () = Unix.sleepf 1e-4
+
+exception Thread_failure of int * exn
+
+let parallel_run ~num_threads body =
+  if num_threads < 1 then invalid_arg "parallel_run: num_threads < 1";
+  if num_threads = 1 then body 0
+  else begin
+    (* Thread 0 runs on the calling domain so that [parallel_run] composes
+       with callers that already hold per-run state on the current stack. *)
+    let wrap tid () = try Ok (body tid) with e -> Error (tid, e) in
+    let domains =
+      Array.init (num_threads - 1) (fun i -> Domain.spawn (wrap (i + 1)))
+    in
+    let r0 = wrap 0 () in
+    let results = Array.map Domain.join domains in
+    let reraise = function
+      | Ok () -> ()
+      | Error (tid, e) -> raise (Thread_failure (tid, e))
+    in
+    reraise r0;
+    Array.iter reraise results
+  end
+
+let time () = Unix.gettimeofday ()

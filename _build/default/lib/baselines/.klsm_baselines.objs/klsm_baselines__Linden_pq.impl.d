@@ -1,0 +1,1 @@
+lib/baselines/linden_pq.ml: Klsm_backend Klsm_primitives List Skiplist

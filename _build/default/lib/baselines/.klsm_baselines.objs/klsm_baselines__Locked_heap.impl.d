@@ -1,0 +1,1 @@
+lib/baselines/locked_heap.ml: Klsm_backend Seq_heap Spinlock

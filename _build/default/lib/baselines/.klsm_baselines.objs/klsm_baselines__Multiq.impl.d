@@ -1,0 +1,1 @@
+lib/baselines/multiq.ml: Array Klsm_backend Klsm_core Klsm_primitives Seq_heap Spinlock

@@ -1,0 +1,1 @@
+lib/baselines/seq_heap.ml: Array Klsm_backend List

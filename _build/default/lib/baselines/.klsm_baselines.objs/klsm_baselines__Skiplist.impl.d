@@ -1,0 +1,1 @@
+lib/baselines/skiplist.ml: Array Klsm_backend Klsm_primitives List

@@ -1,0 +1,1 @@
+lib/baselines/spinlock.ml: Klsm_backend Klsm_primitives

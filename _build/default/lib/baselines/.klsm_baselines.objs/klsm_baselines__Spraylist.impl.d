@@ -1,0 +1,1 @@
+lib/baselines/spraylist.ml: Array Klsm_backend Klsm_primitives List Skiplist

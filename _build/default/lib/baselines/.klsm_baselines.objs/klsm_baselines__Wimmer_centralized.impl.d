@@ -1,0 +1,1 @@
+lib/baselines/wimmer_centralized.ml: Klsm_backend Seq_heap Spinlock

@@ -1,0 +1,29 @@
+(** "Heap + Lock": a sequential binary heap behind one spinlock — the
+    classic non-scalable baseline of Figure 3.  Its throughput per thread
+    decays roughly as 1/T, which the figure uses to anchor the bottom of
+    the plot. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Heap = Seq_heap.Make (B)
+  module Lock = Spinlock.Make (B)
+
+  let name = "heap+lock"
+
+  type 'v t = { lock : Lock.t; heap : 'v Heap.t }
+  type 'v handle = 'v t
+
+  let create ?seed:_ ~num_threads:_ () =
+    { lock = Lock.create (); heap = Heap.create () }
+
+  let register t _tid = t
+
+  let insert h key value =
+    if key < 0 then invalid_arg "Locked_heap.insert: negative key";
+    Lock.with_lock h.lock (fun () -> Heap.insert h.heap key value)
+
+  let try_delete_min h = Lock.with_lock h.lock (fun () -> Heap.pop_min h.heap)
+
+  let size h = Lock.with_lock h.lock (fun () -> Heap.size h.heap)
+end
+
+module Default = Make (Klsm_backend.Real)

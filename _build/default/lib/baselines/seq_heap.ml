@@ -1,0 +1,116 @@
+(** Sequential array-based binary min-heap.
+
+    The workhorse under the lock-based baselines: "Heap + Lock" of
+    Figure 3, each Multi-Queue slot, and the global/local heaps of the
+    Wimmer et al. reimplementations.  It is also the oracle the test suite
+    compares every concurrent queue against.
+
+    The heap is a functor over the backend only so that sift work can be
+    charged to the simulator's virtual clock via [B.tick]; no atomics are
+    involved (callers provide the synchronization). *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  type 'v t = {
+    mutable keys : int array;
+    mutable values : 'v array;
+    mutable size : int;
+  }
+
+  let create () = { keys = [||]; values = [||]; size = 0 }
+
+  let size t = t.size
+  let is_empty t = t.size = 0
+
+  let grow t v =
+    let cap = Array.length t.keys in
+    B.tick (2 * t.size);
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let nk = Array.make ncap 0 and nv = Array.make ncap v in
+    Array.blit t.keys 0 nk 0 t.size;
+    Array.blit t.values 0 nv 0 t.size;
+    t.keys <- nk;
+    t.values <- nv
+
+  let swap t i j =
+    let k = t.keys.(i) and v = t.values.(i) in
+    t.keys.(i) <- t.keys.(j);
+    t.values.(i) <- t.values.(j);
+    t.keys.(j) <- k;
+    t.values.(j) <- v
+
+  let insert t key value =
+    if t.size = Array.length t.keys then grow t value;
+    (* Calibration: base memory traffic of one heap operation (root line,
+       size/bounds, tail write) beyond the per-swap work below. *)
+    B.tick 16;
+    t.keys.(t.size) <- key;
+    t.values.(t.size) <- value;
+    t.size <- t.size + 1;
+    (* Sift up. *)
+    let i = ref (t.size - 1) in
+    let continue_up = ref true in
+    while !continue_up && !i > 0 do
+      let parent = (!i - 1) / 2 in
+      if t.keys.(parent) > t.keys.(!i) then begin
+        (* A swap touches two (likely distinct) cache lines. *)
+        B.tick 8;
+        swap t parent !i;
+        i := parent
+      end
+      else continue_up := false
+    done
+
+  (** Minimal key without removing it. *)
+  let peek t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
+
+  (** Minimal key or [max_int] when empty — the cheap form the Multi-Queue
+      uses to compare two queues without allocation. *)
+  let peek_key t = if t.size = 0 then max_int else t.keys.(0)
+
+  let pop_min t =
+    if t.size = 0 then None
+    else begin
+      B.tick 16;
+      let key = t.keys.(0) and value = t.values.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.keys.(0) <- t.keys.(t.size);
+        t.values.(0) <- t.values.(t.size);
+        (* Sift down. *)
+        let i = ref 0 in
+        let continue_down = ref true in
+        while !continue_down do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.size && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+          if r < t.size && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+          if !smallest = !i then continue_down := false
+          else begin
+            B.tick 8;
+            swap t !i !smallest;
+            i := !smallest
+          end
+        done
+      end;
+      Some (key, value)
+    end
+
+  (** Drain everything into a (key, value) list in ascending key order;
+      tests and flush operations. *)
+  let drain t =
+    let rec go acc =
+      match pop_min t with None -> List.rev acc | Some kv -> go (kv :: acc)
+    in
+    go []
+
+  let iter t ~f =
+    for i = 0 to t.size - 1 do
+      f t.keys.(i) t.values.(i)
+    done
+
+  (** Heap-property check for tests. *)
+  let check_invariants t =
+    for i = 1 to t.size - 1 do
+      if t.keys.((i - 1) / 2) > t.keys.(i) then failwith "Seq_heap: violated"
+    done
+end

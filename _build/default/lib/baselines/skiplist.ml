@@ -1,0 +1,218 @@
+(** Lock-free skiplist substrate for the two skiplist-based baselines
+    (Lindén & Jonsson and the SprayList).
+
+    Harris-style pointer marking is emulated with a dedicated link
+    constructor: a node is {e physically} deleted by CASing its next
+    pointers from [Node s] to [Mark s] (or [Null] to [Mark_null]); any
+    insertion CAS on a marked pointer fails because the constructors
+    differ, which is exactly the property hardware pointer-tagging buys in
+    C.  {e Logical} priority-queue deletion is a separate test-and-set
+    [taken] flag so that delete-min costs a single uncontended-in-the-
+    common-case CAS (Lindén & Jonsson's central idea), with physical
+    unlinking batched and performed by [search] (which heals marked nodes
+    as it traverses, à la Harris). *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Xoshiro = Klsm_primitives.Xoshiro
+
+  let max_height = 24
+
+  type 'v node = {
+    key : int;
+    value : 'v;
+    height : int;
+    taken : bool B.atomic;
+    next : 'v link B.atomic array;  (** length [height]; slot 0 = bottom *)
+  }
+
+  and 'v link =
+    | Null
+    | Node of 'v node
+    | Mark of 'v node  (** owner physically deleted; successor retained *)
+    | Mark_null
+
+  type 'v t = {
+    head : 'v node;  (** sentinel, full height, never deleted *)
+    level_p : float;  (** tower-height geometric parameter *)
+  }
+
+  let create ?(level_p = 0.5) ~dummy () =
+    let head =
+      {
+        key = min_int;
+        value = dummy;
+        height = max_height;
+        taken = B.make true;
+        next = Array.init max_height (fun _ -> B.make Null);
+      }
+    in
+    { head; level_p }
+
+  let random_height t rng =
+    1 + min (max_height - 1) (Xoshiro.geometric rng ~p:t.level_p)
+
+  let node_key n = n.key
+  let node_value n = n.value
+  let is_taken n = B.get n.taken
+  let try_take n = (not (B.get n.taken)) && B.compare_and_set n.taken false true
+
+  (* Strip a mark: the successor a marked link still points to. *)
+  let strip = function
+    | Mark s -> Node s
+    | Mark_null -> Null
+    | (Null | Node _) as l -> l
+
+  let is_marked = function Mark _ | Mark_null -> true | Null | Node _ -> false
+
+  (** Physically condemn [n]: mark every level's next pointer, top down.
+      Idempotent and helps concurrent markers. *)
+  let mark_node n =
+    for level = n.height - 1 downto 0 do
+      let continue_mark = ref true in
+      while !continue_mark do
+        match B.get n.next.(level) with
+        | Mark _ | Mark_null -> continue_mark := false
+        | Node s as cur ->
+            if B.compare_and_set n.next.(level) cur (Mark s) then
+              continue_mark := false
+        | Null as cur ->
+            if B.compare_and_set n.next.(level) cur Mark_null then
+              continue_mark := false
+      done
+    done
+
+  exception Retry
+
+  (** Harris search: predecessors and successors of [key] at every level,
+      unlinking marked nodes on the way.  [succs.(l)] is the first link at
+      level [l] whose key is [>= key] (or [Null]). *)
+  let search t key =
+    let preds = Array.make max_height t.head in
+    let succs = Array.make max_height (Null : _ link) in
+    let rec attempt () =
+      match
+        let pred = ref t.head in
+        for level = max_height - 1 downto 0 do
+          let continue_level = ref true in
+          let curr = ref (B.get (!pred).next.(level)) in
+          while !continue_level do
+            match !curr with
+            | Null -> continue_level := false
+            | Mark _ | Mark_null ->
+                (* Our predecessor got deleted under us: restart. *)
+                raise_notrace Retry
+            | Node n -> (
+                let n_next = B.get n.next.(level) in
+                if is_marked n_next then begin
+                  (* [n] is physically deleted: unlink it at this level.
+                     The expected value must be the link we actually read
+                     ([!curr]) — CAS is physical equality. *)
+                  let unlinked = strip n_next in
+                  if
+                    not (B.compare_and_set (!pred).next.(level) !curr unlinked)
+                  then raise_notrace Retry;
+                  curr := unlinked
+                end
+                else if n.key < key then begin
+                  (* Pointer-chasing hop: dependent load, poor locality —
+                     the cache-inefficiency of skiplists the paper contrasts
+                     with the LSM's arrays (§6.1). *)
+                  B.tick 20;
+                  pred := n;
+                  curr := n_next
+                end
+                else continue_level := false)
+          done;
+          preds.(level) <- !pred;
+          succs.(level) <- !curr
+        done
+      with
+      | () -> (preds, succs)
+      | exception Retry -> attempt ()
+    in
+    attempt ()
+
+  (** Lock-free insert of a fresh node; duplicates allowed (a new node with
+      an existing key lands before its equals).  Returns the node so that
+      priority-queue wrappers can keep a reference. *)
+  let insert t ~rng key value =
+    let height = random_height t rng in
+    let node =
+      {
+        key;
+        value;
+        height;
+        taken = B.make false;
+        next = Array.init height (fun _ -> B.make Null);
+      }
+    in
+    (* Link the bottom level; this is the linearization point. *)
+    let rec link_bottom () =
+      let preds, succs = search t key in
+      B.set node.next.(0) succs.(0);
+      if B.compare_and_set preds.(0).next.(0) succs.(0) (Node node) then
+        (preds, succs)
+      else link_bottom ()
+    in
+    let preds, succs = link_bottom () in
+    (* Best-effort upper-level linking (standard Fraser/Herlihy scheme). *)
+    let preds = ref preds and succs = ref succs in
+    (try
+       for level = 1 to height - 1 do
+         let rec link_level () =
+           if (!succs).(level) == Node node then ()  (* already linked here *)
+           else begin
+             match B.get node.next.(level) with
+             | Mark _ | Mark_null ->
+                 (* Node was deleted while we were linking: stop. *)
+                 raise_notrace Exit
+             | cur ->
+                 if not (B.compare_and_set node.next.(level) cur (!succs).(level))
+                 then link_level ()
+                 else if
+                   B.compare_and_set (!preds).(level).next.(level) (!succs).(level)
+                     (Node node)
+                 then ()
+                 else begin
+                   let p, s = search t key in
+                   preds := p;
+                   succs := s;
+                   link_level ()
+                 end
+           end
+         in
+         link_level ()
+       done
+     with Exit -> ());
+    node
+
+  (** First link of the bottom level. *)
+  let bottom_head t = B.get t.head.next.(0)
+
+  (** Follow a bottom-level link to the next node, stripping marks. *)
+  let follow link =
+    match strip link with
+    | Node n -> Some n
+    | Null -> None
+    | Mark _ | Mark_null -> None
+
+  let next_bottom n = B.get n.next.(0)
+
+  (** Count nodes (including logically deleted ones); O(n), tests only. *)
+  let length t =
+    let rec go acc link =
+      match follow link with None -> acc | Some n -> go (acc + 1) (next_bottom n)
+    in
+    go 0 (bottom_head t)
+
+  (** Ascending key list of alive nodes; tests only. *)
+  let to_alive_list t =
+    let rec go acc link =
+      match follow link with
+      | None -> List.rev acc
+      | Some n ->
+          let acc = if is_taken n then acc else (n.key, n.value) :: acc in
+          go acc (next_bottom n)
+    in
+    go [] (bottom_head t)
+end

@@ -1,0 +1,46 @@
+(** Test-and-test-and-set spinlock with truncated exponential backoff.
+
+    Used by the "Heap + Lock" baseline of Figure 3, by the Multi-Queues and
+    by the Wimmer et al. reimplementations — all the lock-based comparison
+    points of the paper.  The TTAS read loop keeps the lock word in shared
+    state while waiting, so under the simulator's coherence model waiting
+    threads spin on cache hits and only pay a miss when the holder
+    releases — the textbook behaviour the throughput figure depends on. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Backoff = Klsm_primitives.Backoff
+
+  type t = bool B.atomic
+
+  let create () : t = B.make false
+
+  (** Single attempt; [true] iff the lock was acquired. *)
+  let try_acquire t = (not (B.get t)) && B.compare_and_set t false true
+
+  (** Blocking acquire (spin). *)
+  let acquire t =
+    let backoff = Backoff.create () in
+    let rec loop () =
+      if not (try_acquire t) then begin
+        (* Test-and-test-and-set: spin on plain reads until free. *)
+        while B.get t do
+          Backoff.once backoff ~relax:B.relax_n
+        done;
+        loop ()
+      end
+    in
+    loop ()
+
+  let release t = B.set t false
+
+  (** Run [f] under the lock. *)
+  let with_lock t f =
+    acquire t;
+    match f () with
+    | v ->
+        release t;
+        v
+    | exception e ->
+        release t;
+        raise e
+end

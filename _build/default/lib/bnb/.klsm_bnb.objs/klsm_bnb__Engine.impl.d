@@ -1,0 +1,1 @@
+lib/bnb/engine.ml: Array Klsm_backend Klsm_core Klsm_primitives List

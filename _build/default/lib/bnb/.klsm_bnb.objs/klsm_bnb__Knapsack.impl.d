@@ -1,0 +1,1 @@
+lib/bnb/knapsack.ml: Array Engine Klsm_primitives

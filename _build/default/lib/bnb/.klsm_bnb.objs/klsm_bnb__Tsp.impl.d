@@ -1,0 +1,1 @@
+lib/bnb/tsp.ml: Array Engine Float Klsm_primitives

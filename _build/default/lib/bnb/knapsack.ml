@@ -1,0 +1,114 @@
+(** 0/1 knapsack as a branch-and-bound {!Engine.PROBLEM}.
+
+    Maximization negated into the engine's minimization: with
+    [total = sum of all profits], a node whose optimistic achievable profit
+    is [p_max] gets bound [total - p_max]; a completed selection of profit
+    [p] has value [total - p].  Minimizing that value maximizes profit.
+
+    The optimistic profit bound is the classic fractional (Dantzig)
+    relaxation over items sorted by density, which is admissible. *)
+
+type item = { weight : int; profit : int }
+
+type instance = {
+  items : item array;  (** sorted by profit/weight density, descending *)
+  capacity : int;
+  total_profit : int;
+}
+
+(** Build an instance (sorts a copy of the items by density). *)
+let instance ~items ~capacity =
+  Array.iter
+    (fun it ->
+      if it.weight <= 0 || it.profit < 0 then
+        invalid_arg "Knapsack.instance: weights > 0, profits >= 0")
+    items;
+  if capacity < 0 then invalid_arg "Knapsack.instance: capacity >= 0";
+  let sorted = Array.copy items in
+  Array.sort
+    (fun (a : item) (b : item) ->
+      compare (b.profit * a.weight) (a.profit * b.weight))
+    sorted;
+  {
+    items = sorted;
+    capacity;
+    total_profit = Array.fold_left (fun s it -> s + it.profit) 0 items;
+  }
+
+(** Deterministic random instance for tests and benchmarks. *)
+let random ~seed ~n ?(max_weight = 60) ?(max_profit = 100) () =
+  let rng = Klsm_primitives.Xoshiro.create ~seed in
+  let items =
+    Array.init n (fun _ ->
+        {
+          weight = Klsm_primitives.Xoshiro.int_in rng ~lo:1 ~hi:max_weight;
+          profit = Klsm_primitives.Xoshiro.int_in rng ~lo:0 ~hi:max_profit;
+        })
+  in
+  let total_weight = Array.fold_left (fun s it -> s + it.weight) 0 items in
+  instance ~items ~capacity:(3 * total_weight / 10)
+
+(** Exact optimum by dynamic programming over capacity — the oracle. *)
+let dp_optimum inst =
+  let dp = Array.make (inst.capacity + 1) 0 in
+  Array.iter
+    (fun it ->
+      for c = inst.capacity downto it.weight do
+        dp.(c) <- max dp.(c) (dp.(c - it.weight) + it.profit)
+      done)
+    inst.items;
+  dp.(inst.capacity)
+
+(* Fractional-relaxation profit bound for items [idx..), given remaining
+   capacity and profit collected so far. *)
+let profit_bound inst idx capacity profit =
+  let n = Array.length inst.items in
+  let rec go i cap acc =
+    if i >= n || cap = 0 then acc
+    else begin
+      let it = inst.items.(i) in
+      if it.weight <= cap then go (i + 1) (cap - it.weight) (acc + it.profit)
+      else acc + (it.profit * cap / it.weight)
+    end
+  in
+  go idx capacity profit
+
+(** The {!Engine.PROBLEM} for an instance. *)
+let problem inst =
+  let module P = struct
+    (* Field names avoid clashing with [instance]'s fields so that record
+       disambiguation stays principled. *)
+    type node = { idx : int; cap_left : int; acc_profit : int }
+
+    let root = { idx = 0; cap_left = inst.capacity; acc_profit = 0 }
+
+    let bound node =
+      inst.total_profit
+      - profit_bound inst node.idx node.cap_left node.acc_profit
+
+    let leaf_value node =
+      if node.idx >= Array.length inst.items then
+        Some (inst.total_profit - node.acc_profit)
+      else None
+
+    let branch node =
+      if node.idx >= Array.length inst.items then []
+      else begin
+        let it = inst.items.(node.idx) in
+        let skip = { node with idx = node.idx + 1 } in
+        if it.weight <= node.cap_left then
+          [
+            {
+              idx = node.idx + 1;
+              cap_left = node.cap_left - it.weight;
+              acc_profit = node.acc_profit + it.profit;
+            };
+            skip;
+          ]
+        else [ skip ]
+      end
+  end in
+  (module P : Engine.PROBLEM)
+
+(** Convert the engine's minimized value back to a profit. *)
+let profit_of_best inst best = inst.total_profit - best

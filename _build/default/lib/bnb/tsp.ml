@@ -1,0 +1,117 @@
+(** Symmetric travelling salesman as a branch-and-bound {!Engine.PROBLEM},
+    plus a Held-Karp dynamic program as the exact oracle (usable up to
+    ~16 cities).
+
+    Nodes are partial tours starting at city 0; the admissible lower bound
+    is the tour cost so far plus, for the current city and every unvisited
+    city, the cheapest edge leaving it towards the remaining tour — a
+    standard (weak but cheap) TSP bound. *)
+
+type instance = { n : int; dist : int array array }
+
+(** Random symmetric euclidean-ish instance, deterministic from the seed. *)
+let random ~seed ~n ?(coord_range = 1000) () =
+  if n < 2 then invalid_arg "Tsp.random: n >= 2";
+  let rng = Klsm_primitives.Xoshiro.create ~seed in
+  let xs = Array.init n (fun _ -> Klsm_primitives.Xoshiro.int rng coord_range) in
+  let ys = Array.init n (fun _ -> Klsm_primitives.Xoshiro.int rng coord_range) in
+  let dist =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            let dx = float_of_int (xs.(i) - xs.(j)) in
+            let dy = float_of_int (ys.(i) - ys.(j)) in
+            int_of_float (Float.round (sqrt ((dx *. dx) +. (dy *. dy))))))
+  in
+  { n; dist }
+
+(** Exact optimum by Held-Karp (O(n^2 2^n)); oracle for the tests. *)
+let held_karp inst =
+  let n = inst.n in
+  if n > 20 then invalid_arg "Tsp.held_karp: too large";
+  let full = (1 lsl (n - 1)) - 1 in
+  (* dp.(mask).(j): cheapest path 0 -> ... -> (j+1) visiting exactly the
+     cities of [mask] (over cities 1..n-1), ending at city j+1. *)
+  let dp = Array.make_matrix (full + 1) (n - 1) max_int in
+  for j = 0 to n - 2 do
+    dp.(1 lsl j).(j) <- inst.dist.(0).(j + 1)
+  done;
+  for mask = 1 to full do
+    for j = 0 to n - 2 do
+      if mask land (1 lsl j) <> 0 && dp.(mask).(j) < max_int then begin
+        let base = dp.(mask).(j) in
+        for j2 = 0 to n - 2 do
+          if mask land (1 lsl j2) = 0 then begin
+            let mask2 = mask lor (1 lsl j2) in
+            let cand = base + inst.dist.(j + 1).(j2 + 1) in
+            if cand < dp.(mask2).(j2) then dp.(mask2).(j2) <- cand
+          end
+        done
+      end
+    done
+  done;
+  let best = ref max_int in
+  for j = 0 to n - 2 do
+    if dp.(full).(j) < max_int then
+      best := min !best (dp.(full).(j) + inst.dist.(j + 1).(0))
+  done;
+  !best
+
+(* Cheapest edge from [city] to any city allowed by [allowed_mask] (bit i =
+   city i allowed). *)
+let min_edge inst city allowed_mask =
+  let best = ref max_int in
+  for j = 0 to inst.n - 1 do
+    if j <> city && allowed_mask land (1 lsl j) <> 0 then
+      best := min !best inst.dist.(city).(j)
+  done;
+  !best
+
+(** The {!Engine.PROBLEM}.  Instance size is capped at 62 cities by the
+    visited bitmask (far beyond exact-solvable sizes anyway). *)
+let problem inst =
+  if inst.n > 62 then invalid_arg "Tsp.problem: n <= 62";
+  let module P = struct
+    type node = { city : int; visited : int; cost : int; count : int }
+
+    let root = { city = 0; visited = 1; cost = 0; count = 1 }
+
+    let all_mask = (1 lsl inst.n) - 1
+
+    let bound node =
+      if node.count = inst.n then node.cost + inst.dist.(node.city).(0)
+      else begin
+        let unvisited = all_mask land lnot node.visited in
+        (* Out-edge lower bound: current city must leave into the unvisited
+           set; every unvisited city must be left towards the rest (or back
+           to 0). *)
+        let acc = ref (node.cost + min_edge inst node.city unvisited) in
+        for j = 0 to inst.n - 1 do
+          if node.visited land (1 lsl j) = 0 then
+            acc := !acc + min_edge inst j ((unvisited lor 1) land lnot (1 lsl j))
+        done;
+        !acc
+      end
+
+    let leaf_value node =
+      if node.count = inst.n then Some (node.cost + inst.dist.(node.city).(0))
+      else None
+
+    let branch node =
+      if node.count = inst.n then []
+      else begin
+        let children = ref [] in
+        for j = inst.n - 1 downto 1 do
+          if node.visited land (1 lsl j) = 0 then
+            children :=
+              {
+                city = j;
+                visited = node.visited lor (1 lsl j);
+                cost = node.cost + inst.dist.(node.city).(j);
+                count = node.count + 1;
+              }
+              :: !children
+        done;
+        !children
+      end
+  end in
+  (module P : Engine.PROBLEM)

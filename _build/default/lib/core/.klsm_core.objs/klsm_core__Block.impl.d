@@ -1,0 +1,1 @@
+lib/core/block.ml: Array Item Klsm_backend Klsm_primitives List

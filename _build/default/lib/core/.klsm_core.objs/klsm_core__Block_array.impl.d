@@ -1,0 +1,1 @@
+lib/core/block_array.ml: Array Block Item Klsm_backend Klsm_primitives List

@@ -1,0 +1,1 @@
+lib/core/dist_lsm.ml: Array Block Item Klsm_backend Klsm_primitives List

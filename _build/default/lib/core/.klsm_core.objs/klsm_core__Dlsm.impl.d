@@ -1,0 +1,1 @@
+lib/core/dlsm.ml: Array Dist_lsm Item Klsm_backend Klsm_primitives Pq_intf

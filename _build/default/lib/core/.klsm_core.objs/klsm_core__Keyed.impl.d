@@ -1,0 +1,1 @@
+lib/core/keyed.ml: Klsm Klsm_backend

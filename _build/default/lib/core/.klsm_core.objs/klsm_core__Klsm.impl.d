@@ -1,0 +1,1 @@
+lib/core/klsm.ml: Array Block Block_array Dist_lsm Item Klsm_backend Klsm_primitives List Option Pq_intf Shared_klsm

@@ -1,0 +1,1 @@
+lib/core/shared_klsm.ml: Array Block Block_array Item Klsm_backend Klsm_primitives Option

@@ -1,0 +1,192 @@
+(** Blocks: sorted arrays of item pointers (paper §3 and Listing 1).
+
+    A block of level [l] physically holds [2^l] slots and logically holds
+    [filled <= 2^l] items sorted in {e decreasing} key order, so the minimal
+    key sits at index [filled - 1] and is readable in O(1).  Blocks are
+    written only by the thread that creates them and become immutable upon
+    publication, with the single exception of [filled], which [shrink] may
+    decrement; that race is benign (a stale, larger [filled] merely makes a
+    reader inspect items that are already logically deleted — see §4.1).
+
+    Every mutating operation filters out items that are no longer [alive]
+    (logically deleted, or condemned by the application's lazy-deletion
+    predicate of §4.5).
+
+    The [filter] is the Bloom filter of contributing thread ids used for
+    local ordering semantics (§4.1); it is only ever updated before a block
+    is published, so it needs no synchronization. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Item.Make (B)
+  module Bloom = Klsm_primitives.Bloom
+
+  type 'v t = {
+    level : int;
+    items : 'v Item.t array;  (** capacity [2^level]; descending keys *)
+    filled : int B.atomic;
+    mutable filter : Bloom.t;
+  }
+
+  let capacity_of_level level = 1 lsl level
+
+  let level t = t.level
+  let filled t = B.get t.filled
+  let capacity t = Array.length t.items
+  let filter t = t.filter
+  let is_empty t = filled t = 0
+
+  (** [singleton ~filter item] is the level-0 block of one item. *)
+  let singleton ~filter item =
+    { level = 0; items = [| item |]; filled = B.make 1; filter }
+
+  (* Blocks are always created from at least one source item, which doubles
+     as the array filler for the unfilled tail (never read: readers stop at
+     [filled]). *)
+  let create_with_exemplar level exemplar =
+    {
+      level;
+      items = Array.make (capacity_of_level level) exemplar;
+      filled = B.make 0;
+      filter = Bloom.empty;
+    }
+
+  (** Minimal key of the block in O(1): the last logically-held item.
+      May be a deleted item; callers handle that (find-min falls back and
+      retries after consolidation). *)
+  let last_item t =
+    let f = filled t in
+    if f = 0 then None else Some t.items.(f - 1)
+
+  (** First alive item scanning from the minimum upward; [None] if the whole
+      block is dead.  Opportunistically publishes the shortened [filled] so
+      the dead tail is skipped only once — the same benign race as
+      [shrink]: concurrent writes only ever shrink past items that are
+      already dead, and a stale larger value merely re-exposes dead items
+      (paper §4.1). *)
+  let peek_min ~alive t =
+    let f = filled t in
+    let rec scan i =
+      if i < 0 then begin
+        if f > 0 then B.set t.filled 0;
+        None
+      end
+      else begin
+        B.tick 1;
+        let it = t.items.(i) in
+        if alive it then begin
+          if i < f - 1 then B.set t.filled (i + 1);
+          Some it
+        end
+        else scan (i - 1)
+      end
+    in
+    scan (f - 1)
+
+  (** Count of alive items; O(filled), for tests and spill decisions. *)
+  let count_alive ~alive t =
+    let n = ref 0 in
+    for i = 0 to filled t - 1 do
+      if alive t.items.(i) then incr n
+    done;
+    !n
+
+  let iter ~f t =
+    for i = 0 to filled t - 1 do
+      f t.items.(i)
+    done
+
+  let to_list t =
+    let acc = ref [] in
+    for i = 0 to filled t - 1 do
+      acc := t.items.(i) :: !acc
+    done;
+    List.rev !acc
+
+  (* Append to a block under construction (private to the caller). *)
+  let append ~alive t item =
+    if alive item then begin
+      let f = B.get t.filled in
+      t.items.(f) <- item;
+      B.set t.filled (f + 1)
+    end
+
+  (** [copy ~alive t lvl] copies the alive items of [t] into a fresh block
+      of level [lvl] (capacity must suffice, which callers guarantee since
+      filtering only shrinks). *)
+  let copy ~alive t lvl =
+    let f = filled t in
+    let nb = create_with_exemplar lvl t.items.(if f = 0 then 0 else f - 1) in
+    nb.filter <- t.filter;
+    for i = 0 to f - 1 do
+      append ~alive nb t.items.(i)
+    done;
+    B.tick f;
+    nb
+
+  (** Two-way merge of [b1] and [b2] into a fresh block whose level always
+      has room for both inputs; alive filtering happens on the way.  The
+      Bloom filters are united — the only point where filters change. *)
+  let merge ~alive b1 b2 =
+    let f1 = filled b1 and f2 = filled b2 in
+    let lvl = 1 + max b1.level b2.level in
+    let exemplar =
+      if f1 > 0 then b1.items.(0)
+      else if f2 > 0 then b2.items.(0)
+      else invalid_arg "Block.merge: both blocks empty"
+    in
+    let nb = create_with_exemplar lvl exemplar in
+    nb.filter <- Bloom.union b1.filter b2.filter;
+    (* Inputs are descending; emit descending. *)
+    let i = ref 0 and j = ref 0 in
+    while !i < f1 && !j < f2 do
+      let x = b1.items.(!i) and y = b2.items.(!j) in
+      if Item.key x >= Item.key y then begin
+        append ~alive nb x;
+        incr i
+      end
+      else begin
+        append ~alive nb y;
+        incr j
+      end
+    done;
+    while !i < f1 do
+      append ~alive nb b1.items.(!i);
+      incr i
+    done;
+    while !j < f2 do
+      append ~alive nb b2.items.(!j);
+      incr j
+    done;
+    B.tick (f1 + f2);
+    nb
+
+  (** Listing 1's [shrink]: drop the dead tail, and if the block now fits a
+      strictly smaller level, copy it down (recursively, because the copy
+      filters dead items out of the middle too). *)
+  let rec shrink ~alive t =
+    let f = ref (filled t) in
+    while !f > 0 && not (alive t.items.(!f - 1)) do
+      B.tick 1;
+      decr f
+    done;
+    let l = ref t.level in
+    while !l > 0 && !f <= capacity_of_level (!l - 1) do
+      decr l
+    done;
+    if !l < t.level then shrink ~alive (copy ~alive t !l)
+    else begin
+      (* Benign racy write: only ever decreases towards the true value. *)
+      if !f < B.get t.filled then B.set t.filled !f;
+      t
+    end
+
+  (** Validate the block invariants (tests only): descending keys, filled
+      within capacity. *)
+  let check_invariants t =
+    let f = filled t in
+    if f < 0 || f > capacity t then failwith "Block: filled out of range";
+    for i = 0 to f - 2 do
+      if Item.key t.items.(i) < Item.key t.items.(i + 1) then
+        failwith "Block: keys not descending"
+    done
+end

@@ -1,0 +1,229 @@
+(** The shared k-LSM's block array (paper §4.1 and Listing 2).
+
+    A [t] is published to all threads through a single atomic pointer in
+    {!Shared_klsm}; once published it is never mutated (copy-on-write), with
+    the benign exception of the [filled] counters inside blocks.  All
+    mutating methods ([insert], [consolidate], [calculate_pivots]) may only
+    be called on a private snapshot.
+
+    [pivots.(i)] is the index inside block [i] of the first key less than or
+    equal to the pivot key — the pivot key being chosen so that the union of
+    all pivot ranges contains at most [k + 1] items, all guaranteed to be
+    among the [k + 1] smallest keys of the array.  [find_min] picks one of
+    them uniformly at random (Listing 2) and additionally honours local
+    ordering semantics through the per-block Bloom filters. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Item.Make (B)
+  module Block = Block.Make (B)
+  module Bloom = Klsm_primitives.Bloom
+  module Xoshiro = Klsm_primitives.Xoshiro
+
+  type 'v t = {
+    mutable blocks : 'v Block.t array;  (** dense, strictly decreasing levels *)
+    mutable pivots : int array;  (** same length as [blocks] *)
+  }
+
+  let empty () = { blocks = [||]; pivots = [||] }
+  let size t = Array.length t.blocks
+  let is_empty t = Array.length t.blocks = 0
+  let blocks t = t.blocks
+
+  (** Total number of logically-held items (counts items not yet cleaned
+      out; the public [size] of the queue is allowed to be off by rho). *)
+  let total_filled t =
+    Array.fold_left (fun acc b -> acc + Block.filled b) 0 t.blocks
+
+  (** Shallow copy: the snapshot shares the (immutable) blocks. *)
+  let copy t = { blocks = Array.copy t.blocks; pivots = Array.copy t.pivots }
+
+  (* Rebuild [t.blocks] from an arbitrary list of blocks, re-establishing
+     strictly decreasing levels by merging collisions (exactly the
+     sequential LSM discipline of §3) and dropping empty blocks.  Shared
+     entry point of insert/consolidate.  Returns true if any merge
+     happened. *)
+  let normalize ~alive t block_list =
+    let merged = ref false in
+    (* Feed largest level first; the stack (head = smallest level so far)
+       then carries strictly decreasing levels bottom-to-top.  An incoming
+       block at least as large as the top merges with it, and the merged
+       block (one level up) re-checks against the new top. *)
+    let ordered =
+      List.stable_sort
+        (fun a b -> compare (Block.level b) (Block.level a))
+        block_list
+    in
+    let rec go stack b =
+      (* A merge can shrink to nothing when every input item was dead. *)
+      if Block.is_empty b then stack
+      else
+        match stack with
+        | top :: rest when Block.level top <= Block.level b ->
+            merged := true;
+            go rest (Block.shrink ~alive (Block.merge ~alive top b))
+        | _ -> b :: stack
+    in
+    let push stack b = go stack (Block.shrink ~alive b) in
+    let stack = List.fold_left push [] ordered in
+    (* [stack] is smallest-first; the array wants largest-first. *)
+    let arr = Array.of_list (List.rev stack) in
+    t.blocks <- arr;
+    t.pivots <- Array.make (Array.length arr) 0;
+    !merged
+
+  let block_list t = Array.to_list t.blocks
+
+  (** Insert a block, merging as needed to keep levels strictly
+      decreasing. *)
+  let insert ~alive t block = ignore (normalize ~alive t (block :: block_list t))
+
+  (** Shrink every block and re-establish the level invariant; [true] iff a
+      merge occurred (Listing 2's return value, used to decide whether the
+      snapshot must be pushed). *)
+  let consolidate ~alive t =
+    let before = size t in
+    let merged = normalize ~alive t (block_list t) in
+    merged || size t <> before
+
+  (** Recompute [pivots] so the candidate ranges hold the (at most) [k + 1]
+      smallest keys: a bounded multiway merge pops the globally smallest
+      remaining key [k + 1] times.  O((k+1) * size) with the tiny linear
+      "heap" below — [size] is logarithmic, and the call is amortized over
+      the ~k items of the batched insert that triggered it. *)
+  let calculate_pivots t ~k =
+    let n = size t in
+    let pivots = Array.make n 0 in
+    (* cursor.(i): next candidate index in block i, moving upward from the
+       minimum (filled - 1) towards 0. *)
+    let cursor = Array.init n (fun i -> Block.filled t.blocks.(i) - 1) in
+    for i = 0 to n - 1 do
+      pivots.(i) <- Block.filled t.blocks.(i)
+    done;
+    let remaining = ref (k + 1) in
+    let exhausted = ref false in
+    while !remaining > 0 && not !exhausted do
+      (* Find the block holding the smallest not-yet-selected key. *)
+      let best = ref (-1) in
+      let best_key = ref max_int in
+      for i = 0 to n - 1 do
+        if cursor.(i) >= 0 then begin
+          let key = Item.key t.blocks.(i).Block.items.(cursor.(i)) in
+          if !best = -1 || key < !best_key then begin
+            best := i;
+            best_key := key
+          end
+        end
+      done;
+      B.tick n;
+      if !best = -1 then exhausted := true
+      else begin
+        pivots.(!best) <- cursor.(!best);
+        cursor.(!best) <- cursor.(!best) - 1;
+        decr remaining
+      end
+    done;
+    t.pivots <- pivots
+
+  (** Listing 2's [find_min]: select uniformly at random among the candidate
+      ranges; on a deleted candidate fall back to the minimal item of the
+      same block.  [my_tid]/[hasher] implement local ordering semantics: the
+      minimum of every block whose Bloom filter may contain the calling
+      thread competes with the random choice (§4.1).  Returns a (possibly
+      already deleted) item, or [None] if the array holds no items at all —
+      exactly the contract {!Shared_klsm.find_min} builds its retry loop
+      on. *)
+  let find_min ?(local_ordering = true) ~alive ~rng ~my_tid ~hasher t =
+    let n = size t in
+    if n = 0 then None
+    else begin
+      (* How many candidates can we choose from? *)
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        let range = Block.filled t.blocks.(i) - t.pivots.(i) in
+        if range > 0 then total := !total + range
+      done;
+      (* Minimal block-tail item across all blocks; the safety net used
+         whenever the pivot ranges are stale (concurrent shrinks can empty
+         them under us).  May return a logically deleted item — callers
+         consolidate and retry — but returns [None] only when every block
+         is structurally empty (filled = 0 everywhere), which implies every
+         item was dead, because [filled] is only ever decremented past dead
+         items. *)
+      let block_minima_fallback () =
+        let best = ref None in
+        for i = 0 to n - 1 do
+          match Block.last_item t.blocks.(i) with
+          | None -> ()
+          | Some it -> (
+              match !best with
+              | Some b when Item.key b <= Item.key it -> ()
+              | _ -> best := Some it)
+        done;
+        !best
+      in
+      let random_choice =
+        if !total <= 0 then block_minima_fallback ()
+        else begin
+          let r = ref (Xoshiro.int rng !total) in
+          let chosen = ref None in
+          let i = ref 0 in
+          while !chosen = None && !i < n do
+            let b = t.blocks.(!i) in
+            let filled = Block.filled b in
+            let range = filled - t.pivots.(!i) in
+            if range > 0 && !r < range then begin
+              let item =
+                if !r <> range - 1 then begin
+                  let it = b.Block.items.(t.pivots.(!i) + !r) in
+                  if alive it then it
+                  else
+                    (* Fall back to the minimal element in this block. *)
+                    b.Block.items.(filled - 1)
+                end
+                else b.Block.items.(filled - 1)
+              in
+              chosen := Some item
+            end
+            else begin
+              if range > 0 then r := !r - range;
+              incr i
+            end
+          done;
+          (* The ranges observed by the selection loop may have shrunk
+             since [total] was computed (concurrent deleters advance
+             [filled]); a fruitless walk is NOT emptiness. *)
+          match !chosen with Some _ as c -> c | None -> block_minima_fallback ()
+        end
+      in
+      (* Local ordering: consider the minimum of every block that may hold
+         one of my own items. *)
+      let best = ref random_choice in
+      for i = 0 to n - 1 do
+        let b = t.blocks.(i) in
+        if local_ordering && Bloom.may_contain ~hasher (Block.filter b) my_tid
+        then begin
+          match Block.peek_min ~alive b with
+          | None -> ()
+          | Some it -> (
+              match !best with
+              | Some cur when Item.key cur <= Item.key it -> ()
+              | _ -> best := Some it)
+        end
+      done;
+      !best
+    end
+
+  (** Invariant checks for tests: strictly decreasing levels, per-block
+      invariants, pivot ranges within bounds. *)
+  let check_invariants t =
+    let n = size t in
+    if Array.length t.pivots <> n then failwith "Block_array: pivots length";
+    for i = 0 to n - 1 do
+      Block.check_invariants t.blocks.(i);
+      if Block.is_empty t.blocks.(i) then failwith "Block_array: empty block";
+      if i > 0 && Block.level t.blocks.(i - 1) <= Block.level t.blocks.(i)
+      then failwith "Block_array: levels not strictly decreasing";
+      if t.pivots.(i) < 0 || t.pivots.(i) > Block.filled t.blocks.(i) then
+        failwith "Block_array: pivot out of range"
+    done
+end

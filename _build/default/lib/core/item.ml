@@ -1,0 +1,26 @@
+(** Items: a key, a payload, and the logical-deletion flag (paper §4,
+    "Shared components").
+
+    Keys are native ints (the paper benchmarks integer keys).  Many pointers
+    to the same [t] may coexist — blocks only ever hold pointers — and
+    deletion is an atomic test-and-set on [taken], after which every block
+    still referencing the item treats it as garbage to be filtered out on
+    the next copy or shrink. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  type 'v t = { key : int; value : 'v; taken : bool B.atomic }
+
+  (** [make key value] is a live item. *)
+  let make key value = { key; value; taken = B.make false }
+
+  let key it = it.key
+  let value it = it.value
+
+  (** Has the item been logically deleted? *)
+  let is_taken it = B.get it.taken
+
+  (** Attempt to logically delete; [true] iff this caller won the item.
+      This is the linearization point of a successful delete-min. *)
+  let take it =
+    (not (B.get it.taken)) && B.compare_and_set it.taken false true
+end

@@ -1,0 +1,104 @@
+(** Decrease-key on top of the k-LSM, productizing the paper's §4.5
+    workaround: "deleting a key and reinserting it with its new value",
+    driven by the lazy-deletion hook so stale entries evaporate during
+    block maintenance instead of requiring random deletion.
+
+    Each logical element carries its current priority in an atomic;
+    [decrease_key] CAS-lowers it and reinserts, which condemns every older
+    queue entry for the element (the queue's [should_delete] sees
+    [entry priority > current priority]).  [try_delete_min] claims the
+    element with a test-and-set so it is delivered exactly once per
+    {!activate}/claim cycle — exactly the protocol the parallel SSSP uses
+    with its distance array, generalized to arbitrary payloads. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Klsm = Klsm.Make (B)
+
+  type 'v element = {
+    value : 'v;
+    prio : int B.atomic;  (** current priority; [max_int] = not queued *)
+    claimed : bool B.atomic;  (** set when delivered by [try_delete_min] *)
+  }
+
+  type 'v t = {
+    q : 'v element Klsm.t;
+    consumed : int -> 'v element -> unit;
+  }
+
+  type 'v handle = { h : 'v element Klsm.handle; t : 'v t }
+
+  (** A fresh, unqueued element wrapping [value]. *)
+  let element value =
+    { value; prio = B.make max_int; claimed = B.make false }
+
+  let value el = el.value
+  let priority el = B.get el.prio
+  let is_claimed el = B.get el.claimed
+
+  (** [on_entry_consumed] fires once for every queue entry that is consumed
+      {e without} being delivered — lazily dropped during block maintenance
+      or skipped as stale inside {!try_delete_min}.  Together with one
+      "consumption" per delivered element, every successful {!insert} is
+      balanced, which lets applications (e.g. SSSP) run exact in-flight
+      counters for termination detection. *)
+  let create ?seed ?(k = 256) ?on_entry_consumed ~num_threads () =
+    let consumed =
+      match on_entry_consumed with Some f -> f | None -> fun _ _ -> ()
+    in
+    let q =
+      Klsm.create_with ?seed ~k
+        ~should_delete:(fun entry_prio el ->
+          (* An entry is stale once the element was re-prioritized below it
+             or already delivered. *)
+          B.get el.claimed || entry_prio > B.get el.prio)
+        ~on_lazy_delete:(fun entry_prio el -> consumed entry_prio el)
+        ~num_threads ()
+    in
+    { q; consumed }
+
+  let register t tid = { h = Klsm.register t.q tid; t }
+
+  (* CAS-min on the priority; true iff we lowered it. *)
+  let rec lower el prio =
+    let cur = B.get el.prio in
+    if prio >= cur then false
+    else if B.compare_and_set el.prio cur prio then true
+    else lower el prio
+
+  (** [insert h el prio] (re-)queues [el] at [prio] if that improves on its
+      current priority.  Returns [true] if the element was (re)inserted.
+      Re-inserting an already-claimed element is allowed: it un-claims and
+      queues it again (re-activation). *)
+  let insert handle el prio =
+    if prio < 0 then invalid_arg "Keyed.insert: negative priority";
+    B.set el.claimed false;
+    if lower el prio then begin
+      Klsm.insert handle.h prio el;
+      true
+    end
+    else false
+
+  (** Alias with the conventional name; equivalent to {!insert}. *)
+  let decrease_key = insert
+
+  (** Deliver the minimal-priority unclaimed element, claiming it.  Entries
+      whose priority is stale are skipped (and lazily dropped by the queue);
+      [None] may be spurious under concurrency, as for the plain k-LSM. *)
+  let rec try_delete_min handle =
+    match Klsm.try_delete_min handle.h with
+    | None -> None
+    | Some (entry_prio, el) ->
+        if
+          entry_prio = B.get el.prio
+          && (not (B.get el.claimed))
+          && B.compare_and_set el.claimed false true
+        then Some (el, entry_prio)
+        else begin
+          (* Stale entry (superseded or already claimed): account for its
+             consumption and keep looking. *)
+          handle.t.consumed entry_prio el;
+          try_delete_min handle
+        end
+end
+
+module Default = Make (Klsm_backend.Real)

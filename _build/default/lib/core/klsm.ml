@@ -1,0 +1,253 @@
+(** The k-LSM relaxed priority queue — the paper's headline data structure
+    (§4.3, Listing 5): one distributed LSM per thread for batching and
+    local work, plus a single shared k-LSM for global (relaxed) ordering,
+    plus a victim array for spying.
+
+    Guarantees (paper §5): [insert] and [try_delete_min] are lock-free and
+    linearizable with structural rho-relaxation, rho = T*k — a delete-min
+    never skips more than [T*k] keys — while items inserted and deleted by
+    the same thread obey exact priority-queue semantics (local ordering).
+
+    [k] is runtime-configurable through {!set_k}.  The optional
+    [should_delete] predicate implements §4.5's lazy deletion: condemned
+    items are filtered out whenever blocks are copied, merged or shrunk —
+    the mechanism the SSSP benchmark uses in place of decrease-key. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Item.Make (B)
+  module Block = Block.Make (B)
+  module Block_array = Block_array.Make (B)
+  module Shared_klsm = Shared_klsm.Make (B)
+  module Dist_lsm = Dist_lsm.Make (B)
+  module Xoshiro = Klsm_primitives.Xoshiro
+  module Tabular_hash = Klsm_primitives.Tabular_hash
+
+  let name = "k-lsm"
+
+  type 'v t = {
+    shared : 'v Shared_klsm.t;
+    dists : 'v Dist_lsm.t option B.atomic array;  (** victims, §4.3 *)
+    num_threads : int;
+    seed : int;
+    hasher : Tabular_hash.t;
+    alive : 'v Item.t -> bool;
+    spill_max_level : int option;
+        (** ablation override of the §4.3 spill threshold *)
+  }
+
+  type 'v handle = {
+    t : 'v t;
+    tid : int;
+    dist : 'v Dist_lsm.t;
+    shared_h : 'v Shared_klsm.handle;
+    rng : Xoshiro.t;
+  }
+
+  let create_with ?(seed = 1) ?(k = 256) ?should_delete ?on_lazy_delete
+      ?spill_max_level ?(local_ordering = true) ~num_threads () =
+    if num_threads < 1 then invalid_arg "Klsm.create: num_threads < 1";
+    let hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed) in
+    let alive =
+      match should_delete with
+      | None -> fun it -> not (Item.is_taken it)
+      | Some p ->
+          (* A condemned item is claimed through its [taken] flag before the
+             hook runs, so [on_lazy_delete] fires exactly once per item even
+             though liveness is re-checked on every copy/merge/peek (and the
+             item may appear in several blocks via spying). *)
+          let hook =
+            match on_lazy_delete with Some f -> f | None -> fun _ _ -> ()
+          in
+          fun it ->
+            if Item.is_taken it then false
+            else if p (Item.key it) (Item.value it) then begin
+              if Item.take it then hook (Item.key it) (Item.value it);
+              false
+            end
+            else true
+    in
+    {
+      shared = Shared_klsm.create ~k ~local_ordering ~hasher ~alive ();
+      dists = Array.init num_threads (fun _ -> B.make None);
+      num_threads;
+      seed;
+      hasher;
+      alive;
+      spill_max_level;
+    }
+
+  let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
+
+  let get_k t = Shared_klsm.get_k t.shared
+  let set_k t k = Shared_klsm.set_k t.shared k
+
+  let register t tid =
+    if tid < 0 || tid >= t.num_threads then invalid_arg "Klsm.register: tid";
+    let rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) in
+    let dist = Dist_lsm.create ~tid ~hasher:t.hasher ~alive:t.alive () in
+    B.set t.dists.(tid) (Some dist);
+    {
+      t;
+      tid;
+      dist;
+      shared_h = Shared_klsm.register t.shared ~tid ~rng:(Xoshiro.split rng);
+      rng;
+    }
+
+  (** Insert a key (§4.3): a fresh item goes into the thread-local LSM; if
+      the merge cascade produces a block too large to stay local (level
+      beyond [floor(log2 k) - 1]), that block is bulk-inserted into the
+      shared k-LSM — batching that makes shared updates ~k times rarer. *)
+  let insert h key value =
+    if key < 0 then invalid_arg "Klsm.insert: negative key";
+    let item = Item.make key value in
+    let max_level =
+      match h.t.spill_max_level with
+      | Some l -> l
+      | None -> Dist_lsm.max_level_for_k (Shared_klsm.get_k h.t.shared)
+    in
+    Dist_lsm.insert h.dist item ~max_level
+      ~spill:(fun block -> Shared_klsm.insert h.shared_h block)
+
+  (** Bulk insertion: a whole batch becomes one sorted block inserted into
+      the shared component with a single CAS — the LSM's natural strength
+      (§4.1 reduces shared updates by batching; this exposes the mechanism
+      to applications that produce keys in bursts, e.g. node expansions).
+      Linearizes once for the entire batch. *)
+  let insert_batch h pairs =
+    match Array.length pairs with
+    | 0 -> ()
+    | 1 ->
+        let key, value = pairs.(0) in
+        insert h key value
+    | n ->
+        Array.iter
+          (fun (key, _) ->
+            if key < 0 then invalid_arg "Klsm.insert_batch: negative key")
+          pairs;
+        let items =
+          Array.map (fun (key, value) -> Item.make key value) pairs
+        in
+        (* Blocks store keys in descending order. *)
+        Array.sort (fun a b -> compare (Item.key b) (Item.key a)) items;
+        let level = Klsm_primitives.Bits.ceil_log2 n in
+        let block = Block.create_with_exemplar level items.(0) in
+        block.Block.filter <-
+          Klsm_primitives.Bloom.singleton ~hasher:h.t.hasher h.tid;
+        Array.iter (fun it -> Block.append ~alive:h.t.alive block it) items;
+        Shared_klsm.insert h.shared_h block
+
+  (* Spy on one random other thread (Listing 5's fallback when both
+     components look empty). *)
+  let spy_once h =
+    if h.t.num_threads <= 1 then false
+    else begin
+      let victim_tid =
+        let r = Xoshiro.int h.rng (h.t.num_threads - 1) in
+        if r >= h.tid then r + 1 else r
+      in
+      match B.get h.t.dists.(victim_tid) with
+      | None -> false
+      | Some victim -> Dist_lsm.spy h.dist ~victim
+    end
+
+  (** Listing 5's [delete_min]: race the thread-local minimum against the
+      shared k-LSM's relaxed minimum, attempt the test-and-set, retry on
+      lost races, and spy on other threads' local LSMs before reporting
+      empty.  Lock-free: every retry implies another thread succeeded. *)
+  let try_delete_min h =
+    let rec outer () =
+      let rec take_loop () =
+        let local = Dist_lsm.find_min h.dist in
+        let candidate =
+          match local with
+          | None -> Shared_klsm.find_min h.shared_h
+          | Some it -> (
+              match Shared_klsm.find_min h.shared_h with
+              | Some sh when Item.key sh < Item.key it -> Some sh
+              | _ -> local)
+        in
+        match candidate with
+        | None -> None
+        | Some item ->
+            if Item.take item then Some (Item.key item, Item.value item)
+            else take_loop ()
+      in
+      match take_loop () with
+      | Some kv -> Some kv
+      | None ->
+          (* §4.2 requires spy to start from an empty local LSM; ours may
+             still hold logically deleted items, so clean it first. *)
+          Dist_lsm.consolidate h.dist;
+          if spy_once h then outer () else None
+    in
+    outer ()
+
+  (** Relaxed peek (the paper's try_find_min interface extension, §4):
+      returns a key/value among the rho+1 smallest without deleting it.
+      The item may be deleted concurrently right after (or even just
+      before) the return — peeking is inherently advisory on a concurrent
+      queue. *)
+  let try_find_min h =
+    let local = Dist_lsm.find_min h.dist in
+    let candidate =
+      match local with
+      | None -> Shared_klsm.find_min h.shared_h
+      | Some it -> (
+          match Shared_klsm.find_min h.shared_h with
+          | Some sh when Item.key sh < Item.key it -> Some sh
+          | _ -> local)
+    in
+    Option.map (fun it -> (Item.key it, Item.value it)) candidate
+
+  (** Meld (paper §4.5): move every item of [src] into the queue behind
+      [h], at block granularity — merging "lies at the heart of the LSM
+      idea".  As in the paper, this is NOT linearizable: the caller must
+      have exclusive access to [src] for the duration (concurrent
+      operations on the destination are fine).  Adopted blocks get the
+      conservative all-threads Bloom filter, since [src]'s filters were
+      built with a different hash function. *)
+  let meld h ~src =
+    let adopt block =
+      if not (Block.is_empty block) then begin
+        let b = Block.copy ~alive:h.t.alive block (Block.level block) in
+        b.Block.filter <- Klsm_primitives.Bloom.full;
+        let b = Block.shrink ~alive:h.t.alive b in
+        if not (Block.is_empty b) then Shared_klsm.insert h.shared_h b
+      end
+    in
+    List.iter adopt (Shared_klsm.steal_all src.shared);
+    Array.iter
+      (fun slot ->
+        match B.get slot with
+        | Some d -> List.iter adopt (Dist_lsm.steal_all d)
+        | None -> ())
+      src.dists
+
+  (** Force a cleanup of the thread-local component; exposed because the
+      lazy-deletion predicate can strand condemned items until the next
+      natural merge. *)
+  let consolidate_local h = Dist_lsm.consolidate h.dist
+
+  (** Number of items currently held (counting not-yet-cleaned deleted
+      items); the paper allows this to be off by rho. *)
+  let approximate_size t =
+    let acc = ref (Shared_klsm.approximate_size t.shared) in
+    Array.iter
+      (fun slot ->
+        match B.get slot with
+        | Some d -> acc := !acc + Dist_lsm.total_filled d
+        | None -> ())
+      t.dists;
+    !acc
+
+  (* Internal accessors for white-box tests. *)
+  let internal_shared t = t.shared
+  let internal_dist h = h.dist
+end
+
+(** The deployment instantiation on OCaml domains. *)
+module Default = Make (Klsm_backend.Real)
+
+(* Static conformance: the combined queue implements the common interface. *)
+module _ : Pq_intf.S = Default

@@ -1,0 +1,34 @@
+(** The common signature every concurrent priority queue in this repository
+    implements — the paper's external interface (§4): [insert] always
+    succeeds; [try_delete_min] returns a minimal key under the queue's
+    ordering semantics, may fail spuriously, and is guaranteed to
+    eventually return a key if one is present.
+
+    Queues are handle-based: a thread calls [register] once with its dense
+    thread id in [0, num_threads) and then operates through its handle
+    (thread-local state — snapshots, RNG streams, local LSMs — lives
+    there).  Handles are single-owner: do not share one across threads.
+    Keys are native ints; smaller keys have higher priority. *)
+
+module type S = sig
+  type 'v t
+  type 'v handle
+
+  val name : string
+
+  val create : ?seed:int -> num_threads:int -> unit -> 'v t
+  (** [create ~num_threads ()] builds a queue for up to [num_threads]
+      registered threads.  [seed] makes every internal random choice
+      reproducible. *)
+
+  val register : 'v t -> int -> 'v handle
+  (** [register t tid] claims thread slot [tid] (0-based, < num_threads). *)
+
+  val insert : 'v handle -> int -> 'v -> unit
+  (** [insert h key v] inserts; always succeeds.  [key >= 0]. *)
+
+  val try_delete_min : 'v handle -> (int * 'v) option
+  (** Delete and return a minimal key (under the queue's relaxation).
+      [None] when the queue looks empty — possibly spuriously; callers that
+      know the queue is non-empty simply retry. *)
+end

@@ -1,0 +1,38 @@
+(** The sequential log-structured merge-tree priority queue of paper §3 —
+    the foundation the concurrent k-LSM is derived from, usable standalone
+    as a cache-efficient sequential priority queue.
+
+    Structure: a logarithmic list of blocks (sorted arrays) with at most
+    one block per level, a level-[l] block holding [n] entries with
+    [2^(l-1) < n <= 2^l]; inserts merge equal levels upward, delete-min
+    pops a block tail and re-normalizes.  Amortized O(log n) per
+    operation.  Not thread-safe. *)
+
+type 'v block = {
+  level : int;
+  keys : int array;
+  values : 'v array;
+  mutable filled : int;
+}
+(** Exposed (read-only by convention) for white-box tests. *)
+
+type 'v t = { mutable blocks : 'v block list; mutable size : int }
+
+val create : unit -> 'v t
+
+val insert : 'v t -> int -> 'v -> unit
+(** Raises [Invalid_argument] on a negative key. *)
+
+val find_min : 'v t -> (int * 'v) option
+(** Minimal key without removal; O(#blocks) = O(log n). *)
+
+val delete_min : 'v t -> (int * 'v) option
+
+val size : 'v t -> int
+val is_empty : 'v t -> bool
+
+val drain : 'v t -> (int * 'v) list
+(** Empty the queue in ascending key order. *)
+
+val check_invariants : 'v t -> unit
+(** Assert the §3 structural invariants (tests). *)

@@ -1,0 +1,163 @@
+(** The shared k-LSM priority queue (paper §4.1 and Listing 3).
+
+    All threads share one atomic pointer [shared] to the current
+    {!Block_array}.  Every structural update builds a private copy (the
+    {e snapshot}) and installs it with a single compare-and-swap; a failed
+    CAS means some other thread made progress, which is what makes both
+    [insert] and the consolidations inside [find_min] lock-free (paper §5,
+    Lemmas 3-4).
+
+    Thread-local state ([observed]/[snapshot]) lives in the {!handle}
+    a thread obtains from [register].  With a garbage collector the CAS on
+    [shared] is ABA-free: a reachable snapshot can never be recycled into a
+    physically-equal new array (§4.4's GC remark). *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Item.Make (B)
+  module Block = Block.Make (B)
+  module Block_array = Block_array.Make (B)
+  module Xoshiro = Klsm_primitives.Xoshiro
+  module Tabular_hash = Klsm_primitives.Tabular_hash
+
+  type 'v t = {
+    shared : 'v Block_array.t option B.atomic;
+    k : int B.atomic;  (** runtime-configurable relaxation parameter *)
+    hasher : Tabular_hash.t;  (** Bloom-filter hash (shared by all blocks) *)
+    alive : 'v Item.t -> bool;
+    local_ordering : bool;
+        (** honour per-thread exact semantics via the Bloom filters (§4.1);
+            disabling is an ablation knob, not a paper configuration *)
+  }
+
+  type 'v handle = {
+    q : 'v t;
+    tid : int;
+    rng : Xoshiro.t;
+    mutable observed : 'v Block_array.t option;
+    mutable snapshot : 'v Block_array.t option;
+  }
+
+  let create ?(k = 256) ?(local_ordering = true) ~hasher ~alive () =
+    if k < 0 then invalid_arg "Shared_klsm.create: k < 0";
+    { shared = B.make None; k = B.make k; hasher; alive; local_ordering }
+
+  let get_k t = B.get t.k
+
+  (** The relaxation can be reconfigured at any time; it takes effect on the
+      next pivot recomputation (§1: "can be configured at run-time"). *)
+  let set_k t k =
+    if k < 0 then invalid_arg "Shared_klsm.set_k: k < 0";
+    B.set t.k k
+
+  let register q ~tid ~rng = { q; tid; rng; observed = None; snapshot = None }
+
+  (* Take a fresh consistent snapshot of the shared array. *)
+  let refresh_snapshot h =
+    let observed = B.get h.q.shared in
+    h.observed <- observed;
+    h.snapshot <- Option.map Block_array.copy observed
+
+  (* Install the (modified) snapshot; fails iff [shared] moved since the
+     snapshot was taken — i.e. iff someone else made progress. *)
+  let push_snapshot h next =
+    B.compare_and_set h.q.shared h.observed next
+
+  (** Insert a whole sorted block (the spill path of the distributed LSM and
+      the only way items enter the shared component).  Lock-free: retries
+      only when another thread's CAS succeeded. *)
+  let insert h block =
+    let alive = h.q.alive in
+    let rec attempt () =
+      refresh_snapshot h;
+      let snap =
+        match h.snapshot with
+        | Some s -> s
+        | None -> Block_array.empty ()
+      in
+      Block_array.insert ~alive snap block;
+      Block_array.calculate_pivots snap ~k:(B.get h.q.k);
+      (* On success [observed] is left stale on purpose: the pushed array is
+         now shared and immutable, so the next operation must take a fresh
+         private copy (the [shared != observed] check forces it). *)
+      if not (push_snapshot h (Some snap)) then attempt ()
+    in
+    attempt ()
+
+  (** Listing 3's [find_min]: return an item that was alive in the calling
+      thread's consistent snapshot, or [None] if the queue (as observed) is
+      empty.  Encountering a logically deleted minimum triggers a
+      consolidation; if that consolidation merged blocks or emptied the
+      array, an installation attempt publishes the cleanup for everyone.
+      The returned item may have been taken concurrently — the combined
+      queue's delete-min loop handles that. *)
+  let find_min h =
+    let alive = h.q.alive in
+    let rec loop () =
+      if B.get h.q.shared != h.observed then refresh_snapshot h;
+      match h.snapshot with
+      | None -> None
+      | Some snap -> (
+          match
+            Block_array.find_min ~local_ordering:h.q.local_ordering ~alive
+              ~rng:h.rng ~my_tid:h.tid ~hasher:h.q.hasher snap
+          with
+          | None ->
+              (* [find_min] returning [None] means every block looked
+                 structurally empty.  Re-verify before publishing emptiness:
+                 racing [filled] updates must never cause live items to be
+                 disconnected by an over-eager [None] push. *)
+              if h.observed <> None then begin
+                if Block_array.total_filled snap = 0 then begin
+                  ignore (push_snapshot h None);
+                  refresh_snapshot h
+                end
+                else begin
+                  (* Stale view: rebuild and retry. *)
+                  ignore (Block_array.consolidate ~alive snap);
+                  Block_array.calculate_pivots snap ~k:(B.get h.q.k)
+                end
+              end;
+              if h.snapshot = None then None else loop ()
+          | Some item ->
+              if alive item then Some item
+              else begin
+                (* Deleted minimum: clean up, publish if we restructured. *)
+                let push = Block_array.consolidate ~alive snap in
+                if Block_array.is_empty snap then begin
+                  (* Whether or not our CAS wins, someone published a newer
+                     state; re-snapshot either way. *)
+                  ignore (push_snapshot h None);
+                  refresh_snapshot h
+                end
+                else begin
+                  Block_array.calculate_pivots snap ~k:(B.get h.q.k);
+                  if push then begin
+                    (* As in [insert]: a successfully pushed snapshot is
+                       shared from now on, so leave [observed] stale and let
+                       the next iteration re-copy. *)
+                    ignore (push_snapshot h (Some snap));
+                    refresh_snapshot h
+                  end
+                end;
+                loop ()
+              end)
+    in
+    loop ()
+
+  (** Item count as observed in the current shared array (may include
+      logically deleted items; the paper allows [size] to be off by rho). *)
+  let approximate_size t =
+    match B.get t.shared with
+    | None -> 0
+    | Some arr -> Block_array.total_filled arr
+
+  let peek_shared t = B.get t.shared
+
+  (** Detach and return every block of the shared array, leaving it empty.
+      NOT linearizable — callers must have exclusive access to [t] (used by
+      {!Klsm.meld}, which the paper's §4.5 leaves non-linearizable). *)
+  let steal_all t =
+    match B.exchange t.shared None with
+    | None -> []
+    | Some arr -> Array.to_list (Block_array.blocks arr)
+end

@@ -1,0 +1,1 @@
+lib/graph/sssp.ml: Array Graph Klsm_backend Klsm_primitives

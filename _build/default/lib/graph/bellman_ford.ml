@@ -1,0 +1,28 @@
+(** Queue-based Bellman-Ford (SPFA).  An independent oracle used by the
+    test suite to cross-check {!Dijkstra} — two algorithms agreeing on
+    random graphs is much stronger evidence than either alone. *)
+
+let run graph ~source =
+  let n = Graph.num_nodes graph in
+  if source < 0 || source >= n then invalid_arg "Bellman_ford.run: source";
+  let dist = Array.make n max_int in
+  let in_queue = Array.make n false in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source queue;
+  in_queue.(source) <- true;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    let du = dist.(u) in
+    Graph.iter_succ graph u ~f:(fun v w ->
+        let nd = du + w in
+        if nd < dist.(v) then begin
+          dist.(v) <- nd;
+          if not in_queue.(v) then begin
+            Queue.push v queue;
+            in_queue.(v) <- true
+          end
+        end)
+  done;
+  dist

@@ -1,0 +1,6 @@
+(** Queue-based Bellman-Ford (SPFA) — an algorithmically independent
+    shortest-path oracle used to cross-check {!Dijkstra} in the tests. *)
+
+val run : Graph.t -> source:int -> int array
+(** Distances from [source]; [max_int] = unreachable.  Raises
+    [Invalid_argument] if [source] is out of range. *)

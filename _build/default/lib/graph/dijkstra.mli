@@ -1,0 +1,13 @@
+(** Sequential Dijkstra with lazy deletion (re-insertion instead of
+    decrease-key, mirroring the parallel algorithm so iteration counts are
+    comparable).  The baseline for the paper's "+iterations" quality metric
+    (§6.1) and the correctness oracle for every parallel SSSP run. *)
+
+type result = {
+  dist : int array;  (** [max_int] = unreachable *)
+  settled : int;  (** number of distinct nodes settled *)
+  iterations : int;  (** heap pops that did real work (= settled) *)
+}
+
+val run : Graph.t -> source:int -> result
+(** Raises [Invalid_argument] if [source] is out of range. *)

@@ -1,0 +1,151 @@
+(** Workload graph generators, all deterministic from a seed.
+
+    [erdos_renyi] is the paper's benchmark workload (§6 "Methodology"):
+    G(n, p) with n = 10^4, p = 0.5, and uniform integer weights in
+    [1, 10^8], symmetric (each undirected edge becomes two directed arcs
+    with the same weight).  [grid] and [rmat] are additional workloads for
+    the extended experiments: SSSP behaviour differs strongly between the
+    dense/shallow ER graphs and deep/sparse topologies. *)
+
+module Xoshiro = Klsm_primitives.Xoshiro
+
+let paper_max_weight = 100_000_000
+
+(* Growable int-array triple for edge accumulation. *)
+module Edge_buf = struct
+  type t = {
+    mutable src : int array;
+    mutable dst : int array;
+    mutable w : int array;
+    mutable len : int;
+  }
+
+  let create () =
+    { src = Array.make 1024 0; dst = Array.make 1024 0; w = Array.make 1024 0; len = 0 }
+
+  let push t u v wt =
+    if t.len = Array.length t.src then begin
+      let ncap = 2 * t.len in
+      let grow a =
+        let na = Array.make ncap 0 in
+        Array.blit a 0 na 0 t.len;
+        na
+      in
+      t.src <- grow t.src;
+      t.dst <- grow t.dst;
+      t.w <- grow t.w
+    end;
+    t.src.(t.len) <- u;
+    t.dst.(t.len) <- v;
+    t.w.(t.len) <- wt;
+    t.len <- t.len + 1
+
+  let to_graph t ~n =
+    Graph.of_edge_arrays ~n
+      ~src:(Array.sub t.src 0 t.len)
+      ~dst:(Array.sub t.dst 0 t.len)
+      ~w:(Array.sub t.w 0 t.len)
+end
+
+(** G(n, p) with symmetric weighted arcs.  Pair enumeration uses geometric
+    skipping, so generation is O(#edges) even for tiny [p]. *)
+let erdos_renyi ~seed ~n ~p ?(max_weight = paper_max_weight) () =
+  if n < 1 then invalid_arg "Gen.erdos_renyi: n < 1";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Gen.erdos_renyi: p";
+  let rng = Xoshiro.create ~seed in
+  let buf = Edge_buf.create () in
+  if p > 0. then begin
+    (* Walk the strictly-upper-triangular pair index space [0, n(n-1)/2)
+       with geometric skips of parameter p. *)
+    let total = n * (n - 1) / 2 in
+    let log1p = if p >= 1. then neg_infinity else log (1. -. p) in
+    let idx = ref 0 in
+    let skip () =
+      if p >= 1. then 0
+      else begin
+        let u = Xoshiro.float rng in
+        int_of_float (log (1. -. u) /. log1p)
+      end
+    in
+    idx := skip ();
+    while !idx < total do
+      (* Invert the triangular index into (i, j), i < j. *)
+      let i =
+        let fi =
+          (float_of_int (2 * n) -. 1.
+          -. sqrt
+               (((float_of_int (2 * n) -. 1.) ** 2.)
+               -. (8. *. float_of_int !idx)))
+          /. 2.
+        in
+        let i = int_of_float fi in
+        (* Guard against float rounding at the strip boundaries. *)
+        let strip_start i = (i * ((2 * n) - i - 1)) / 2 in
+        let i = max 0 (min (n - 2) i) in
+        if strip_start i > !idx then i - 1
+        else if i + 1 <= n - 2 && strip_start (i + 1) <= !idx then i + 1
+        else i
+      in
+      let strip_start = (i * ((2 * n) - i - 1)) / 2 in
+      let j = i + 1 + (!idx - strip_start) in
+      let w = Xoshiro.int_in rng ~lo:1 ~hi:max_weight in
+      Edge_buf.push buf i j w;
+      Edge_buf.push buf j i w;
+      idx := !idx + 1 + skip ()
+    done
+  end;
+  Edge_buf.to_graph buf ~n
+
+(** [w x h] grid, 4-neighbour connectivity, symmetric random weights. *)
+let grid ~seed ~width ~height ?(max_weight = paper_max_weight) () =
+  if width < 1 || height < 1 then invalid_arg "Gen.grid";
+  let rng = Xoshiro.create ~seed in
+  let n = width * height in
+  let buf = Edge_buf.create () in
+  let id x y = (y * width) + x in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      if x + 1 < width then begin
+        let w = Xoshiro.int_in rng ~lo:1 ~hi:max_weight in
+        Edge_buf.push buf (id x y) (id (x + 1) y) w;
+        Edge_buf.push buf (id (x + 1) y) (id x y) w
+      end;
+      if y + 1 < height then begin
+        let w = Xoshiro.int_in rng ~lo:1 ~hi:max_weight in
+        Edge_buf.push buf (id x y) (id x (y + 1)) w;
+        Edge_buf.push buf (id x (y + 1)) (id x y) w
+      end
+    done
+  done;
+  Edge_buf.to_graph buf ~n
+
+(** R-MAT power-law generator (Chakrabarti et al.): [2^scale] nodes,
+    [edge_factor * 2^scale] directed edges, recursively biased into the
+    (a, b, c, d) quadrants; symmetric arcs added like the ER generator. *)
+let rmat ~seed ~scale ?(edge_factor = 8) ?(a = 0.57) ?(b = 0.19) ?(c = 0.19)
+    ?(max_weight = paper_max_weight) () =
+  if scale < 1 || scale > 24 then invalid_arg "Gen.rmat: scale";
+  let rng = Xoshiro.create ~seed in
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let buf = Edge_buf.create () in
+  for _ = 1 to m do
+    let u = ref 0 and v = ref 0 in
+    for _ = 1 to scale do
+      let r = Xoshiro.float rng in
+      let bit_u, bit_v =
+        if r < a then (0, 0)
+        else if r < a +. b then (0, 1)
+        else if r < a +. b +. c then (1, 0)
+        else (1, 1)
+      in
+      u := (!u lsl 1) lor bit_u;
+      v := (!v lsl 1) lor bit_v
+    done;
+    if !u <> !v then begin
+      let w = Xoshiro.int_in rng ~lo:1 ~hi:max_weight in
+      Edge_buf.push buf !u !v w;
+      Edge_buf.push buf !v !u w
+    end
+  done;
+  Edge_buf.to_graph buf ~n

@@ -1,0 +1,34 @@
+(** Deterministic workload graph generators.
+
+    [erdos_renyi] is the paper's SSSP workload (§6 "Methodology"):
+    G(n, p) with symmetric arcs and uniform integer weights in
+    [1, {!paper_max_weight}].  [grid] and [rmat] are additional topologies
+    for the extended experiments. *)
+
+val paper_max_weight : int
+(** 10^8, the paper's weight bound. *)
+
+val erdos_renyi :
+  seed:int -> n:int -> p:float -> ?max_weight:int -> unit -> Graph.t
+(** [erdos_renyi ~seed ~n ~p ()] samples G(n, p): each unordered pair is an
+    edge with probability [p], materialized as two arcs with one shared
+    weight.  Generation uses geometric skipping, O(#edges) even for tiny
+    [p].  Same seed, same graph. *)
+
+val grid :
+  seed:int -> width:int -> height:int -> ?max_weight:int -> unit -> Graph.t
+(** 4-connected grid with symmetric random weights. *)
+
+val rmat :
+  seed:int ->
+  scale:int ->
+  ?edge_factor:int ->
+  ?a:float ->
+  ?b:float ->
+  ?c:float ->
+  ?max_weight:int ->
+  unit ->
+  Graph.t
+(** R-MAT power-law generator (Chakrabarti et al.): [2^scale] nodes,
+    [edge_factor * 2^scale] directed edge samples recursively biased into
+    quadrants [(a, b, c, 1-a-b-c)]; self-loops dropped, arcs mirrored. *)

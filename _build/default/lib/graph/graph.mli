@@ -1,0 +1,27 @@
+(** Directed weighted graphs in compressed-sparse-row (CSR) form.
+
+    The SSSP benchmark (paper §6, Figure 4) runs on graphs up to ~5*10^7
+    directed arcs, so the representation is three flat int arrays.  Graphs
+    are immutable once built. *)
+
+type t
+
+val of_edges : n:int -> (int * int * int) list -> t
+(** [of_edges ~n edges] builds a graph on nodes [0..n-1] from directed
+    [(src, dst, weight)] triples.  Raises [Invalid_argument] on an endpoint
+    out of range or a negative weight (Dijkstra's precondition). *)
+
+val of_edge_arrays : n:int -> src:int array -> dst:int array -> w:int array -> t
+(** Same, from flat parallel arrays — what the generators use to avoid
+    materializing tens of millions of tuples. *)
+
+val num_nodes : t -> int
+val num_edges : t -> int
+
+val out_degree : t -> int -> int
+
+val iter_succ : t -> int -> f:(int -> int -> unit) -> unit
+(** [iter_succ t u ~f] calls [f v w] for every arc [u -> v] of weight [w]. *)
+
+val fold_edges : t -> init:'a -> f:('a -> int -> int -> int -> 'a) -> 'a
+(** Fold over all arcs as [f acc src dst weight]. *)

@@ -1,0 +1,1 @@
+lib/harness/quality.ml: Array Float Klsm_backend Klsm_primitives List Oracle Registry

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: Klsm_backend Klsm_baselines Klsm_core Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/sssp_bench.ml: Klsm_backend Klsm_graph Registry

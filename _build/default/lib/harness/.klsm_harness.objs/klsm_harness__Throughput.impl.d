@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: Array Float Klsm_backend Klsm_primitives Registry Workload

@@ -1,0 +1,61 @@
+(** Rank oracle for the quality (rank-error) experiments.
+
+    A Fenwick tree over the key universe counts how many copies of each key
+    are logically present; the {e rank error} of a delete-min returning
+    [k] is the number of strictly smaller keys still present at that
+    moment — 0 for an exact priority queue, bounded by rho = T*k for the
+    k-LSM (paper §5, Lemma 2).
+
+    The oracle itself is sequential; under the simulator the wrapping
+    harness updates it at operation completion, which measures rank errors
+    the way the relaxed-PQ literature reports them. *)
+
+type t = {
+  counts : int array;  (** Fenwick-indexed (1-based) key multiset *)
+  universe : int;
+  mutable size : int;
+}
+
+let create ~universe =
+  if universe < 1 then invalid_arg "Oracle.create";
+  { counts = Array.make (universe + 1) 0; universe; size = 0 }
+
+let add t key delta =
+  if key < 0 || key >= t.universe then invalid_arg "Oracle: key out of range";
+  let i = ref (key + 1) in
+  while !i <= t.universe do
+    t.counts.(!i) <- t.counts.(!i) + delta;
+    i := !i + (!i land - !i)
+  done
+
+(** Number of present keys strictly below [key]. *)
+let rank_below t key =
+  if key <= 0 then 0
+  else begin
+    let key = min key t.universe in
+    (* Sum of counts for keys 0 .. key-1, i.e. Fenwick prefix of index key. *)
+    let acc = ref 0 in
+    let i = ref key in
+    while !i > 0 do
+      acc := !acc + t.counts.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+  end
+
+let insert t key =
+  add t key 1;
+  t.size <- t.size + 1
+
+(** Remove one copy of [key], returning its rank error.  Raises if [key]
+    is not present (a conservation violation — callers treat that as a
+    test failure). *)
+let delete t key =
+  let r = rank_below t key in
+  let present = rank_below t (key + 1) - r in
+  if present <= 0 then failwith "Oracle.delete: key not present";
+  add t key (-1);
+  t.size <- t.size - 1;
+  r
+
+let size t = t.size

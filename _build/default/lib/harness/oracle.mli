@@ -1,0 +1,22 @@
+(** Rank oracle for the quality (rank-error) experiments: a Fenwick tree
+    over the key universe counting logically-present keys.  The rank error
+    of a delete-min returning [k] is the number of strictly smaller keys
+    still present — 0 for an exact queue, bounded by rho = T*k for the
+    k-LSM (paper §5, Lemma 2). *)
+
+type t
+
+val create : universe:int -> t
+(** Keys must lie in [\[0, universe)]. *)
+
+val insert : t -> int -> unit
+
+val delete : t -> int -> int
+(** [delete t k] removes one copy of [k] and returns its rank error (the
+    number of strictly smaller keys present).  Raises [Failure] if [k] is
+    not present — a conservation violation. *)
+
+val rank_below : t -> int -> int
+(** Number of present keys strictly below the argument. *)
+
+val size : t -> int

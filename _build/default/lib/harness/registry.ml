@@ -1,0 +1,214 @@
+(** Uniform access to every priority queue in the repository.
+
+    The experiment drivers (throughput, SSSP, quality) need to iterate over
+    heterogeneous queue implementations; this module erases each queue's
+    concrete types behind a pair of closures per thread handle.  Values are
+    monomorphized to [int] (payload = node id for SSSP, ignored for the
+    synthetic benchmarks), matching the paper's integer-key workloads.
+
+    [spec] is the figure-legend-level description of an implementation,
+    including its parameters (k for the k-LSM, c for Multi-Queues...), with
+    a parser for the CLIs. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Klsm = Klsm_core.Klsm.Make (B)
+  module Dlsm = Klsm_core.Dlsm.Make (B)
+  module Locked_heap = Klsm_baselines.Locked_heap.Make (B)
+  module Linden = Klsm_baselines.Linden_pq.Make (B)
+  module Spraylist = Klsm_baselines.Spraylist.Make (B)
+  module Multiq = Klsm_baselines.Multiq.Make (B)
+  module Wimmer_centralized = Klsm_baselines.Wimmer_centralized.Make (B)
+  module Wimmer_hybrid = Klsm_baselines.Wimmer_hybrid.Make (B)
+
+  type spec =
+    | Heap_lock
+    | Linden
+    | Spraylist
+    | Multiq of int  (** c: queues per thread *)
+    | Klsm of int  (** k *)
+    | Dlsm
+    | Wimmer_centralized
+    | Wimmer_hybrid of int  (** k *)
+
+  let spec_name = function
+    | Heap_lock -> "heap+lock"
+    | Linden -> "linden"
+    | Spraylist -> "spraylist"
+    | Multiq c -> Printf.sprintf "multiq(%d)" c
+    | Klsm k -> Printf.sprintf "klsm(%d)" k
+    | Dlsm -> "dlsm"
+    | Wimmer_centralized -> "centralized-k"
+    | Wimmer_hybrid k -> Printf.sprintf "hybrid-k(%d)" k
+
+  (** Parse ["klsm:256"], ["multiq:2"], ["hybrid:4096"], ["linden"], ... *)
+  let parse_spec s =
+    let base, arg =
+      match String.index_opt s ':' with
+      | None -> (s, None)
+      | Some i ->
+          ( String.sub s 0 i,
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          )
+    in
+    match (String.lowercase_ascii base, arg) with
+    | ("heap" | "heap+lock" | "heaplock"), _ -> Some Heap_lock
+    | "linden", _ -> Some Linden
+    | ("spray" | "spraylist"), _ -> Some Spraylist
+    | "multiq", a -> Some (Multiq (Option.value a ~default:2))
+    | "klsm", a -> Some (Klsm (Option.value a ~default:256))
+    | "dlsm", _ -> Some Dlsm
+    | ("centralized" | "centralized-k"), _ -> Some Wimmer_centralized
+    | ("hybrid" | "hybrid-k"), a -> Some (Wimmer_hybrid (Option.value a ~default:256))
+    | _ -> None
+
+  (** Whether the implementation honours the queue-side lazy-deletion
+      predicate of §4.5 (the paper's SSSP figure only includes such
+      queues). *)
+  let supports_lazy_deletion = function
+    | Klsm _ | Dlsm | Wimmer_centralized | Wimmer_hybrid _ -> true
+    | Heap_lock | Linden | Spraylist | Multiq _ -> false
+
+  type handle = {
+    insert : int -> int -> unit;  (** key, payload *)
+    try_delete_min : unit -> (int * int) option;
+  }
+
+  type instance = {
+    name : string;
+    register : int -> handle;  (** tid -> per-thread handle *)
+    approximate_size : unit -> int;
+  }
+
+  (** Instantiate a [spec].  [should_delete]/[on_lazy_delete] are passed to
+      the queues that support lazy deletion and ignored by the others. *)
+  let make ?(seed = 1) ?should_delete ?on_lazy_delete ~num_threads spec =
+    match spec with
+    | Heap_lock ->
+        let q = Locked_heap.create ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Locked_heap.register q tid in
+              {
+                insert = Locked_heap.insert h;
+                try_delete_min = (fun () -> Locked_heap.try_delete_min h);
+              });
+          approximate_size = (fun () -> Locked_heap.size q);
+        }
+    | Linden ->
+        let q = Linden.create_with ~seed ~dummy:0 ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Linden.register q tid in
+              {
+                insert = Linden.insert h;
+                try_delete_min = (fun () -> Linden.try_delete_min h);
+              });
+          approximate_size = (fun () -> Linden.alive_size q);
+        }
+    | Spraylist ->
+        let q = Spraylist.create_with ~seed ~dummy:0 ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Spraylist.register q tid in
+              {
+                insert = Spraylist.insert h;
+                try_delete_min = (fun () -> Spraylist.try_delete_min h);
+              });
+          approximate_size = (fun () -> Spraylist.alive_size q);
+        }
+    | Multiq c ->
+        let q = Multiq.create_with ~seed ~c ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Multiq.register q tid in
+              {
+                insert = Multiq.insert h;
+                try_delete_min = (fun () -> Multiq.try_delete_min h);
+              });
+          approximate_size = (fun () -> Multiq.approximate_size q);
+        }
+    | Klsm k ->
+        let q = Klsm.create_with ~seed ~k ?should_delete ?on_lazy_delete ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Klsm.register q tid in
+              {
+                insert = Klsm.insert h;
+                try_delete_min = (fun () -> Klsm.try_delete_min h);
+              });
+          approximate_size = (fun () -> Klsm.approximate_size q);
+        }
+    | Dlsm ->
+        let q = Dlsm.create_with ~seed ?should_delete ?on_lazy_delete ~num_threads () in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Dlsm.register q tid in
+              {
+                insert = Dlsm.insert h;
+                try_delete_min = (fun () -> Dlsm.try_delete_min h);
+              });
+          approximate_size = (fun () -> Dlsm.approximate_size q);
+        }
+    | Wimmer_centralized ->
+        let q =
+          Wimmer_centralized.create_with ~seed ?should_delete ?on_lazy_delete
+            ~num_threads ()
+        in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Wimmer_centralized.register q tid in
+              {
+                insert = Wimmer_centralized.insert h;
+                try_delete_min =
+                  (fun () -> Wimmer_centralized.try_delete_min h);
+              });
+          approximate_size = (fun () -> Wimmer_centralized.size q);
+        }
+    | Wimmer_hybrid k ->
+        let q =
+          Wimmer_hybrid.create_with ~seed ~k ?should_delete ?on_lazy_delete
+            ~num_threads ()
+        in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Wimmer_hybrid.register q tid in
+              {
+                insert = Wimmer_hybrid.insert h;
+                try_delete_min = (fun () -> Wimmer_hybrid.try_delete_min h);
+              });
+          approximate_size = (fun () -> Wimmer_hybrid.approximate_size q);
+        }
+
+  (** The full Figure 3 line-up, with the paper's parameters. *)
+  let figure3_specs =
+    [
+      Heap_lock;
+      Linden;
+      Spraylist;
+      Multiq 2;
+      Klsm 0;
+      Klsm 4;
+      Klsm 256;
+      Klsm 4096;
+      Dlsm;
+    ]
+
+  (** The Figure 4 (left) line-up at k = 256. *)
+  let figure4_specs = [ Wimmer_centralized; Wimmer_hybrid 256; Klsm 256 ]
+end

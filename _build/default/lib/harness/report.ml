@@ -1,0 +1,52 @@
+(** Plain-text experiment reporting: aligned tables (the textual analogue
+    of the paper's figures) and CSV export for external plotting. *)
+
+let spf = Printf.sprintf
+
+(** Pretty scientific-ish formatting for throughputs. *)
+let human_float v =
+  if Float.is_nan v then "nan"
+  else if Float.abs v >= 1e6 then spf "%.2fM" (v /. 1e6)
+  else if Float.abs v >= 1e3 then spf "%.2fk" (v /. 1e3)
+  else spf "%.3g" v
+
+(** Print an aligned table with a header row and a separator. *)
+let table ?(out = stdout) ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> width.(i) <- max width.(i) (String.length cell))
+        row)
+    all;
+  let print_row row =
+    List.iteri
+      (fun i cell ->
+        let pad = String.make (width.(i) - String.length cell) ' ' in
+        if i = 0 then Printf.fprintf out "%s%s" cell pad
+        else Printf.fprintf out "  %s%s" pad cell)
+      row;
+    output_char out '\n'
+  in
+  print_row header;
+  let sep =
+    List.init (List.length header) (fun i -> String.make width.(i) '-')
+  in
+  print_row sep;
+  List.iter print_row rows;
+  flush out
+
+(** Write rows as CSV (no quoting needed for our numeric/identifier
+    cells). *)
+let csv ~path ~header rows =
+  let oc = open_out path in
+  let line row = output_string oc (String.concat "," row ^ "\n") in
+  line header;
+  List.iter line rows;
+  close_out oc
+
+let section ?(out = stdout) title =
+  Printf.fprintf out "\n== %s ==\n\n" title;
+  flush out

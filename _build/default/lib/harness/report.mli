@@ -1,0 +1,15 @@
+(** Plain-text experiment reporting: aligned tables (the textual analogue
+    of the paper's figures) and CSV export for external plotting. *)
+
+val human_float : float -> string
+(** "2.50M", "3.20k", "12" — compact throughput formatting. *)
+
+val table : ?out:out_channel -> header:string list -> string list list -> unit
+(** Print an aligned table (first column left-aligned, rest right) with a
+    dash separator under the header. *)
+
+val csv : path:string -> header:string list -> string list list -> unit
+(** Write header + rows as comma-separated lines. *)
+
+val section : ?out:out_channel -> string -> unit
+(** Print a "== title ==" banner. *)

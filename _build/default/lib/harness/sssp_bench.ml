@@ -1,0 +1,53 @@
+(** Driver for the SSSP benchmark of Figure 4: wires a {!Registry.spec}
+    into {!Klsm_graph.Sssp}, including the §4.5 lazy-deletion predicate for
+    the queues that support it, validates the resulting distances against
+    sequential Dijkstra, and reports wall time plus the "+iterations"
+    quality metric quoted in the paper's §6.1. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Registry = Registry.Make (B)
+  module Sssp = Klsm_graph.Sssp.Make (B)
+
+  type result = {
+    spec : Registry.spec;
+    num_threads : int;
+    wall : float;  (** seconds (virtual under the simulator) *)
+    iterations : int;
+    extra_iterations : int;  (** vs the sequential settle count *)
+    stale : int;
+    correct : bool;  (** distances match sequential Dijkstra *)
+  }
+
+  let run ?(seed = 1) ~graph ~source ~num_threads ~reference spec =
+    let stats =
+      Sssp.run graph ~source ~num_threads
+        ~setup:(fun ~dist ~drop ->
+          let should_delete, on_lazy_delete =
+            if Registry.supports_lazy_deletion spec then
+              (Some (Sssp.should_delete_of dist), Some drop)
+            else (None, None)
+          in
+          let instance =
+            Registry.make ~seed ?should_delete ?on_lazy_delete ~num_threads
+              spec
+          in
+          fun tid ->
+            let h = instance.Registry.register tid in
+            {
+              Sssp.insert = (fun d v -> h.Registry.insert d v);
+              try_delete_min = (fun () -> h.Registry.try_delete_min ());
+            })
+        ()
+    in
+    let dist = Sssp.distances stats in
+    let correct = dist = reference.Klsm_graph.Dijkstra.dist in
+    {
+      spec;
+      num_threads;
+      wall = stats.Sssp.wall;
+      iterations = stats.Sssp.iterations;
+      extra_iterations = stats.Sssp.iterations - reference.Klsm_graph.Dijkstra.settled;
+      stale = stats.Sssp.stale;
+      correct;
+    }
+end

@@ -1,0 +1,59 @@
+(** Key distributions for the synthetic benchmarks.
+
+    The paper's throughput benchmark draws keys uniformly; real priority-
+    queue workloads often do not — Dijkstra-style algorithms insert keys
+    slightly above the current minimum (monotone ascending), and schedulers
+    produce clustered deadlines.  These generators drive the workload
+    ablation (queues with per-thread components behave very differently
+    when fresh keys always beat the shared backlog). *)
+
+module Xoshiro = Klsm_primitives.Xoshiro
+
+type t =
+  | Uniform of int  (** uniform in [0, range) — the paper's workload *)
+  | Ascending of int
+      (** monotone counter shared by the generator instance plus a jitter
+          in [0, arg) — models Dijkstra/DES key drift *)
+  | Descending of int
+      (** monotone decreasing from [arg]; adversarial for relaxed queues
+          (every new key is the new minimum) *)
+  | Clustered of { clusters : int; spread : int; range : int }
+      (** keys concentrate around [clusters] random centers *)
+
+let name = function
+  | Uniform _ -> "uniform"
+  | Ascending _ -> "ascending"
+  | Descending _ -> "descending"
+  | Clustered _ -> "clustered"
+
+let parse s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Some (Uniform (1 lsl 28))
+  | "ascending" -> Some (Ascending 64)
+  | "descending" -> Some (Descending (1 lsl 30))
+  | "clustered" -> Some (Clustered { clusters = 16; spread = 256; range = 1 lsl 28 })
+  | _ -> None
+
+(** [generator t rng] is a fresh stateful key source.  Each call returns
+    the next key; all state lives in the closure so per-thread generators
+    are independent. *)
+let generator t rng =
+  match t with
+  | Uniform range -> fun () -> Xoshiro.int rng range
+  | Ascending jitter ->
+      let counter = ref 0 in
+      fun () ->
+        incr counter;
+        !counter + Xoshiro.int rng (max 1 jitter)
+  | Descending start ->
+      let counter = ref start in
+      fun () ->
+        decr counter;
+        max 0 !counter + Xoshiro.int rng 4
+  | Clustered { clusters; spread; range } ->
+      let centers =
+        Array.init (max 1 clusters) (fun _ -> Xoshiro.int rng range)
+      in
+      fun () ->
+        let c = centers.(Xoshiro.int rng (Array.length centers)) in
+        min (range - 1) (max 0 (c + Xoshiro.int rng (2 * spread) - spread))

@@ -1,0 +1,20 @@
+(** Key distributions for the synthetic benchmarks.  The paper's throughput
+    benchmark draws keys uniformly; the other shapes model real consumers
+    (Dijkstra-style monotone drift, adversarial descending keys, clustered
+    deadlines) and drive the workload ablation. *)
+
+type t =
+  | Uniform of int  (** uniform in [0, range) — the paper's workload *)
+  | Ascending of int  (** monotone counter + jitter in [0, arg) *)
+  | Descending of int  (** monotone decreasing from [arg] *)
+  | Clustered of { clusters : int; spread : int; range : int }
+
+val name : t -> string
+
+val parse : string -> t option
+(** "uniform" | "ascending" | "descending" | "clustered", with default
+    parameters; [None] otherwise. *)
+
+val generator : t -> Klsm_primitives.Xoshiro.t -> unit -> int
+(** [generator t rng] is a fresh stateful key source (all state in the
+    closure, so per-thread generators are independent). *)

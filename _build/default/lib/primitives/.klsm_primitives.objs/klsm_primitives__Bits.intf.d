@@ -1,0 +1,1 @@
+lib/primitives/bits.mli:

@@ -1,0 +1,1 @@
+lib/primitives/bloom.ml: Tabular_hash

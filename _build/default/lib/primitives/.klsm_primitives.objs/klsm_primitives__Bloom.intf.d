@@ -1,0 +1,1 @@
+lib/primitives/bloom.mli: Tabular_hash

@@ -1,0 +1,1 @@
+lib/primitives/tabular_hash.ml: Array Int64 Xoshiro

@@ -1,0 +1,1 @@
+lib/primitives/tabular_hash.mli:

@@ -1,0 +1,1 @@
+lib/primitives/xoshiro.ml: Array Int64

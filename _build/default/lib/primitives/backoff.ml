@@ -1,0 +1,13 @@
+type t = { min : int; max : int; mutable cur : int }
+
+let create ?(min = 1) ?(max = 512) () =
+  if min < 1 || max < min then invalid_arg "Backoff.create";
+  { min; max; cur = min }
+
+let once t ~relax =
+  relax t.cur;
+  t.cur <- Stdlib.min t.max (t.cur * 2)
+
+let reset t = t.cur <- t.min
+
+let current t = t.cur

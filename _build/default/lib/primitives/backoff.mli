@@ -1,0 +1,26 @@
+(** Truncated exponential backoff for contended retry loops.
+
+    Every CAS-retry loop in the repository (spinlocks, snapshot pushes,
+    Multi-Queue lock acquisition) backs off through one of these to avoid
+    pathological livelock under contention.  The wait is expressed as a
+    number of [relax] calls, which the backend maps either to
+    [Domain.cpu_relax] (real execution) or to virtual-clock ticks
+    (simulation). *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** [create ?min ?max ()] starts at [min] (default 1) relax-steps and doubles
+    up to [max] (default 512) on every {!once}. *)
+
+val once : t -> relax:(int -> unit) -> unit
+(** [once t ~relax] calls [relax n] once with the current step count [n],
+    then doubles it (truncated).  Passing the count in one call lets the
+    simulator backend charge the whole wait as a single event instead of
+    interpreting every pause instruction. *)
+
+val reset : t -> unit
+(** Return to the minimum step count after a success. *)
+
+val current : t -> int
+(** Current step count; exposed for tests. *)

@@ -1,0 +1,13 @@
+let floor_log2 n =
+  if n < 1 then invalid_arg "Bits.floor_log2";
+  let rec go l n = if n <= 1 then l else go (l + 1) (n lsr 1) in
+  go 0 n
+
+let ceil_log2 n =
+  if n < 1 then invalid_arg "Bits.ceil_log2";
+  let l = floor_log2 n in
+  if 1 lsl l = n then l else l + 1
+
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+let next_power_of_two n = 1 lsl ceil_log2 n

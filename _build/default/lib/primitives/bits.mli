@@ -1,0 +1,14 @@
+(** Small bit-twiddling helpers used by block sizing and pivot search. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the smallest [l] with [2^l >= n]. [n] must be >= 1.
+    This is the level of the smallest block able to hold [n] items. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the largest [l] with [2^l <= n]. [n] must be >= 1. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] for [n >= 1]. *)
+
+val next_power_of_two : int -> int
+(** Smallest power of two >= [n], for [n >= 1]. *)

@@ -1,0 +1,59 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  ci95 : float;
+}
+
+(* Two-sided 95% critical values of the Student-t distribution, df = 1..30. *)
+let t_table =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t_critical_95 df =
+  if df <= 0 then invalid_arg "Stats.t_critical_95";
+  if df <= Array.length t_table then t_table.(df - 1) else 1.96
+
+let mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty";
+  let m = mean xs in
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  if n = 1 then { n; mean = m; stddev = 0.; min = lo; max = hi; ci95 = 0. }
+  else begin
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    let sd = sqrt (ss /. float_of_int (n - 1)) in
+    let ci = t_critical_95 (n - 1) *. sd /. sqrt (float_of_int n) in
+    { n; mean = m; stddev = sd; min = lo; max = hi; ci95 = ci }
+  end
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  if n = 1 then c.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (c.(lo) *. (1. -. frac)) +. (c.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.

@@ -1,0 +1,32 @@
+(** Summary statistics for experiment reporting.
+
+    The paper reports the mean of 30 repetitions with confidence intervals;
+    this module computes exactly that (Student-t based CIs for the small
+    sample sizes we use), plus medians and percentiles for the quality
+    (rank-error) experiments. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  ci95 : float;  (** half-width of the 95% confidence interval on the mean *)
+}
+
+val summarize : float array -> summary
+(** Raises [Invalid_argument] on an empty array.  With a single observation,
+    [stddev] and [ci95] are 0. *)
+
+val mean : float array -> float
+
+val median : float array -> float
+(** Median (average of middle two for even sizes). Input is not modified. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], nearest-rank with linear
+    interpolation. Input is not modified. *)
+
+val t_critical_95 : int -> float
+(** Two-sided 95% Student-t critical value for [df] degrees of freedom
+    (tabulated for small df, 1.96 asymptotically). *)

@@ -1,0 +1,24 @@
+type t = int64 array
+(* 8 tables of 256 entries, flattened: table for byte [b] of the key starts
+   at index [b * 256]. *)
+
+let create ~seed =
+  let rng = Xoshiro.create ~seed in
+  Array.init (8 * 256) (fun _ -> Xoshiro.next rng)
+
+let hash64 t key =
+  let h = ref 0L in
+  let k = ref key in
+  for byte = 0 to 7 do
+    h := Int64.logxor !h t.((byte * 256) lor (!k land 0xff));
+    k := !k lsr 8
+  done;
+  !h
+
+let hash t key = Int64.to_int (Int64.shift_right_logical (hash64 t key) 2)
+
+let hash_pair t key =
+  let h = hash64 t key in
+  let lo = Int64.to_int (Int64.logand h 0x3FFFFFFFL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical h 32) 0x3FFFFFFFL) in
+  (lo, hi)

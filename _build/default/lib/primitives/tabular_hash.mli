@@ -1,0 +1,21 @@
+(** Tabulation hashing.
+
+    Section 4.1 of the paper: "We use 64-bit Bloom filters with two
+    hash-values obtained by tabular hashing."  Simple tabulation hashing is
+    3-independent and extremely fast: the key is split into bytes and each
+    byte indexes a table of random words which are XORed together. *)
+
+type t
+(** A fixed, immutable hash function (8 tables of 256 random words). *)
+
+val create : seed:int -> t
+(** [create ~seed] draws the tables from a {!Xoshiro} stream; the same seed
+    always yields the same function. *)
+
+val hash : t -> int -> int
+(** [hash t key] hashes the 8 bytes of [key] to a non-negative int. *)
+
+val hash_pair : t -> int -> int * int
+(** [hash_pair t key] returns two independent-looking hash values extracted
+    from disjoint halves of the 64-bit tabulation output — exactly the "two
+    hash-values" needed by the Bloom filter. *)

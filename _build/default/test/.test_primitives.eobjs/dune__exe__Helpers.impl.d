@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Klsm_primitives List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Fun Helpers Klsm_backend Klsm_baselines Klsm_harness Klsm_primitives List Option Printf

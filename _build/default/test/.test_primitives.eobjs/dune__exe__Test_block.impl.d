@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Fun Helpers Klsm_backend Klsm_core Klsm_primitives List QCheck2

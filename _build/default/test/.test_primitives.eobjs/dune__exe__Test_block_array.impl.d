@@ -1,0 +1,1 @@
+test/test_block_array.ml: Alcotest Array Helpers Klsm_backend Klsm_core Klsm_primitives List QCheck2

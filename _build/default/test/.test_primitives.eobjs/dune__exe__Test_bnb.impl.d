@@ -1,0 +1,1 @@
+test/test_bnb.ml: Alcotest Array Helpers Klsm_backend Klsm_bnb List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Fun Helpers Klsm_backend Klsm_baselines Klsm_core Klsm_graph Klsm_primitives List Option

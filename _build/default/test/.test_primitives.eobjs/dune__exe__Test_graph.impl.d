@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Hashtbl Helpers Klsm_graph List QCheck2

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename Hashtbl Helpers Klsm_backend Klsm_harness List Printf QCheck2 String Sys

@@ -1,0 +1,1 @@
+test/test_klsm.ml: Alcotest Array Fun Hashtbl Helpers Klsm_backend Klsm_core Klsm_primitives List Option QCheck2

@@ -1,0 +1,1 @@
+test/test_primitives.ml: Alcotest Array Fun Helpers Klsm_primitives List QCheck2

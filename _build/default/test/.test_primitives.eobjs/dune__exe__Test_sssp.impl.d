@@ -1,0 +1,1 @@
+test/test_sssp.ml: Alcotest Helpers Klsm_backend Klsm_graph Klsm_harness Lazy List Printf

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Array Fun Helpers Klsm_backend Klsm_baselines Klsm_core Klsm_harness Klsm_primitives List Printf

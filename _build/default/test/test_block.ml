@@ -1,0 +1,250 @@
+(* Unit and property tests for Item and Block (paper Listing 1): logical
+   deletion, append/copy/merge/shrink, level sizing, Bloom filters. *)
+
+open Helpers
+module B = Klsm_backend.Real
+module Item = Klsm_core.Item.Make (B)
+module Block = Klsm_core.Block.Make (B)
+module Bloom = Klsm_primitives.Bloom
+
+let alive it = not (Item.is_taken it)
+
+(* Build a block holding [keys] (any order) at the smallest fitting level. *)
+let block_of_keys keys =
+  match keys with
+  | [] -> invalid_arg "block_of_keys: empty"
+  | k0 :: _ ->
+      let sorted = List.sort (fun a b -> compare b a) keys (* descending *) in
+      let level = Klsm_primitives.Bits.ceil_log2 (List.length keys) in
+      let b = Block.create_with_exemplar level (Item.make k0 ()) in
+      List.iter (fun k -> Block.append ~alive b (Item.make k ())) sorted;
+      b
+
+let keys_of_block b = List.map Item.key (Block.to_list b)
+
+(* ---------------- Item ---------------- *)
+
+let test_item_take_once () =
+  let it = Item.make 5 "payload" in
+  check_bool "fresh" false (Item.is_taken it);
+  check_bool "first take wins" true (Item.take it);
+  check_bool "now taken" true (Item.is_taken it);
+  check_bool "second take fails" false (Item.take it);
+  check_int "key" 5 (Item.key it);
+  Alcotest.(check string) "value" "payload" (Item.value it)
+
+(* ---------------- Block basics ---------------- *)
+
+let test_singleton () =
+  let it = Item.make 3 () in
+  let b = Block.singleton ~filter:Bloom.empty it in
+  check_int "level" 0 (Block.level b);
+  check_int "filled" 1 (Block.filled b);
+  check_int "capacity" 1 (Block.capacity b);
+  check_bool "not empty" false (Block.is_empty b);
+  Block.check_invariants b
+
+let test_capacity_of_level () =
+  check_int "level 0" 1 (Block.capacity_of_level 0);
+  check_int "level 5" 32 (Block.capacity_of_level 5)
+
+let prop_block_sorted_descending =
+  qtest "block keys descend"
+    QCheck2.Gen.(list_size (int_range 1 300) (int_bound 1000))
+    (fun keys ->
+      let b = block_of_keys keys in
+      Block.check_invariants b;
+      keys_of_block b = List.sort (fun a b -> compare b a) keys)
+
+let test_last_item_is_min () =
+  let b = block_of_keys [ 9; 2; 7; 4 ] in
+  match Block.last_item b with
+  | Some it -> check_int "min" 2 (Item.key it)
+  | None -> Alcotest.fail "expected min"
+
+(* ---------------- peek_min ---------------- *)
+
+let test_peek_min_skips_taken () =
+  let b = block_of_keys [ 10; 8; 6; 4; 2 ] in
+  (* Take the two smallest. *)
+  Block.iter b ~f:(fun it ->
+      if Item.key it <= 4 then ignore (Item.take it));
+  (match Block.peek_min ~alive b with
+  | Some it -> check_int "first alive" 6 (Item.key it)
+  | None -> Alcotest.fail "expected alive item");
+  (* peek_min publishes the shortened filled (benign cleanup). *)
+  check_int "tail cleaned" 3 (Block.filled b)
+
+let test_peek_min_all_dead () =
+  let b = block_of_keys [ 5; 1 ] in
+  Block.iter b ~f:(fun it -> ignore (Item.take it));
+  check_bool "none" true (Block.peek_min ~alive b = None);
+  check_int "emptied" 0 (Block.filled b)
+
+(* ---------------- copy ---------------- *)
+
+let prop_copy_filters_taken =
+  qtest "copy keeps exactly the alive items"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 100) (int_bound 1000))
+        (list_size (int_bound 100) bool))
+    (fun (keys, kill_mask) ->
+      let b = block_of_keys keys in
+      let i = ref 0 in
+      let expected = ref [] in
+      Block.iter b ~f:(fun it ->
+          let kill = List.nth_opt kill_mask !i = Some true in
+          if kill then ignore (Item.take it)
+          else expected := Item.key it :: !expected;
+          incr i);
+      let c = Block.copy ~alive b (Block.level b) in
+      Block.check_invariants c;
+      keys_of_block c = List.rev !expected)
+
+(* ---------------- merge ---------------- *)
+
+let prop_merge_is_sorted_union =
+  qtest "merge = descending multiset union"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 200) (int_bound 1000))
+        (list_size (int_range 1 200) (int_bound 1000)))
+    (fun (k1, k2) ->
+      let b1 = block_of_keys k1 and b2 = block_of_keys k2 in
+      let m = Block.merge ~alive b1 b2 in
+      Block.check_invariants m;
+      keys_of_block m = List.sort (fun a b -> compare b a) (k1 @ k2))
+
+let test_merge_level_fits () =
+  let b1 = block_of_keys (List.init 8 Fun.id) in
+  let b2 = block_of_keys (List.init 8 (fun i -> i + 100)) in
+  let m = Block.merge ~alive b1 b2 in
+  check_bool "capacity suffices" true (Block.capacity m >= 16);
+  check_int "filled" 16 (Block.filled m)
+
+let test_merge_filters_taken () =
+  let b1 = block_of_keys [ 1; 3; 5 ] and b2 = block_of_keys [ 2; 4; 6 ] in
+  Block.iter b1 ~f:(fun it -> if Item.key it = 3 then ignore (Item.take it));
+  let m = Block.merge ~alive b1 b2 in
+  check_list_int "3 gone" [ 6; 5; 4; 2; 1 ] (keys_of_block m)
+
+let test_merge_filter_union () =
+  let hasher = Klsm_primitives.Tabular_hash.create ~seed:1 in
+  let b1 = block_of_keys [ 1 ] and b2 = block_of_keys [ 2 ] in
+  b1.Block.filter <- Bloom.singleton ~hasher 3;
+  b2.Block.filter <- Bloom.singleton ~hasher 5;
+  let m = Block.merge ~alive b1 b2 in
+  check_bool "union contains both" true
+    (Bloom.may_contain ~hasher (Block.filter m) 3
+    && Bloom.may_contain ~hasher (Block.filter m) 5)
+
+(* ---------------- shrink ---------------- *)
+
+let test_shrink_removes_dead_tail () =
+  let b = block_of_keys [ 10; 8; 6; 4; 2 ] in
+  Block.iter b ~f:(fun it -> if Item.key it <= 4 then ignore (Item.take it));
+  let s = Block.shrink ~alive b in
+  Block.check_invariants s;
+  check_list_int "tail dropped" [ 10; 8; 6 ] (keys_of_block s);
+  (* 3 items need level 2. *)
+  check_int "level" 2 (Block.level s)
+
+let test_shrink_noop_when_tight () =
+  let b = block_of_keys (List.init 8 Fun.id) in
+  let s = Block.shrink ~alive b in
+  check_bool "same block" true (s == b)
+
+let test_shrink_filters_mid_block () =
+  (* Dead items in the middle force a copy when the level drops; the copy
+     must clean them out too (Listing 1's recursion).  Kill the 8-item dead
+     tail (keys 0..7) and the odd keys above it: the tail pop leaves 8
+     logical items which fit level 3 < 4, so shrink copies and the copy
+     filters the odd keys, recursing down to level 2. *)
+  let b = block_of_keys (List.init 16 Fun.id) in
+  Block.iter b ~f:(fun it ->
+      if Item.key it < 8 || Item.key it mod 2 = 1 then ignore (Item.take it));
+  let s = Block.shrink ~alive b in
+  Block.check_invariants s;
+  check_list_int "alive survive" [ 14; 12; 10; 8 ] (keys_of_block s);
+  check_int "level minimal" 2 (Block.level s)
+
+let prop_shrink_preserves_alive =
+  qtest "shrink preserves the alive multiset"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 150) (int_bound 500))
+        (list_size (int_bound 150) bool))
+    (fun (keys, kill_mask) ->
+      let b = block_of_keys keys in
+      let i = ref 0 in
+      let expected = ref [] in
+      Block.iter b ~f:(fun it ->
+          let kill = List.nth_opt kill_mask !i = Some true in
+          if kill then ignore (Item.take it)
+          else expected := Item.key it :: !expected;
+          incr i);
+      let s = Block.shrink ~alive b in
+      Block.check_invariants s;
+      (* shrink only guarantees the dead tail is dropped; every alive item
+         must survive (losing one would lose a queue element). *)
+      let got = keys_of_block s in
+      let surviving_alive =
+        List.filter (fun _ -> true) got
+        |> List.filter (fun k -> List.mem k !expected)
+      in
+      List.for_all (fun k -> List.mem k got) !expected
+      && List.length surviving_alive >= List.length !expected)
+
+let test_shrink_empty () =
+  let b = block_of_keys [ 1 ] in
+  Block.iter b ~f:(fun it -> ignore (Item.take it));
+  let s = Block.shrink ~alive b in
+  check_bool "empty" true (Block.is_empty s)
+
+(* ---------------- lazy-deletion alive predicates ---------------- *)
+
+let test_custom_alive_predicate () =
+  (* A predicate that condemns even keys behaves like logical deletion for
+     copy/merge/shrink. *)
+  let alive it = (not (Item.is_taken it)) && Item.key it mod 2 = 1 in
+  let b = block_of_keys [ 1; 2; 3; 4; 5 ] in
+  let c = Block.copy ~alive b (Block.level b) in
+  check_list_int "evens filtered" [ 5; 3; 1 ] (keys_of_block c)
+
+let () =
+  Alcotest.run "block"
+    [
+      ("item", [ Alcotest.test_case "take once" `Quick test_item_take_once ]);
+      ( "block",
+        [
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "capacity" `Quick test_capacity_of_level;
+          prop_block_sorted_descending;
+          Alcotest.test_case "last is min" `Quick test_last_item_is_min;
+        ] );
+      ( "peek",
+        [
+          Alcotest.test_case "skips taken" `Quick test_peek_min_skips_taken;
+          Alcotest.test_case "all dead" `Quick test_peek_min_all_dead;
+        ] );
+      ("copy", [ prop_copy_filters_taken ]);
+      ( "merge",
+        [
+          prop_merge_is_sorted_union;
+          Alcotest.test_case "level fits" `Quick test_merge_level_fits;
+          Alcotest.test_case "filters taken" `Quick test_merge_filters_taken;
+          Alcotest.test_case "bloom union" `Quick test_merge_filter_union;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "dead tail" `Quick test_shrink_removes_dead_tail;
+          Alcotest.test_case "noop when tight" `Quick test_shrink_noop_when_tight;
+          Alcotest.test_case "mid-block filtering" `Quick test_shrink_filters_mid_block;
+          prop_shrink_preserves_alive;
+          Alcotest.test_case "to empty" `Quick test_shrink_empty;
+        ] );
+      ( "lazy-deletion",
+        [ Alcotest.test_case "custom alive" `Quick test_custom_alive_predicate ]
+      );
+    ]

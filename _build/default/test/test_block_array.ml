@@ -1,0 +1,268 @@
+(* Tests for Block_array (paper Listing 2): level invariants under
+   insert/consolidate, pivot calculation, and the randomized relaxed
+   find_min with local ordering. *)
+
+open Helpers
+module B = Klsm_backend.Real
+module Item = Klsm_core.Item.Make (B)
+module Block = Klsm_core.Block.Make (B)
+module Block_array = Klsm_core.Block_array.Make (B)
+module Bloom = Klsm_primitives.Bloom
+module Xoshiro = Klsm_primitives.Xoshiro
+module Tabular_hash = Klsm_primitives.Tabular_hash
+
+let alive it = not (Item.is_taken it)
+let hasher = Tabular_hash.create ~seed:77
+
+let block_of_keys ?(filter = Bloom.empty) keys =
+  match keys with
+  | [] -> invalid_arg "block_of_keys: empty"
+  | k0 :: _ ->
+      let sorted = List.sort (fun a b -> compare b a) keys in
+      let level = Klsm_primitives.Bits.ceil_log2 (List.length keys) in
+      let b = Block.create_with_exemplar level (Item.make k0 ()) in
+      List.iter (fun k -> Block.append ~alive b (Item.make k ())) sorted;
+      b.Block.filter <- filter;
+      b
+
+let array_of_key_lists lists =
+  let t = Block_array.empty () in
+  List.iter (fun keys -> Block_array.insert ~alive t (block_of_keys keys)) lists;
+  t
+
+let all_keys t =
+  Array.to_list (Block_array.blocks t)
+  |> List.concat_map (fun b -> List.map Item.key (Block.to_list b))
+
+(* Keys of items that are still alive (consolidate guarantees nothing about
+   dead items that happen to survive physically in unmoved blocks). *)
+let alive_keys t =
+  Array.to_list (Block_array.blocks t)
+  |> List.concat_map (fun b ->
+         Block.to_list b
+         |> List.filter_map (fun it ->
+                if Item.is_taken it then None else Some (Item.key it)))
+
+(* ---------------- insert / consolidate ---------------- *)
+
+let prop_insert_preserves_invariants =
+  qtest "insert keeps invariants and content" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 15)
+        (list_size (int_range 1 40) (int_bound 1000)))
+    (fun lists ->
+      let t = array_of_key_lists lists in
+      Block_array.check_invariants t;
+      List.sort compare (all_keys t)
+      = List.sort compare (List.concat lists))
+
+let test_insert_merges_same_level () =
+  let t = array_of_key_lists [ [ 1; 2 ]; [ 3; 4 ] ] in
+  (* Two level-1 blocks must have merged into one level-2 block. *)
+  check_int "one block" 1 (Block_array.size t);
+  Block_array.check_invariants t
+
+let test_consolidate_drops_taken () =
+  let t = array_of_key_lists [ [ 1; 2; 3; 4 ]; [ 5; 6 ] ] in
+  Array.iter
+    (fun b ->
+      Block.iter b ~f:(fun it ->
+          if Item.key it mod 2 = 0 then ignore (Item.take it)))
+    (Block_array.blocks t);
+  ignore (Block_array.consolidate ~alive t);
+  Block_array.check_invariants t;
+  check_list_int "odds remain" [ 1; 3; 5 ] (List.sort compare (alive_keys t))
+
+let test_consolidate_empties () =
+  let t = array_of_key_lists [ [ 1; 2; 3 ] ] in
+  Array.iter
+    (fun b -> Block.iter b ~f:(fun it -> ignore (Item.take it)))
+    (Block_array.blocks t);
+  ignore (Block_array.consolidate ~alive t);
+  check_bool "empty" true (Block_array.is_empty t)
+
+let test_copy_is_shallow_consistent () =
+  let t = array_of_key_lists [ [ 1; 2; 3; 4; 5 ] ] in
+  let c = Block_array.copy t in
+  check_int "same size" (Block_array.size t) (Block_array.size c);
+  check_bool "same blocks" true
+    (Array.for_all2 ( == ) (Block_array.blocks t) (Block_array.blocks c))
+
+(* ---------------- pivots ---------------- *)
+
+(* The candidate ranges [pivots.(i), filled) must (a) contain at most k+1
+   items and (b) all candidates must be among the k+1 smallest keys. *)
+let prop_pivots_select_k_smallest =
+  qtest "pivot ranges = k+1 smallest" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 10)
+           (list_size (int_range 1 50) (int_bound 10_000)))
+        (int_bound 64))
+    (fun (lists, k) ->
+      let t = array_of_key_lists lists in
+      Block_array.calculate_pivots t ~k;
+      let all = List.sort compare (all_keys t) in
+      let total = List.length all in
+      let selected = ref [] in
+      Array.iteri
+        (fun i b ->
+          for pos = t.Block_array.pivots.(i) to Block.filled b - 1 do
+            selected := Item.key b.Block.items.(pos) :: !selected
+          done)
+        (Block_array.blocks t);
+      let n_sel = List.length !selected in
+      let cutoff_count = min (k + 1) total in
+      (* (a) at most k+1 candidates, (b) at least one (array non-empty),
+         (c) every candidate belongs to the k+1 smallest multiset. *)
+      let smallest = List.filteri (fun i _ -> i < cutoff_count) all in
+      n_sel <= k + 1 && n_sel >= 1
+      && List.for_all
+           (fun key ->
+             (* key appears in the k+1-smallest multiset *)
+             List.exists (fun s -> s = key) smallest)
+           !selected)
+
+let test_pivots_exhausted_small_array () =
+  let t = array_of_key_lists [ [ 5; 6 ] ] in
+  Block_array.calculate_pivots t ~k:100;
+  (* Everything is a candidate. *)
+  check_int "pivot 0" 0 t.Block_array.pivots.(0)
+
+(* ---------------- find_min ---------------- *)
+
+let rng = Xoshiro.create ~seed:5
+
+let test_find_min_empty () =
+  let t = Block_array.empty () in
+  check_bool "none" true
+    (Block_array.find_min ~alive ~rng ~my_tid:0 ~hasher t = None)
+
+let prop_find_min_within_k1_smallest =
+  qtest "find_min returns one of the k+1 smallest" ~count:200
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 8)
+           (list_size (int_range 1 40) (int_bound 10_000)))
+        (int_bound 32) int)
+    (fun (lists, k, seed) ->
+      let t = array_of_key_lists lists in
+      Block_array.calculate_pivots t ~k;
+      let rng = Xoshiro.create ~seed in
+      let all = List.sort compare (all_keys t) in
+      let cutoff =
+        List.nth all (min k (List.length all - 1))
+      in
+      match Block_array.find_min ~alive ~rng ~my_tid:0 ~hasher t with
+      | None -> false
+      | Some it -> Item.key it <= cutoff)
+
+let test_find_min_falls_back_on_taken () =
+  (* Single block, the randomly selected candidate may be taken; the block
+     minimum is alive, so eventually an alive item must be returned and it
+     must be the block min. *)
+  let t = array_of_key_lists [ [ 1; 2; 3; 4; 5; 6; 7; 8 ] ] in
+  Block_array.calculate_pivots t ~k:7;
+  (* Take everything except the minimum. *)
+  Array.iter
+    (fun b ->
+      Block.iter b ~f:(fun it ->
+          if Item.key it <> 1 then ignore (Item.take it)))
+    (Block_array.blocks t);
+  for _ = 1 to 20 do
+    match Block_array.find_min ~alive ~rng ~my_tid:0 ~hasher t with
+    | Some it ->
+        (* Either an alive item (the min) or a taken one (caller retries);
+           the alive one must be the true minimum. *)
+        if alive it then check_int "min" 1 (Item.key it)
+    | None -> Alcotest.fail "array is not empty"
+  done
+
+let test_local_ordering_returns_my_min () =
+  (* Build one block attributed to tid 3 holding the global minimum, and a
+     big block of smaller candidates attributed to someone else; with local
+     ordering the returned key must never exceed my block's minimum. *)
+  let mine = block_of_keys ~filter:(Bloom.singleton ~hasher 3) [ 100; 50 ] in
+  let other =
+    block_of_keys
+      ~filter:(Bloom.singleton ~hasher 9)
+      (List.init 32 (fun i -> 200 + i))
+  in
+  let t = Block_array.empty () in
+  Block_array.insert ~alive t other;
+  Block_array.insert ~alive t mine;
+  Block_array.calculate_pivots t ~k:16;
+  for seed = 0 to 50 do
+    let rng = Xoshiro.create ~seed in
+    match Block_array.find_min ~alive ~rng ~my_tid:3 ~hasher t with
+    | Some it -> check_bool "never skips my min" true (Item.key it <= 50)
+    | None -> Alcotest.fail "non-empty"
+  done
+
+let test_find_min_never_none_with_alive_items () =
+  (* Regression for the mass-loss bug: concurrent deleters can shrink every
+     block's [filled] below its stale pivot, making every candidate range
+     empty.  find_min must fall back to the block minima instead of
+     reporting emptiness (the caller would otherwise publish None and
+     disconnect live items). *)
+  let t = array_of_key_lists [ List.init 16 (fun i -> i) ] in
+  Block_array.calculate_pivots t ~k:3;
+  (* Take the 8 smallest and let peek_min publish the shrunken filled —
+     now filled (8) < pivot (12). *)
+  Array.iter
+    (fun b ->
+      Block.iter b ~f:(fun it -> if Item.key it < 8 then ignore (Item.take it)))
+    (Block_array.blocks t);
+  Array.iter
+    (fun b -> ignore (Block.peek_min ~alive b))
+    (Block_array.blocks t);
+  check_bool "pivot now exceeds filled" true
+    (t.Block_array.pivots.(0) > Block.filled (Block_array.blocks t).(0));
+  for seed = 0 to 20 do
+    let rng = Xoshiro.create ~seed in
+    match Block_array.find_min ~alive ~rng ~my_tid:0 ~hasher t with
+    | Some it -> check_bool "alive item findable" true (Item.key it >= 8)
+    | None -> Alcotest.fail "transient None on non-empty array (regression)"
+  done
+
+let test_local_ordering_disabled () =
+  (* Sanity for the ablation knob: with local_ordering:false and the
+     minimum hidden outside the candidate window... the candidates all come
+     from pivot ranges, which are the k+1 smallest, so we simply check a
+     value is returned. *)
+  let t = array_of_key_lists [ List.init 16 (fun i -> i * 2) ] in
+  Block_array.calculate_pivots t ~k:3;
+  let rng = Xoshiro.create ~seed:1 in
+  match
+    Block_array.find_min ~local_ordering:false ~alive ~rng ~my_tid:0 ~hasher t
+  with
+  | Some it -> check_bool "candidate small" true (Item.key it <= 6)
+  | None -> Alcotest.fail "non-empty"
+
+let () =
+  Alcotest.run "block_array"
+    [
+      ( "insert/consolidate",
+        [
+          prop_insert_preserves_invariants;
+          Alcotest.test_case "same-level merge" `Quick test_insert_merges_same_level;
+          Alcotest.test_case "consolidate drops taken" `Quick test_consolidate_drops_taken;
+          Alcotest.test_case "consolidate to empty" `Quick test_consolidate_empties;
+          Alcotest.test_case "copy shallow" `Quick test_copy_is_shallow_consistent;
+        ] );
+      ( "pivots",
+        [
+          prop_pivots_select_k_smallest;
+          Alcotest.test_case "small array" `Quick test_pivots_exhausted_small_array;
+        ] );
+      ( "find_min",
+        [
+          Alcotest.test_case "empty" `Quick test_find_min_empty;
+          prop_find_min_within_k1_smallest;
+          Alcotest.test_case "fallback on taken" `Quick test_find_min_falls_back_on_taken;
+          Alcotest.test_case "local ordering" `Quick test_local_ordering_returns_my_min;
+          Alcotest.test_case "local ordering off" `Quick test_local_ordering_disabled;
+          Alcotest.test_case "no transient None (regression)" `Quick
+            test_find_min_never_none_with_alive_items;
+        ] );
+    ]

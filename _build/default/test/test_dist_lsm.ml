@@ -1,0 +1,195 @@
+(* Tests for the distributed LSM (paper Listing 4): exact single-owner
+   semantics, the spill rule, spying, and consolidation. *)
+
+open Helpers
+module B = Klsm_backend.Real
+module Item = Klsm_core.Item.Make (B)
+module Block = Klsm_core.Block.Make (B)
+module Dist_lsm = Klsm_core.Dist_lsm.Make (B)
+module Tabular_hash = Klsm_primitives.Tabular_hash
+module Xoshiro = Klsm_primitives.Xoshiro
+
+let hasher = Tabular_hash.create ~seed:7
+let alive it = not (Item.is_taken it)
+
+let make_lsm ?(tid = 0) () = Dist_lsm.create ~tid ~hasher ~alive ()
+
+let no_spill _ = Alcotest.fail "unexpected spill"
+
+let insert_keys t keys =
+  List.iter
+    (fun k -> Dist_lsm.insert t (Item.make k ()) ~max_level:max_int ~spill:no_spill)
+    keys
+
+(* Owner-side exact delete-min: find_min + take. *)
+let delete_min t =
+  match Dist_lsm.find_min t with
+  | None -> None
+  | Some it ->
+      check_bool "owner take succeeds" true (Item.take it);
+      Some (Item.key it)
+
+(* ---------------- exact sequential semantics ---------------- *)
+
+let prop_dist_lsm_is_exact_pq =
+  qtest "single-owner LSM = exact priority queue" ~count:150 ops_gen
+    (fun ops ->
+      let t = make_lsm () in
+      matches_oracle
+        ~insert:(fun k ->
+          Dist_lsm.insert t (Item.make k ()) ~max_level:max_int ~spill:no_spill)
+        ~delete_min:(fun () -> delete_min t)
+        ops)
+
+let test_levels_strictly_decreasing () =
+  let t = make_lsm () in
+  insert_keys t (List.init 100 Fun.id);
+  Dist_lsm.check_invariants t
+
+let test_total_filled () =
+  let t = make_lsm () in
+  insert_keys t (List.init 37 Fun.id);
+  check_int "all live" 37 (Dist_lsm.total_filled t)
+
+(* ---------------- spill rule ---------------- *)
+
+let test_spill_threshold () =
+  (* max_level 1 allows blocks of capacity <= 2; the first merge cascade
+     exceeding that spills. *)
+  let spilled = ref [] in
+  let t = make_lsm () in
+  let spill b = spilled := b :: !spilled in
+  for i = 1 to 16 do
+    Dist_lsm.insert t (Item.make i ()) ~max_level:1 ~spill
+  done;
+  check_bool "spills happened" true (List.length !spilled > 0);
+  List.iter
+    (fun b -> check_bool "spilled blocks exceed the bound" true (Block.level b >= 2))
+    !spilled;
+  (* Local LSM never holds more than 2^(max_level+1) - 1 = 3 items. *)
+  check_bool "local bounded" true (Dist_lsm.total_filled t <= 3)
+
+let test_spill_conserves_items () =
+  let spilled = ref 0 in
+  let t = make_lsm () in
+  let spill b = spilled := !spilled + Block.filled b in
+  for i = 1 to 100 do
+    Dist_lsm.insert t (Item.make i ()) ~max_level:2 ~spill
+  done;
+  check_int "items conserved" 100 (!spilled + Dist_lsm.total_filled t)
+
+let test_max_level_for_k () =
+  check_int "k=0" (-1) (Dist_lsm.max_level_for_k 0);
+  check_int "k=1" (-1) (Dist_lsm.max_level_for_k 1);
+  check_int "k=4" 1 (Dist_lsm.max_level_for_k 4);
+  check_int "k=256" 7 (Dist_lsm.max_level_for_k 256);
+  (* Capacity bound of Lemma 2: 2^(L+1) - 1 <= k. *)
+  List.iter
+    (fun k ->
+      let l = Dist_lsm.max_level_for_k k in
+      check_bool "capacity <= k" true ((1 lsl (l + 1)) - 1 <= k))
+    [ 2; 3; 4; 7; 8; 100; 256; 4096 ]
+
+(* ---------------- consolidate ---------------- *)
+
+let test_consolidate_removes_dead () =
+  let t = make_lsm () in
+  insert_keys t (List.init 50 Fun.id);
+  (* Take the even keys. *)
+  Dist_lsm.iter_items t ~f:(fun it ->
+      if Item.key it mod 2 = 0 then ignore (Item.take it));
+  Dist_lsm.consolidate t;
+  Dist_lsm.check_invariants t;
+  check_int "25 alive" 25 (Dist_lsm.total_filled t);
+  check_bool "dead fraction 0" true (Dist_lsm.dead_fraction t = 0.)
+
+let test_consolidate_empty () =
+  let t = make_lsm () in
+  insert_keys t [ 1; 2; 3 ];
+  Dist_lsm.iter_items t ~f:(fun it -> ignore (Item.take it));
+  Dist_lsm.consolidate t;
+  check_int "size 0" 0 (Dist_lsm.size t)
+
+(* ---------------- spy ---------------- *)
+
+let test_spy_copies_alive_items () =
+  let victim = make_lsm ~tid:0 () in
+  insert_keys victim [ 5; 3; 9; 1 ];
+  let thief = make_lsm ~tid:1 () in
+  check_bool "spy succeeds" true (Dist_lsm.spy thief ~victim);
+  (* The thief sees the same minimal key. *)
+  (match (Dist_lsm.find_min thief, Dist_lsm.find_min victim) with
+  | Some a, Some b -> check_int "same min" (Item.key b) (Item.key a)
+  | _ -> Alcotest.fail "both should be non-empty");
+  (* And they are the SAME items (pointers), so deletion is exclusive. *)
+  match (Dist_lsm.find_min thief, Dist_lsm.find_min victim) with
+  | Some a, Some b ->
+      check_bool "same item" true (a == b);
+      check_bool "take once" true (Item.take a);
+      check_bool "other copy is dead too" true (Item.is_taken b)
+  | _ -> Alcotest.fail "non-empty"
+
+let test_spy_empty_victim () =
+  let victim = make_lsm ~tid:0 () in
+  let thief = make_lsm ~tid:1 () in
+  check_bool "nothing to spy" false (Dist_lsm.spy thief ~victim)
+
+let test_spy_all_dead_victim () =
+  let victim = make_lsm ~tid:0 () in
+  insert_keys victim [ 1; 2; 3 ];
+  Dist_lsm.iter_items victim ~f:(fun it -> ignore (Item.take it));
+  let thief = make_lsm ~tid:1 () in
+  check_bool "dead items are not acquisitions" false
+    (Dist_lsm.spy thief ~victim)
+
+let test_spy_respects_level_order () =
+  let victim = make_lsm ~tid:0 () in
+  insert_keys victim (List.init 60 Fun.id);
+  let thief = make_lsm ~tid:1 () in
+  ignore (Dist_lsm.spy thief ~victim);
+  Dist_lsm.check_invariants thief
+
+(* Publication-order regression: find_min during a partially-visible merge
+   must never lose reachability of items (single-threaded re-check that the
+   merged publication preserves the whole content). *)
+let prop_insert_never_loses_items =
+  qtest "insert conserves the key multiset" ~count:150 keys_gen (fun keys ->
+      match keys with
+      | [] -> true
+      | _ ->
+          let t = make_lsm () in
+          insert_keys t keys;
+          let collected = ref [] in
+          Dist_lsm.iter_items t ~f:(fun it ->
+              collected := Item.key it :: !collected);
+          List.sort compare !collected = List.sort compare keys)
+
+let () =
+  Alcotest.run "dist_lsm"
+    [
+      ( "sequential",
+        [
+          prop_dist_lsm_is_exact_pq;
+          Alcotest.test_case "invariants" `Quick test_levels_strictly_decreasing;
+          Alcotest.test_case "total_filled" `Quick test_total_filled;
+          prop_insert_never_loses_items;
+        ] );
+      ( "spill",
+        [
+          Alcotest.test_case "threshold" `Quick test_spill_threshold;
+          Alcotest.test_case "conservation" `Quick test_spill_conserves_items;
+          Alcotest.test_case "max_level_for_k" `Quick test_max_level_for_k;
+        ] );
+      ( "consolidate",
+        [
+          Alcotest.test_case "removes dead" `Quick test_consolidate_removes_dead;
+          Alcotest.test_case "to empty" `Quick test_consolidate_empty;
+        ] );
+      ( "spy",
+        [
+          Alcotest.test_case "copies alive" `Quick test_spy_copies_alive_items;
+          Alcotest.test_case "empty victim" `Quick test_spy_empty_victim;
+          Alcotest.test_case "all-dead victim" `Quick test_spy_all_dead_victim;
+          Alcotest.test_case "level order" `Quick test_spy_respects_level_order;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the graph substrate: CSR construction, the three generators,
+   and the two sequential SSSP oracles (cross-checked against each other
+   and against hand-computed instances). *)
+
+open Helpers
+module Graph = Klsm_graph.Graph
+module Gen = Klsm_graph.Gen
+module Dijkstra = Klsm_graph.Dijkstra
+module Bellman_ford = Klsm_graph.Bellman_ford
+
+(* ---------------- CSR ---------------- *)
+
+let test_of_edges_basic () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 10); (0, 2, 20); (1, 2, 5) ] in
+  check_int "nodes" 3 (Graph.num_nodes g);
+  check_int "edges" 3 (Graph.num_edges g);
+  check_int "deg 0" 2 (Graph.out_degree g 0);
+  check_int "deg 2" 0 (Graph.out_degree g 2);
+  let succ = ref [] in
+  Graph.iter_succ g 0 ~f:(fun v w -> succ := (v, w) :: !succ);
+  check_bool "succ set" true
+    (List.sort compare !succ = [ (1, 10); (2, 20) ])
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.of_edges: endpoint out of range") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 5, 1) ]));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Graph.of_edges: negative weight") (fun () ->
+      ignore (Graph.of_edges ~n:2 [ (0, 1, -1) ]))
+
+let test_fold_edges () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 10); (1, 2, 5) ] in
+  let total = Graph.fold_edges g ~init:0 ~f:(fun acc _ _ w -> acc + w) in
+  check_int "weight sum" 15 total
+
+let prop_edge_arrays_consistent =
+  qtest "of_edge_arrays = of_edges" ~count:50
+    QCheck2.Gen.(
+      list_size (int_bound 100) (triple (int_bound 9) (int_bound 9) (int_bound 50)))
+    (fun edges ->
+      let n = 10 in
+      let g1 = Graph.of_edges ~n edges in
+      let src = Array.of_list (List.map (fun (u, _, _) -> u) edges) in
+      let dst = Array.of_list (List.map (fun (_, v, _) -> v) edges) in
+      let w = Array.of_list (List.map (fun (_, _, w) -> w) edges) in
+      let g2 = Graph.of_edge_arrays ~n ~src ~dst ~w in
+      let dump g =
+        List.init n (fun u ->
+            let acc = ref [] in
+            Graph.iter_succ g u ~f:(fun v w -> acc := (v, w) :: !acc);
+            List.sort compare !acc)
+      in
+      dump g1 = dump g2)
+
+(* ---------------- generators ---------------- *)
+
+let test_er_deterministic () =
+  let g1 = Gen.erdos_renyi ~seed:4 ~n:100 ~p:0.1 () in
+  let g2 = Gen.erdos_renyi ~seed:4 ~n:100 ~p:0.1 () in
+  check_int "same edges" (Graph.num_edges g1) (Graph.num_edges g2);
+  check_bool "same dijkstra" true
+    ((Dijkstra.run g1 ~source:0).Dijkstra.dist
+    = (Dijkstra.run g2 ~source:0).Dijkstra.dist)
+
+let test_er_edge_count () =
+  (* E[arcs] = 2 * p * n(n-1)/2; allow a generous tolerance. *)
+  let n = 200 and p = 0.2 in
+  let g = Gen.erdos_renyi ~seed:7 ~n ~p () in
+  let expected = p *. float_of_int (n * (n - 1)) in
+  let got = float_of_int (Graph.num_edges g) in
+  check_bool "within 15%" true
+    (got > 0.85 *. expected && got < 1.15 *. expected)
+
+let test_er_symmetric () =
+  let g = Gen.erdos_renyi ~seed:11 ~n:50 ~p:0.3 () in
+  let arcs = Hashtbl.create 64 in
+  Graph.fold_edges g ~init:() ~f:(fun () u v w -> Hashtbl.replace arcs (u, v) w);
+  Hashtbl.iter
+    (fun (u, v) w ->
+      match Hashtbl.find_opt arcs (v, u) with
+      | Some w' -> check_int "mirrored weight" w w'
+      | None -> Alcotest.fail "missing mirror arc")
+    arcs
+
+let test_er_weights_in_range () =
+  let g = Gen.erdos_renyi ~seed:3 ~n:50 ~p:0.5 ~max_weight:100 () in
+  Graph.fold_edges g ~init:() ~f:(fun () _ _ w ->
+      check_bool "weight in [1,100]" true (w >= 1 && w <= 100))
+
+let test_er_extremes () =
+  let empty = Gen.erdos_renyi ~seed:1 ~n:10 ~p:0. () in
+  check_int "p=0 no edges" 0 (Graph.num_edges empty);
+  let full = Gen.erdos_renyi ~seed:1 ~n:10 ~p:1. () in
+  check_int "p=1 complete" (10 * 9) (Graph.num_edges full)
+
+let test_grid () =
+  let g = Gen.grid ~seed:5 ~width:4 ~height:3 () in
+  check_int "nodes" 12 (Graph.num_nodes g);
+  (* Arcs: 2 * (3*(4-1) + 4*(3-1)) = 2 * 17. *)
+  check_int "arcs" 34 (Graph.num_edges g)
+
+let test_rmat () =
+  let g = Gen.rmat ~seed:5 ~scale:8 ~edge_factor:4 () in
+  check_int "nodes" 256 (Graph.num_nodes g);
+  check_bool "arcs bounded" true (Graph.num_edges g <= 2 * 4 * 256);
+  (* Power-law-ish: the max degree should far exceed the mean. *)
+  let max_deg = ref 0 in
+  for u = 0 to 255 do
+    max_deg := max !max_deg (Graph.out_degree g u)
+  done;
+  check_bool "skewed degrees" true (!max_deg > 2 * Graph.num_edges g / 256)
+
+(* ---------------- sequential oracles ---------------- *)
+
+let test_dijkstra_tiny () =
+  (* 0 -> 1 (1), 1 -> 2 (1), 0 -> 2 (5): best 0->2 is 2. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1); (1, 2, 1); (0, 2, 5) ] in
+  let r = Dijkstra.run g ~source:0 in
+  check_int "d0" 0 r.Dijkstra.dist.(0);
+  check_int "d1" 1 r.Dijkstra.dist.(1);
+  check_int "d2" 2 r.Dijkstra.dist.(2);
+  check_int "unreachable" max_int r.Dijkstra.dist.(3);
+  check_int "settled" 3 r.Dijkstra.settled
+
+let prop_dijkstra_equals_bellman_ford =
+  qtest "dijkstra = bellman-ford on random graphs" ~count:50
+    QCheck2.Gen.(pair int (int_range 2 60))
+    (fun (seed, n) ->
+      let g = Gen.erdos_renyi ~seed ~n ~p:0.15 ~max_weight:1000 () in
+      (Dijkstra.run g ~source:0).Dijkstra.dist = Bellman_ford.run g ~source:0)
+
+let prop_dijkstra_triangle_inequality =
+  qtest "settled distances satisfy edge relaxations" ~count:30
+    QCheck2.Gen.int
+    (fun seed ->
+      let g = Gen.erdos_renyi ~seed ~n:60 ~p:0.2 ~max_weight:1000 () in
+      let d = (Dijkstra.run g ~source:0).Dijkstra.dist in
+      Graph.fold_edges g ~init:true ~f:(fun acc u v w ->
+          acc && (d.(u) = max_int || d.(v) <= d.(u) + w)))
+
+let test_dijkstra_source_validation () =
+  let g = Graph.of_edges ~n:2 [] in
+  Alcotest.check_raises "source" (Invalid_argument "Dijkstra.run: source")
+    (fun () -> ignore (Dijkstra.run g ~source:5))
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "csr",
+        [
+          Alcotest.test_case "of_edges" `Quick test_of_edges_basic;
+          Alcotest.test_case "validation" `Quick test_of_edges_validation;
+          Alcotest.test_case "fold_edges" `Quick test_fold_edges;
+          prop_edge_arrays_consistent;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "er deterministic" `Quick test_er_deterministic;
+          Alcotest.test_case "er edge count" `Quick test_er_edge_count;
+          Alcotest.test_case "er symmetric" `Quick test_er_symmetric;
+          Alcotest.test_case "er weights" `Quick test_er_weights_in_range;
+          Alcotest.test_case "er extremes" `Quick test_er_extremes;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "rmat" `Quick test_rmat;
+        ] );
+      ( "oracles",
+        [
+          Alcotest.test_case "tiny instance" `Quick test_dijkstra_tiny;
+          prop_dijkstra_equals_bellman_ford;
+          prop_dijkstra_triangle_inequality;
+          Alcotest.test_case "validation" `Quick test_dijkstra_source_validation;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* Tests for the combined k-LSM queue (paper Listing 5) and the standalone
+   DLSM wrapper: exact single-thread semantics, relaxation bounds, spying
+   across handles, runtime k, lazy deletion, and input validation. *)
+
+open Helpers
+module B = Klsm_backend.Real
+module Klsm = Klsm_core.Klsm.Default
+module Dlsm = Klsm_core.Dlsm.Default
+
+(* Drain with retry: try_delete_min may fail spuriously. *)
+let drain_all try_delete_min =
+  let rec go acc misses =
+    if misses > 200 then List.rev acc
+    else begin
+      match try_delete_min () with
+      | Some (k, _) -> go (k :: acc) 0
+      | None -> go acc (misses + 1)
+    end
+  in
+  go [] 0
+
+(* ---------------- single-thread exactness (local ordering) ---------------- *)
+
+let prop_klsm_single_thread_exact =
+  qtest "k-LSM single thread = exact PQ (any k)" ~count:100
+    QCheck2.Gen.(pair ops_gen (int_bound 300))
+    (fun (ops, k) ->
+      let q = Klsm.create_with ~k ~num_threads:1 () in
+      let h = Klsm.register q 0 in
+      matches_oracle
+        ~insert:(fun key -> Klsm.insert h key ())
+        ~delete_min:(fun () ->
+          Option.map fst (Klsm.try_delete_min h))
+        ops)
+
+let prop_dlsm_single_thread_exact =
+  qtest "DLSM single thread = exact PQ" ~count:100 ops_gen (fun ops ->
+      let q = Dlsm.create_with ~num_threads:1 () in
+      let h = Dlsm.register q 0 in
+      matches_oracle
+        ~insert:(fun key -> Dlsm.insert h key ())
+        ~delete_min:(fun () -> Option.map fst (Dlsm.try_delete_min h))
+        ops)
+
+(* ---------------- conservation across handles ---------------- *)
+
+let prop_multi_handle_conservation =
+  (* Two handles driven deterministically from one thread: all inserted
+     keys come out exactly once (spying paths included). *)
+  qtest "two-handle conservation" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 300) (int_bound 5_000))
+    (fun keys ->
+      let q = Klsm.create_with ~k:16 ~num_threads:2 () in
+      let h0 = Klsm.register q 0 and h1 = Klsm.register q 1 in
+      List.iteri
+        (fun i k -> Klsm.insert (if i land 1 = 0 then h0 else h1) k ())
+        keys;
+      (* h0 drains everything, spying on h1's local LSM. *)
+      let got = drain_all (fun () -> Klsm.try_delete_min h0) in
+      List.sort compare got = List.sort compare keys)
+
+let test_spy_enables_cross_thread_delete () =
+  let q = Klsm.create_with ~k:1024 ~num_threads:2 () in
+  let h0 = Klsm.register q 0 and h1 = Klsm.register q 1 in
+  (* All items live in h1's local LSM (k large: nothing spills). *)
+  for i = 1 to 100 do
+    Klsm.insert h1 i ()
+  done;
+  let got = drain_all (fun () -> Klsm.try_delete_min h0) in
+  check_int "h0 got them all by spying" 100 (List.length got)
+
+(* ---------------- relaxation bound (rho = T*k) ---------------- *)
+
+let test_relaxation_bound_single_thread () =
+  (* T = 1: every delete-min must return a key of rank <= deletions + k
+     among the initial set (deletion-only phase). *)
+  let k = 8 in
+  let q = Klsm.create_with ~k ~num_threads:1 () in
+  let h = Klsm.register q 0 in
+  let n = 200 in
+  (* Distinct keys 0..n-1 in shuffled order. *)
+  let keys = Array.init n Fun.id in
+  Klsm_primitives.Xoshiro.shuffle (Klsm_primitives.Xoshiro.create ~seed:4) keys;
+  Array.iter (fun key -> Klsm.insert h key ()) keys;
+  let deleted = ref 0 in
+  let rec go () =
+    match Klsm.try_delete_min h with
+    | Some (key, ()) ->
+        (* rank of key among remaining = key - (#smaller deleted); since we
+           delete near-minimal keys, a loose but sound bound: *)
+        check_bool "within rho window" true (key <= !deleted + k + 1);
+        incr deleted;
+        go ()
+    | None -> ()
+  in
+  go ();
+  check_int "drained" n !deleted
+
+(* ---------------- runtime k ---------------- *)
+
+let test_set_k () =
+  let q = Klsm.create_with ~k:0 ~num_threads:1 () in
+  let h = Klsm.register q 0 in
+  for i = 1 to 50 do
+    Klsm.insert h i ()
+  done;
+  Klsm.set_k q 1024;
+  check_int "get_k" 1024 (Klsm.get_k q);
+  for i = 51 to 100 do
+    Klsm.insert h i ()
+  done;
+  let got = drain_all (fun () -> Klsm.try_delete_min h) in
+  check_int "conserved across k change" 100 (List.length got)
+
+(* ---------------- lazy deletion (§4.5) ---------------- *)
+
+let test_lazy_deletion_filters () =
+  let condemned = Hashtbl.create 16 in
+  let dropped = ref [] in
+  let q =
+    Klsm.create_with ~k:4 ~num_threads:1
+      ~should_delete:(fun key _ -> Hashtbl.mem condemned key)
+      ~on_lazy_delete:(fun key _ -> dropped := key :: !dropped)
+      ()
+  in
+  let h = Klsm.register q 0 in
+  for i = 1 to 32 do
+    Klsm.insert h i ()
+  done;
+  (* Condemn the odd keys, then force consolidation via more traffic. *)
+  for i = 1 to 32 do
+    if i mod 2 = 1 then Hashtbl.replace condemned i true
+  done;
+  let got = drain_all (fun () -> Klsm.try_delete_min h) in
+  (* No condemned key is ever returned. *)
+  List.iter
+    (fun k -> check_bool "only even keys returned" true (k mod 2 = 0))
+    got;
+  check_int "16 survivors" 16 (List.length got);
+  (* Every condemned key was dropped exactly once (16 odd keys). *)
+  let d = List.sort compare !dropped in
+  check_list_int "each dropped once" (List.init 16 (fun i -> (2 * i) + 1)) d
+
+let test_lazy_deletion_exactly_once_hook () =
+  (* Heavy merging must not double-fire the hook. *)
+  let fired = Hashtbl.create 16 in
+  let dupes = ref 0 in
+  let q =
+    Klsm.create_with ~k:8 ~num_threads:1
+      ~should_delete:(fun key _ -> key mod 3 = 0)
+      ~on_lazy_delete:(fun key _ ->
+        if Hashtbl.mem fired key then incr dupes else Hashtbl.replace fired key ())
+      ()
+  in
+  let h = Klsm.register q 0 in
+  for i = 1 to 300 do
+    Klsm.insert h i ()
+  done;
+  ignore (drain_all (fun () -> Klsm.try_delete_min h));
+  check_int "no duplicate hook firings" 0 !dupes
+
+(* ---------------- sizes & validation ---------------- *)
+
+let test_approximate_size () =
+  let q = Klsm.create_with ~k:16 ~num_threads:1 () in
+  let h = Klsm.register q 0 in
+  for i = 1 to 100 do
+    Klsm.insert h i ()
+  done;
+  check_bool "size >= alive count" true (Klsm.approximate_size q >= 100)
+
+let test_validation () =
+  Alcotest.check_raises "threads" (Invalid_argument "Klsm.create: num_threads < 1")
+    (fun () -> ignore (Klsm.create_with ~num_threads:0 ()));
+  let q = Klsm.create_with ~num_threads:1 () in
+  Alcotest.check_raises "tid range" (Invalid_argument "Klsm.register: tid")
+    (fun () -> ignore (Klsm.register q 1));
+  let h = Klsm.register q 0 in
+  Alcotest.check_raises "negative key" (Invalid_argument "Klsm.insert: negative key")
+    (fun () -> Klsm.insert h (-1) ())
+
+let test_empty_queue () =
+  let q = Klsm.create_with ~num_threads:4 () in
+  let h = Klsm.register q 0 in
+  check_bool "empty" true (Klsm.try_delete_min h = None);
+  check_int "size" 0 (Klsm.approximate_size q)
+
+let test_duplicate_keys () =
+  let q = Klsm.create_with ~k:4 ~num_threads:1 () in
+  let h = Klsm.register q 0 in
+  for _ = 1 to 50 do
+    Klsm.insert h 7 ()
+  done;
+  let got = drain_all (fun () -> Klsm.try_delete_min h) in
+  check_int "all 50 duplicates" 50 (List.length got);
+  List.iter (fun k -> check_int "key 7" 7 k) got
+
+let test_consolidate_local_exposed () =
+  let q =
+    Klsm.create_with ~k:1024 ~num_threads:1
+      ~should_delete:(fun key _ -> key > 10)
+      ()
+  in
+  let h = Klsm.register q 0 in
+  for i = 1 to 100 do
+    Klsm.insert h i ()
+  done;
+  Klsm.consolidate_local h;
+  (* Condemned items were filtered out of the local LSM. *)
+  check_bool "shrunk" true (Klsm.approximate_size q <= 10)
+
+let () =
+  Alcotest.run "klsm"
+    [
+      ( "exactness",
+        [ prop_klsm_single_thread_exact; prop_dlsm_single_thread_exact ] );
+      ( "multi-handle",
+        [
+          prop_multi_handle_conservation;
+          Alcotest.test_case "spy cross-thread" `Quick test_spy_enables_cross_thread_delete;
+        ] );
+      ( "relaxation",
+        [ Alcotest.test_case "rho window" `Quick test_relaxation_bound_single_thread ] );
+      ("runtime-k", [ Alcotest.test_case "set_k" `Quick test_set_k ]);
+      ( "lazy-deletion",
+        [
+          Alcotest.test_case "filters condemned" `Quick test_lazy_deletion_filters;
+          Alcotest.test_case "hook exactly once" `Quick test_lazy_deletion_exactly_once_hook;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "approximate size" `Quick test_approximate_size;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "empty" `Quick test_empty_queue;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_keys;
+          Alcotest.test_case "consolidate_local" `Quick test_consolidate_local_exposed;
+        ] );
+    ]

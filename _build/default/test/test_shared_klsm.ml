@@ -1,0 +1,201 @@
+(* Tests for the shared k-LSM (paper Listing 3): snapshot/push protocol,
+   relaxed find_min bounds, consolidation on deleted minima, and multi-
+   handle interleavings driven deterministically from one thread. *)
+
+open Helpers
+module B = Klsm_backend.Real
+module Item = Klsm_core.Item.Make (B)
+module Block = Klsm_core.Block.Make (B)
+module Shared = Klsm_core.Shared_klsm.Make (B)
+module Bloom = Klsm_primitives.Bloom
+module Tabular_hash = Klsm_primitives.Tabular_hash
+module Xoshiro = Klsm_primitives.Xoshiro
+
+let hasher = Tabular_hash.create ~seed:3
+let alive it = not (Item.is_taken it)
+
+let make ?(k = 8) () = Shared.create ~k ~hasher ~alive ()
+
+let handle ?(tid = 0) q =
+  Shared.register q ~tid ~rng:(Xoshiro.create ~seed:(tid + 1))
+
+let block_of_keys ?(filter = Bloom.empty) keys =
+  match keys with
+  | [] -> invalid_arg "block_of_keys"
+  | k0 :: _ ->
+      let sorted = List.sort (fun a b -> compare b a) keys in
+      let level = Klsm_primitives.Bits.ceil_log2 (List.length keys) in
+      let b = Block.create_with_exemplar level (Item.make k0 ()) in
+      List.iter (fun k -> Block.append ~alive b (Item.make k ())) sorted;
+      b.Block.filter <- filter;
+      b
+
+(* Exact-ish delete-min through the shared component only. *)
+let rec delete_min h =
+  match Shared.find_min h with
+  | None -> None
+  | Some it -> if Item.take it then Some (Item.key it) else delete_min h
+
+let test_empty () =
+  let q = make () in
+  let h = handle q in
+  check_bool "empty" true (Shared.find_min h = None);
+  check_int "size 0" 0 (Shared.approximate_size q)
+
+let test_insert_then_find () =
+  let q = make () in
+  let h = handle q in
+  Shared.insert h (block_of_keys [ 9; 4; 7 ]);
+  (match Shared.find_min h with
+  | Some it -> check_bool "among k+1 smallest" true (Item.key it <= 9)
+  | None -> Alcotest.fail "non-empty");
+  check_int "size 3" 3 (Shared.approximate_size q)
+
+let test_k0_is_exact () =
+  (* With k = 0 the candidate set is exactly the minimum. *)
+  let q = make ~k:0 () in
+  let h = handle q in
+  Shared.insert h (block_of_keys [ 10; 30 ]);
+  Shared.insert h (block_of_keys [ 20; 40 ]);
+  check_bool "min is 10" true (delete_min h = Some 10);
+  check_bool "then 20" true (delete_min h = Some 20);
+  check_bool "then 30" true (delete_min h = Some 30);
+  check_bool "then 40" true (delete_min h = Some 40);
+  check_bool "then empty" true (delete_min h = None)
+
+let prop_find_min_within_bound =
+  qtest "find_min within the k+1 smallest" ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 8)
+           (list_size (int_range 1 30) (int_bound 10_000)))
+        (int_bound 16) int)
+    (fun (lists, k, seed) ->
+      let q = Shared.create ~k ~hasher ~alive () in
+      let h = Shared.register q ~tid:0 ~rng:(Xoshiro.create ~seed) in
+      List.iter (fun keys -> Shared.insert h (block_of_keys keys)) lists;
+      let all = List.sort compare (List.concat lists) in
+      let cutoff = List.nth all (min k (List.length all - 1)) in
+      match Shared.find_min h with
+      | None -> false
+      | Some it -> Item.key it <= cutoff)
+
+let test_drain_is_relaxed_sorted () =
+  (* Draining with relaxation k: each returned key exceeds at most k
+     not-yet-returned smaller keys; in particular the sequence of returned
+     keys can locally disorder by at most the relaxation window.  We check
+     the multiset and the window bound. *)
+  let k = 4 in
+  let q = make ~k () in
+  let h = handle q in
+  let keys = List.init 64 (fun i -> i) in
+  List.iteri
+    (fun i _ -> Shared.insert h (block_of_keys [ List.nth keys i ]))
+    keys;
+  let returned = ref [] in
+  let rec drain () =
+    match delete_min h with
+    | Some key ->
+        returned := key :: !returned;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let got = List.rev !returned in
+  check_int "all drained" 64 (List.length got);
+  check_bool "multiset" true (List.sort compare got = keys);
+  (* Window bound: the i-th returned key is among the first i + k + 1 keys
+     in sorted order (single thread, T = 1 => rho = k). *)
+  List.iteri
+    (fun i key -> check_bool "rho window" true (key <= i + k + 1))
+    got
+
+let test_consolidation_publishes_cleanup () =
+  let q = make ~k:2 () in
+  let h = handle q in
+  Shared.insert h (block_of_keys (List.init 16 Fun.id));
+  (* Exhaust: every delete eventually triggers consolidations; the shared
+     array must end empty (None) and stay so. *)
+  let n = ref 0 in
+  let rec drain () =
+    match delete_min h with
+    | Some _ ->
+        incr n;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "all 16" 16 !n;
+  check_int "shared empty" 0 (Shared.approximate_size q);
+  check_bool "peek None" true (Shared.peek_shared q = None)
+
+let test_two_handles_contend () =
+  (* Deterministic interleaving of two handles from one thread: pushes by
+     one handle invalidate the other's snapshot; the retry logic must make
+     both inserts land. *)
+  let q = make ~k:4 () in
+  let h1 = handle ~tid:0 q and h2 = handle ~tid:1 q in
+  Shared.insert h1 (block_of_keys [ 1; 2 ]);
+  Shared.insert h2 (block_of_keys [ 3; 4 ]);
+  Shared.insert h1 (block_of_keys [ 5; 6 ]);
+  check_int "six items" 6 (Shared.approximate_size q);
+  (* h2's stale snapshot must refresh and see everything. *)
+  let seen = ref [] in
+  let rec drain () =
+    match delete_min h2 with
+    | Some key ->
+        seen := key :: !seen;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_bool "h2 drains all" true
+    (List.sort compare !seen = [ 1; 2; 3; 4; 5; 6 ])
+
+let test_set_k_runtime () =
+  let q = make ~k:0 () in
+  check_int "initial" 0 (Shared.get_k q);
+  Shared.set_k q 128;
+  check_int "updated" 128 (Shared.get_k q);
+  Alcotest.check_raises "negative" (Invalid_argument "Shared_klsm.set_k: k < 0")
+    (fun () -> Shared.set_k q (-1))
+
+let test_local_ordering_across_merges () =
+  (* Items inserted by tid 0 keep their bloom attribution across merges, so
+     tid 0 always sees its own minimum. *)
+  let q = make ~k:8 () in
+  let h0 = handle ~tid:0 q and h9 = handle ~tid:9 q in
+  let mine = Bloom.singleton ~hasher 0 in
+  let theirs = Bloom.singleton ~hasher 9 in
+  Shared.insert h9 (block_of_keys ~filter:theirs [ 100; 101; 102; 103 ]);
+  Shared.insert h0 (block_of_keys ~filter:mine [ 50 ]);
+  (* Force a merge by same-level collision. *)
+  Shared.insert h9 (block_of_keys ~filter:theirs [ 200 ]);
+  for _ = 1 to 20 do
+    match Shared.find_min h0 with
+    | Some it -> check_int "my min visible" 50 (Item.key it)
+    | None -> Alcotest.fail "non-empty"
+  done
+
+let () =
+  Alcotest.run "shared_klsm"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_then_find;
+          Alcotest.test_case "k=0 exact" `Quick test_k0_is_exact;
+          Alcotest.test_case "set_k" `Quick test_set_k_runtime;
+        ] );
+      ( "relaxation",
+        [
+          prop_find_min_within_bound;
+          Alcotest.test_case "drain window" `Quick test_drain_is_relaxed_sorted;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "consolidation" `Quick test_consolidation_publishes_cleanup;
+          Alcotest.test_case "two handles" `Quick test_two_handles_contend;
+          Alcotest.test_case "local ordering" `Quick test_local_ordering_across_merges;
+        ] );
+    ]

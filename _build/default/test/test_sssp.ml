@@ -1,0 +1,133 @@
+(* Integration tests for the parallel label-correcting SSSP (paper §6):
+   distances must equal sequential Dijkstra for every queue, on both
+   backends, with and without queue-side lazy deletion, across graph
+   families. *)
+
+open Helpers
+module Gen = Klsm_graph.Gen
+module Dijkstra = Klsm_graph.Dijkstra
+
+module Against (B : Klsm_backend.Backend_intf.S) = struct
+  module R = Klsm_harness.Registry.Make (B)
+  module SB = Klsm_harness.Sssp_bench.Make (B)
+
+  let check_spec ~graph ~reference ~num_threads spec =
+    let r = SB.run ~graph ~source:0 ~num_threads ~reference spec in
+    check_bool
+      (Printf.sprintf "%s T=%d correct" (R.spec_name spec) num_threads)
+      true r.SB.correct;
+    r
+end
+
+module On_sim = Against (Klsm_backend.Sim)
+module On_real = Against (Klsm_backend.Real)
+module R_sim = Klsm_harness.Registry.Make (Klsm_backend.Sim)
+module R_real = Klsm_harness.Registry.Make (Klsm_backend.Real)
+
+let er_graph = lazy (Gen.erdos_renyi ~seed:21 ~n:250 ~p:0.08 ~max_weight:10_000 ())
+let er_ref = lazy (Dijkstra.run (Lazy.force er_graph) ~source:0)
+
+let test_sim_all_queues () =
+  let graph = Lazy.force er_graph and reference = Lazy.force er_ref in
+  List.iter
+    (fun spec ->
+      ignore (On_sim.check_spec ~graph ~reference ~num_threads:4 spec))
+    [
+      R_sim.Klsm 0;
+      R_sim.Klsm 256;
+      R_sim.Dlsm;
+      R_sim.Wimmer_centralized;
+      R_sim.Wimmer_hybrid 64;
+      R_sim.Linden;
+      R_sim.Multiq 2;
+      R_sim.Heap_lock;
+      R_sim.Spraylist;
+    ]
+
+let test_sim_thread_counts () =
+  let graph = Lazy.force er_graph and reference = Lazy.force er_ref in
+  List.iter
+    (fun t ->
+      ignore (On_sim.check_spec ~graph ~reference ~num_threads:t (R_sim.Klsm 64)))
+    [ 1; 2; 8; 20 ]
+
+let test_real_domains () =
+  (* Genuine OS-thread parallelism (preemptive on 1 core still races). *)
+  let graph = Lazy.force er_graph and reference = Lazy.force er_ref in
+  List.iter
+    (fun spec ->
+      ignore (On_real.check_spec ~graph ~reference ~num_threads:3 spec))
+    [ R_real.Klsm 64; R_real.Dlsm; R_real.Wimmer_hybrid 64 ]
+
+let test_grid_graph () =
+  let graph = Gen.grid ~seed:3 ~width:20 ~height:20 ~max_weight:50 () in
+  let reference = Dijkstra.run graph ~source:0 in
+  ignore (On_sim.check_spec ~graph ~reference ~num_threads:6 (R_sim.Klsm 128))
+
+let test_rmat_graph () =
+  let graph = Gen.rmat ~seed:3 ~scale:8 ~edge_factor:4 () in
+  let reference = Dijkstra.run graph ~source:0 in
+  ignore (On_sim.check_spec ~graph ~reference ~num_threads:6 (R_sim.Klsm 128))
+
+let test_disconnected_graph () =
+  (* Unreachable nodes must stay at max_int and not break termination. *)
+  let graph = Klsm_graph.Graph.of_edges ~n:10 [ (0, 1, 3); (1, 2, 4) ] in
+  let reference = Dijkstra.run graph ~source:0 in
+  let r = On_sim.check_spec ~graph ~reference ~num_threads:4 (R_sim.Klsm 16) in
+  check_int "only 3 settled" 3 reference.Dijkstra.settled;
+  check_bool "no extra work on empty graph" true (r.On_sim.SB.iterations >= 3)
+
+let test_single_node () =
+  let graph = Klsm_graph.Graph.of_edges ~n:1 [] in
+  let reference = Dijkstra.run graph ~source:0 in
+  ignore (On_sim.check_spec ~graph ~reference ~num_threads:2 (R_sim.Klsm 4))
+
+let test_extra_iterations_grow_with_k () =
+  (* The paper's quality metric: higher k must not reduce correctness, and
+     (statistically) produces at least as many extra iterations at high
+     relaxation as at k=0.  Averaged over a few seeds to avoid flakiness. *)
+  let graph = Lazy.force er_graph and reference = Lazy.force er_ref in
+  let avg_extra k =
+    let total = ref 0 in
+    for seed = 1 to 3 do
+      let r =
+        On_sim.SB.run ~seed ~graph ~source:0 ~num_threads:8 ~reference
+          (R_sim.Klsm k)
+      in
+      total := !total + r.On_sim.SB.extra_iterations
+    done;
+    !total
+  in
+  let low = avg_extra 0 and high = avg_extra 4096 in
+  check_bool "relaxation costs iterations" true (high >= low)
+
+let test_stale_counted () =
+  let graph = Lazy.force er_graph and reference = Lazy.force er_ref in
+  let r = On_sim.check_spec ~graph ~reference ~num_threads:8 (R_sim.Klsm 256) in
+  (* iterations = settled + extra; both non-negative. *)
+  check_bool "iterations >= settled" true
+    (r.On_sim.SB.iterations >= reference.Dijkstra.settled);
+  check_bool "stale >= 0" true (r.On_sim.SB.stale >= 0)
+
+let () =
+  Alcotest.run "sssp"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "all queues (sim)" `Slow test_sim_all_queues;
+          Alcotest.test_case "thread counts (sim)" `Slow test_sim_thread_counts;
+          Alcotest.test_case "real domains" `Slow test_real_domains;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "grid" `Quick test_grid_graph;
+          Alcotest.test_case "rmat" `Quick test_rmat_graph;
+          Alcotest.test_case "disconnected" `Quick test_disconnected_graph;
+          Alcotest.test_case "single node" `Quick test_single_node;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "extra iterations vs k" `Slow test_extra_iterations_grow_with_k;
+          Alcotest.test_case "stale accounting" `Quick test_stale_counted;
+        ] );
+    ]
