@@ -1,0 +1,27 @@
+# Developer entry points.  `make check` is the gate CI runs: formatting,
+# full build, full test suite.
+
+.PHONY: all build test fmt fmt-fix check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Validates formatting (dune files; see the note in dune-project).
+fmt:
+	dune build @fmt
+
+fmt-fix:
+	dune fmt
+
+check: fmt build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

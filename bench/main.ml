@@ -4,9 +4,14 @@
    Run everything (scaled-down defaults, a few minutes):
        dune exec bench/main.exe
    Run one section:
-       dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality |
+       dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality | sched |
                                    ablation-spill | ablation-bloom |
-                                   ablation-cost | micro
+                                   ablation-cost | ablation-workload |
+                                   bnb | micro
+
+   fig3 and quality also emit machine-readable BENCH_throughput.json /
+   BENCH_quality.json (raw floats, not the table-formatted strings) into
+   the working directory.
    Paper-scale parameters (slow):
        dune exec bench/main.exe -- --full fig3
 
@@ -32,40 +37,88 @@ let paper_threads = [ 1; 2; 3; 5; 10; 20; 40; 80 ]
 let fig3_one ~label ~prefill ~ops =
   let threads = if !full then paper_threads else [ 1; 2; 5; 10; 20; 40; 80 ] in
   let header = "impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads in
-  let rows =
+  (* One pass collects the raw numbers; the text table formats them and the
+     caller serializes them into BENCH_throughput.json. *)
+  let measured =
     List.map
       (fun spec ->
-        R.spec_name spec
-        :: List.map
-             (fun t ->
-               let config =
-                 {
-                   T.default_config with
-                   num_threads = t;
-                   prefill;
-                   ops_per_thread = max 200 (ops / t);
-                 }
-               in
-               let r = T.run config spec in
-               Report.human_float r.T.throughput_per_thread)
-             threads)
+        ( spec,
+          List.map
+            (fun t ->
+              let config =
+                {
+                  T.default_config with
+                  num_threads = t;
+                  prefill;
+                  ops_per_thread = max 200 (ops / t);
+                }
+              in
+              let r = T.run config spec in
+              (t, r.T.throughput_per_thread))
+            threads ))
       R.figure3_specs
+  in
+  let rows =
+    List.map
+      (fun (spec, points) ->
+        R.spec_name spec
+        :: List.map (fun (_, thr) -> Report.human_float thr) points)
+      measured
   in
   Report.section
     (Printf.sprintf
        "Figure 3 (%s): throughput/thread/s, prefill %d, 50-50 mix (sim)"
        label prefill);
-  Report.table ~header rows
+  Report.table ~header rows;
+  Report.Obj
+    [
+      ("label", Report.String label);
+      ("prefill", Report.Int prefill);
+      ( "series",
+        Report.List
+          (List.map
+             (fun (spec, points) ->
+               Report.Obj
+                 [
+                   ("impl", Report.String (R.spec_name spec));
+                   ( "points",
+                     Report.List
+                       (List.map
+                          (fun (t, thr) ->
+                            Report.Obj
+                              [
+                                ("threads", Report.Int t);
+                                ("throughput_per_thread", Report.Float thr);
+                              ])
+                          points) );
+                 ])
+             measured) );
+    ]
 
 let fig3 () =
-  if !full then begin
-    fig3_one ~label:"left" ~prefill:1_000_000 ~ops:400_000;
-    fig3_one ~label:"right" ~prefill:10_000_000 ~ops:400_000
-  end
-  else begin
-    fig3_one ~label:"left, scaled" ~prefill:10_000 ~ops:40_000;
-    fig3_one ~label:"right, scaled" ~prefill:100_000 ~ops:40_000
-  end
+  let panels =
+    if !full then
+      [
+        fig3_one ~label:"left" ~prefill:1_000_000 ~ops:400_000;
+        fig3_one ~label:"right" ~prefill:10_000_000 ~ops:400_000;
+      ]
+    else
+      [
+        fig3_one ~label:"left, scaled" ~prefill:10_000 ~ops:40_000;
+        fig3_one ~label:"right, scaled" ~prefill:100_000 ~ops:40_000;
+      ]
+  in
+  let path = "BENCH_throughput.json" in
+  Report.write_json ~path
+    (Report.Obj
+       [
+         ("benchmark", Report.String "fig3-throughput");
+         ("backend", Report.String Sim.name);
+         ("metric", Report.String "throughput_per_thread_per_s");
+         ("full_scale", Report.Bool !full);
+         ("panels", Report.List panels);
+       ]);
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Figure 4: SSSP                                                      *)
@@ -159,31 +212,132 @@ let quality () =
       R.Wimmer_hybrid 256;
     ]
   in
-  let rows =
+  let measured =
     List.map
       (fun spec ->
         let config = { Q.default_config with num_threads = t } in
-        let r = Q.run config spec in
-        let rho =
-          match spec with
-          | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (t * k)
-          | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
-          | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"
-        in
+        (spec, Q.run config spec))
+      specs
+  in
+  let rho_of spec =
+    match spec with
+    | R.Klsm k | R.Wimmer_hybrid k -> Some (t * k)
+    | R.Heap_lock | R.Linden | R.Wimmer_centralized -> Some 0
+    | R.Multiq _ | R.Spraylist | R.Dlsm -> None
+  in
+  let rows =
+    List.map
+      (fun (spec, r) ->
         [
           R.spec_name spec;
           string_of_int r.Q.deletes;
           Printf.sprintf "%.2f" r.Q.mean_rank_error;
           Printf.sprintf "%.0f" r.Q.p99_rank_error;
           string_of_int r.Q.max_rank_error;
-          rho;
+          (match rho_of spec with
+          | Some rho -> string_of_int rho
+          | None -> "unbounded");
         ])
-      specs
+      measured
   in
   Report.section
     (Printf.sprintf "Quality: delete-min rank error at T=%d (sim)" t);
   Report.table
     ~header:[ "impl"; "deletes"; "mean"; "p99"; "max"; "rho = T*k" ]
+    rows;
+  let path = "BENCH_quality.json" in
+  Report.write_json ~path
+    (Report.Obj
+       [
+         ("benchmark", Report.String "quality-rank-error");
+         ("backend", Report.String Sim.name);
+         ("threads", Report.Int t);
+         ( "results",
+           Report.List
+             (List.map
+                (fun (spec, r) ->
+                  Report.Obj
+                    [
+                      ("impl", Report.String (R.spec_name spec));
+                      ("deletes", Report.Int r.Q.deletes);
+                      ("mean_rank_error", Report.Float r.Q.mean_rank_error);
+                      ("p99_rank_error", Report.Float r.Q.p99_rank_error);
+                      ("max_rank_error", Report.Int r.Q.max_rank_error);
+                      ( "rho",
+                        match rho_of spec with
+                        | Some rho -> Report.Int rho
+                        | None -> Report.Null );
+                    ])
+                measured) );
+       ]);
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: queues as scheduling backbones (lib/sched)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The k-LSM was built to back a task scheduler (Wimmer's Pheet); this
+   section measures the queues in that role rather than under the synthetic
+   50-50 op mix: workers submit prioritized spawning tasks through the
+   batched submitter and execute them, and we report end-to-end scheduler
+   metrics — makespan, queueing delay, and dequeue slack (the
+   scheduler-visible cost of relaxation). *)
+let sched () =
+  let module CL = Klsm_sched.Closed_loop.Make (Sim) in
+  let module M = Klsm_sched.Metrics in
+  let t = 8 in
+  let config =
+    {
+      CL.default_config with
+      num_workers = t;
+      roots_per_worker = (if !full then 2_000 else 300);
+      service = CL.Uniform_work 64;
+      spawn_fanout = 2;
+      spawn_depth = 2;
+    }
+  in
+  let specs = [ R.Klsm 256; R.Klsm 4; R.Multiq 2; R.Linden; R.Heap_lock ] in
+  let rows =
+    List.map
+      (fun spec ->
+        let r = CL.run config spec in
+        if r.CL.lost > 0 || r.CL.double > 0 then
+          failwith
+            (Printf.sprintf "sched: %s lost=%d double=%d" (R.spec_name spec)
+               r.CL.lost r.CL.double);
+        let m = r.CL.metrics in
+        let delay_mean =
+          match m.M.delay with Some s -> s.mean | None -> Float.nan
+        in
+        [
+          R.spec_name spec;
+          string_of_int r.CL.total_tasks;
+          Printf.sprintf "%.2f" (r.CL.makespan *. 1e3);
+          Report.human_float r.CL.throughput;
+          Printf.sprintf "%.1f" (delay_mean *. 1e6);
+          Printf.sprintf "%.1f" (m.M.delay_p99 *. 1e6);
+          string_of_int m.M.inversions;
+          string_of_int m.M.flushes;
+        ])
+      specs
+  in
+  Report.section
+    (Printf.sprintf
+       "Scheduler: closed loop, T=%d, fanout 2 depth 2, uniform service \
+        (sim; lib/sched)"
+       t);
+  Report.table
+    ~header:
+      [
+        "queue";
+        "tasks";
+        "makespan ms";
+        "tasks/s";
+        "delay us";
+        "p99 us";
+        "inversions";
+        "flushes";
+      ]
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -529,6 +683,7 @@ let sections =
     ("fig4a", fig4a);
     ("fig4b", fig4b);
     ("quality", quality);
+    ("sched", sched);
     ("ablation-spill", ablation_spill);
     ("ablation-bloom", ablation_bloom);
     ("ablation-cost", ablation_cost);

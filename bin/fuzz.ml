@@ -47,7 +47,12 @@ let run ~impls ~threads ~per_thread ~seeds ~seed0 ~preempt =
   let specs =
     match impls with
     | [] -> [ R.Klsm 8; R.Klsm 256; R.Dlsm; R.Linden; R.Spraylist; R.Multiq 2 ]
-    | l -> List.filter_map R.parse_spec l
+    | l -> List.map
+          (fun s ->
+            match R.parse_spec s with
+            | Ok spec -> spec
+            | Error msg -> failwith msg)
+          l
   in
   let failures = ref 0 in
   List.iter

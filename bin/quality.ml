@@ -24,7 +24,12 @@ let run ~threads ~prefill ~ops ~impls ~seed ~csv =
           R.Dlsm;
           R.Wimmer_hybrid 256;
         ]
-    | l -> List.filter_map R.parse_spec l
+    | l -> List.map
+          (fun s ->
+            match R.parse_spec s with
+            | Ok spec -> spec
+            | Error msg -> failwith msg)
+          l
   in
   let rows =
     List.map

@@ -51,7 +51,12 @@ let run ~mode ~sweep ~graph_kind ~n ~p ~k ~threads_fixed ~impls ~seed ~csv =
           let specs =
             match impls with
             | [] -> [ R.Wimmer_centralized; R.Wimmer_hybrid k; R.Klsm k ]
-            | l -> List.filter_map R.parse_spec l
+            | l -> List.map
+          (fun s ->
+            match R.parse_spec s with
+            | Ok spec -> spec
+            | Error msg -> failwith msg)
+          l
           in
           List.iter
             (fun spec ->

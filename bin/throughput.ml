@@ -18,8 +18,8 @@ let run ~mode ~threads ~prefill ~ops ~key_range ~impls ~reps ~seed ~csv
           List.map
             (fun s ->
               match R.parse_spec s with
-              | Some spec -> spec
-              | None -> failwith (Printf.sprintf "unknown implementation %S" s))
+              | Ok spec -> spec
+              | Error msg -> failwith msg)
             l
 
     let main () =

@@ -31,6 +31,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if key < 0 then invalid_arg "Linden_pq.insert: negative key";
     ignore (Sk.insert h.t.sk ~rng:h.rng key value)
 
+  (* Batched insert (Pq_intf): no bulk path in a skiplist; plain loop. *)
+  let insert_batch h pairs =
+    Array.iter (fun (key, value) -> insert h key value) pairs
+
   let try_delete_min h =
     let sk = h.t.sk in
     let rec walk prefix link =

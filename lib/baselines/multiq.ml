@@ -63,6 +63,30 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     in
     attempt ()
 
+  (* Batched insert (Pq_intf): one lock acquisition covers the whole batch
+     on a single random queue — the batching/stickiness pattern of
+     "Engineering MultiQueues" (arXiv 2504.11652).  Load balance across
+     queues is preserved because each batch lands on a fresh random
+     queue. *)
+  let insert_batch h pairs =
+    if Array.length pairs > 0 then begin
+      Array.iter
+        (fun (key, _) ->
+          if key < 0 then invalid_arg "Multiq.insert_batch: negative key")
+        pairs;
+      let n = Array.length h.t.queues in
+      let rec attempt () =
+        let q = h.t.queues.(Xoshiro.int h.rng n) in
+        if Lock.try_acquire q.lock then begin
+          Array.iter (fun (key, value) -> Heap.insert q.heap key value) pairs;
+          refresh_min q;
+          Lock.release q.lock
+        end
+        else attempt ()
+      in
+      attempt ()
+    end
+
   (* Pop from one specific queue; [None] if it is empty (or its min moved). *)
   let pop_from q =
     Lock.acquire q.lock;

@@ -34,6 +34,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if key < 0 then invalid_arg "Spraylist.insert: negative key";
     ignore (Sk.insert h.t.sk ~rng:h.rng key value)
 
+  (* Batched insert (Pq_intf): no bulk path in a skiplist; plain loop. *)
+  let insert_batch h pairs =
+    Array.iter (fun (key, value) -> insert h key value) pairs
+
   (* Spray parameters from the SprayList paper: start height H = log T + 1,
      per-level jump length uniform in [0, M * log T + 1], descend D = 1. *)
   let spray_height t = min (Sk.max_height - 1) (Bits.ceil_log2 (t.num_threads + 1) + 1)

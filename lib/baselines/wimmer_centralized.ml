@@ -42,6 +42,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if key < 0 then invalid_arg "Wimmer_centralized.insert: negative key";
     Lock.with_lock h.lock (fun () -> Heap.insert h.heap key value)
 
+  (* Batched insert (Pq_intf): one lock acquisition covers the batch. *)
+  let insert_batch h pairs =
+    if Array.length pairs > 0 then begin
+      Array.iter
+        (fun (key, _) ->
+          if key < 0 then
+            invalid_arg "Wimmer_centralized.insert_batch: negative key")
+        pairs;
+      Lock.with_lock h.lock (fun () ->
+          Array.iter (fun (key, value) -> Heap.insert h.heap key value) pairs)
+    end
+
   let try_delete_min h =
     Lock.with_lock h.lock (fun () ->
         (* Lazy deletion: condemned items die on the way out. *)

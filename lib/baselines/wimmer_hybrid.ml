@@ -72,6 +72,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     Heap.insert h.local key value;
     if Heap.size h.local > B.get h.t.k then flush_local h
 
+  (* Batched insert (Pq_intf): items land in the local heap first anyway, so
+     the loop only flushes to the global heap when the batch overflows k. *)
+  let insert_batch h pairs =
+    Array.iter (fun (key, value) -> insert h key value) pairs
+
   let pop_global h =
     Lock.with_lock h.t.lock (fun () ->
         let rec pop () =

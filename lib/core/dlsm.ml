@@ -63,6 +63,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     Dist_lsm.insert h.dist (Item.make key value) ~max_level:max_int
       ~spill:(fun _ -> assert false)
 
+  (* Batched insert (Pq_intf): the thread-local LSM already amortizes
+     merges across consecutive inserts, so the fallback loop is the bulk
+     path. *)
+  let insert_batch h pairs =
+    Array.iter (fun (key, value) -> insert h key value) pairs
+
   let spy_once h =
     if h.t.num_threads <= 1 then false
     else begin

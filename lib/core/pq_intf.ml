@@ -31,4 +31,12 @@ module type S = sig
   (** Delete and return a minimal key (under the queue's relaxation).
       [None] when the queue looks empty — possibly spuriously; callers that
       know the queue is non-empty simply retry. *)
+
+  val insert_batch : 'v handle -> (int * 'v) array -> unit
+  (** [insert_batch h pairs] inserts every [(key, value)] pair.  Semantics
+      are the same as repeated {!insert}; implementations are free to (and
+      the k-LSM does) linearize the whole batch as one shared-component
+      update, which is how batching layers above the queue (the submitter
+      in [lib/sched]) amortize the shared hot spot.  Queues without a bulk
+      path fall back to an element-by-element loop. *)
 end

@@ -40,26 +40,59 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Wimmer_centralized -> "centralized-k"
     | Wimmer_hybrid k -> Printf.sprintf "hybrid-k(%d)" k
 
-  (** Parse ["klsm:256"], ["multiq:2"], ["hybrid:4096"], ["linden"], ... *)
+  (** Parse ["klsm:256"], ["multiq:2"], ["hybrid:4096"], ["linden"], ...
+      Returns [Error msg] (not an option) so CLI typos are diagnosable: an
+      unknown name, a malformed parameter, or a parameter given to an
+      implementation that takes none (["linden:4"]) are all rejected with a
+      message naming the offending part. *)
   let parse_spec s =
     let base, arg =
       match String.index_opt s ':' with
       | None -> (s, None)
       | Some i ->
-          ( String.sub s 0 i,
-            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
-          )
+          (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
     in
-    match (String.lowercase_ascii base, arg) with
-    | ("heap" | "heap+lock" | "heaplock"), _ -> Some Heap_lock
-    | "linden", _ -> Some Linden
-    | ("spray" | "spraylist"), _ -> Some Spraylist
-    | "multiq", a -> Some (Multiq (Option.value a ~default:2))
-    | "klsm", a -> Some (Klsm (Option.value a ~default:256))
-    | "dlsm", _ -> Some Dlsm
-    | ("centralized" | "centralized-k"), _ -> Some Wimmer_centralized
-    | ("hybrid" | "hybrid-k"), a -> Some (Wimmer_hybrid (Option.value a ~default:256))
-    | _ -> None
+    (* [spec ~default mk] parses the optional integer parameter; [no_arg]
+       rejects any parameter at all. *)
+    let with_arg ~what ~default mk =
+      match arg with
+      | None -> Ok (mk default)
+      | Some a -> (
+          match int_of_string_opt a with
+          | Some v when v >= 0 -> Ok (mk v)
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "%S: parameter %S is not a non-negative integer (%s)" s a
+                   what))
+    in
+    let no_arg spec =
+      match arg with
+      | None -> Ok spec
+      | Some a ->
+          Error
+            (Printf.sprintf "%S: %s takes no parameter, got %S" s
+               (spec_name spec) a)
+    in
+    match String.lowercase_ascii base with
+    | "heap" | "heap+lock" | "heaplock" -> no_arg Heap_lock
+    | "linden" -> no_arg Linden
+    | "spray" | "spraylist" -> no_arg Spraylist
+    | "multiq" -> with_arg ~what:"c, queues per thread" ~default:2 (fun c -> Multiq c)
+    | "klsm" -> with_arg ~what:"the relaxation k" ~default:256 (fun k -> Klsm k)
+    | "dlsm" -> no_arg Dlsm
+    | "centralized" | "centralized-k" -> no_arg Wimmer_centralized
+    | "hybrid" | "hybrid-k" ->
+        with_arg ~what:"the relaxation k" ~default:256 (fun k -> Wimmer_hybrid k)
+    | _ ->
+        Error
+          (Printf.sprintf
+             "unknown implementation %S; known: heap, linden, spray, \
+              multiq[:C], klsm[:K], dlsm, centralized, hybrid[:K]"
+             s)
+
+  (** [parse_spec_opt] is {!parse_spec} with errors collapsed to [None]. *)
+  let parse_spec_opt s = Result.to_option (parse_spec s)
 
   (** Whether the implementation honours the queue-side lazy-deletion
       predicate of §4.5 (the paper's SSSP figure only includes such
@@ -70,6 +103,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   type handle = {
     insert : int -> int -> unit;  (** key, payload *)
+    insert_batch : (int * int) array -> unit;
+        (** bulk path (Pq_intf.insert_batch); the k-LSM linearizes the whole
+            batch as one shared-component update *)
     try_delete_min : unit -> (int * int) option;
   }
 
@@ -92,6 +128,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Locked_heap.register q tid in
               {
                 insert = Locked_heap.insert h;
+                insert_batch = Locked_heap.insert_batch h;
                 try_delete_min = (fun () -> Locked_heap.try_delete_min h);
               });
           approximate_size = (fun () -> Locked_heap.size q);
@@ -105,6 +142,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Linden.register q tid in
               {
                 insert = Linden.insert h;
+                insert_batch = Linden.insert_batch h;
                 try_delete_min = (fun () -> Linden.try_delete_min h);
               });
           approximate_size = (fun () -> Linden.alive_size q);
@@ -118,6 +156,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Spraylist.register q tid in
               {
                 insert = Spraylist.insert h;
+                insert_batch = Spraylist.insert_batch h;
                 try_delete_min = (fun () -> Spraylist.try_delete_min h);
               });
           approximate_size = (fun () -> Spraylist.alive_size q);
@@ -131,6 +170,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Multiq.register q tid in
               {
                 insert = Multiq.insert h;
+                insert_batch = Multiq.insert_batch h;
                 try_delete_min = (fun () -> Multiq.try_delete_min h);
               });
           approximate_size = (fun () -> Multiq.approximate_size q);
@@ -144,6 +184,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Klsm.register q tid in
               {
                 insert = Klsm.insert h;
+                insert_batch = Klsm.insert_batch h;
                 try_delete_min = (fun () -> Klsm.try_delete_min h);
               });
           approximate_size = (fun () -> Klsm.approximate_size q);
@@ -157,6 +198,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Dlsm.register q tid in
               {
                 insert = Dlsm.insert h;
+                insert_batch = Dlsm.insert_batch h;
                 try_delete_min = (fun () -> Dlsm.try_delete_min h);
               });
           approximate_size = (fun () -> Dlsm.approximate_size q);
@@ -173,6 +215,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Wimmer_centralized.register q tid in
               {
                 insert = Wimmer_centralized.insert h;
+                insert_batch = Wimmer_centralized.insert_batch h;
                 try_delete_min =
                   (fun () -> Wimmer_centralized.try_delete_min h);
               });
@@ -190,6 +233,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               let h = Wimmer_hybrid.register q tid in
               {
                 insert = Wimmer_hybrid.insert h;
+                insert_batch = Wimmer_hybrid.insert_batch h;
                 try_delete_min = (fun () -> Wimmer_hybrid.try_delete_min h);
               });
           approximate_size = (fun () -> Wimmer_hybrid.approximate_size q);

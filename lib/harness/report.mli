@@ -13,3 +13,23 @@ val csv : path:string -> header:string list -> string list list -> unit
 
 val section : ?out:out_channel -> string -> unit
 (** Print a "== title ==" banner. *)
+
+(** Machine-readable output (the BENCH_*.json files).  Callers build the
+    value from the raw measured numbers — not the [human_float]-formatted
+    table strings — so downstream tooling can plot/diff without
+    re-parsing. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_to_string : json -> string
+(** Compact (single-line) serialization.  Non-finite floats become
+    [null]. *)
+
+val write_json : path:string -> json -> unit
+(** [json_to_string] plus a trailing newline, written to [path]. *)

@@ -1,0 +1,222 @@
+(** Replayable open/closed-loop workload driver for the scheduler — the
+    experiment harness entry of lib/sched, sitting next to
+    {!Klsm_harness.Throughput} and {!Klsm_harness.Quality}.
+
+    Workers are clients and servers at once: each of the [num_workers]
+    threads generates its share of root tasks (priorities drawn from a
+    {!Klsm_harness.Workload} distribution, service demands from a
+    {!service} distribution) and serves the shared queue.  Two arrival
+    regimes:
+
+    - {b closed loop}: a worker submits as fast as admission control
+      admits — the in-flight population is pinned at [capacity], the
+      classic closed system;
+    - {b open loop}: arrivals follow a Poisson process of the given rate
+      in backend time, decoupling offered load from service capacity so
+      overload behaviour (backpressure, delay growth) is observable.
+
+    Tasks optionally spawn children ([spawn_fanout]/[spawn_depth], the
+    Pheet pattern), with priorities derived deterministically from the
+    parent so the workload replays identically regardless of which worker
+    executes what.
+
+    Everything — completion order, makespan, every metric — is a
+    deterministic function of (config, spec, simulator seed) under
+    [Sim.Fair]; [test/test_sched.ml] asserts exact replay of the discrete
+    outcomes (completion order, counters) and makespan equality up to the
+    float rounding of the simulator's advancing clock base. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Registry = Klsm_harness.Registry.Make (B)
+  module Workload = Klsm_harness.Workload
+  module Task = Task.Make (B)
+  module Submitter = Submitter.Make (B)
+  module Worker = Worker.Make (B)
+  module Xoshiro = Klsm_primitives.Xoshiro
+
+  type arrival_mode =
+    | Closed  (** submit as fast as admission control allows *)
+    | Open_poisson of float  (** mean arrival rate per worker, tasks/s *)
+
+  type service =
+    | Fixed of int  (** every task costs this many work units *)
+    | Uniform_work of int  (** uniform in [1, arg] *)
+    | Exponential of float  (** exponential with this mean, >= 1 *)
+
+  type config = {
+    num_workers : int;
+    roots_per_worker : int;
+    mode : arrival_mode;
+    service : service;
+    priorities : Workload.t;  (** key distribution for task priorities *)
+    spawn_fanout : int;  (** children per task, 0 = no spawning *)
+    spawn_depth : int;  (** spawn recursion depth below each root *)
+    batch : int;  (** submitter buffer size *)
+    urgency_margin : int;  (** submitter priority-inversion flush margin *)
+    capacity : int;  (** admission bound on in-flight tasks *)
+    seed : int;
+  }
+
+  let default_config =
+    {
+      num_workers = 8;
+      roots_per_worker = 250;
+      mode = Closed;
+      service = Fixed 32;
+      priorities = Workload.Uniform (1 lsl 20);
+      spawn_fanout = 0;
+      spawn_depth = 0;
+      batch = 16;
+      urgency_margin = 512;
+      capacity = 4096;
+      seed = 42;
+    }
+
+  (** Tasks ultimately created per root (the spawn tree). *)
+  let tasks_per_root cfg =
+    if cfg.spawn_fanout <= 0 || cfg.spawn_depth <= 0 then 1
+    else begin
+      let acc = ref 0 and layer = ref 1 in
+      for _ = 0 to cfg.spawn_depth do
+        acc := !acc + !layer;
+        layer := !layer * cfg.spawn_fanout
+      done;
+      !acc
+    end
+
+  let total_tasks cfg = cfg.num_workers * cfg.roots_per_worker * tasks_per_root cfg
+
+  let service_ticks service rng =
+    match service with
+    | Fixed n -> max 1 n
+    | Uniform_work n -> 1 + Xoshiro.int rng (max 1 n)
+    | Exponential mean ->
+        max 1 (int_of_float (-.mean *. log (1.0 -. Xoshiro.float rng)))
+
+  (* The task body: consume [ticks] units of (virtual) service time, then
+     spawn the next layer of the tree.  Child priorities and demands derive
+     only from the parent's, so the tree is schedule-independent. *)
+  let rec make_body cfg ~depth ~priority ~ticks =
+    Task.Body
+      (fun ~spawn ->
+        B.tick ticks;
+        if depth > 0 then
+          for i = 1 to cfg.spawn_fanout do
+            let child_priority = priority + i in
+            spawn ~priority:child_priority
+              (make_body cfg ~depth:(depth - 1) ~priority:child_priority
+                 ~ticks:(max 1 (ticks / 2)))
+          done)
+
+  type result = {
+    spec : Registry.spec;
+    config : config;
+    total_tasks : int;
+    makespan : float;  (** wall (real) or virtual (sim) seconds *)
+    throughput : float;  (** completed tasks per second *)
+    completion_order : int array;  (** task ids, execution-finish order *)
+    metrics : Metrics.summary;
+    per_worker : Metrics.worker array;
+    peak_inflight : int;
+    lost : int;  (** submitted tasks that never executed; must be 0 *)
+    double : int;  (** double claims/executions observed; must be 0 *)
+  }
+
+  let run config spec =
+    if config.num_workers < 1 then invalid_arg "Closed_loop.run: num_workers";
+    if config.roots_per_worker < 0 then
+      invalid_arg "Closed_loop.run: roots_per_worker";
+    let total = total_tasks config in
+    let instance =
+      Registry.make ~seed:config.seed ~num_threads:config.num_workers spec
+    in
+    let pool =
+      Worker.create_pool ~max_tasks:(max 1 total)
+        ~num_workers:config.num_workers
+    in
+    let metrics = Metrics.create ~num_workers:config.num_workers in
+    let sub_cfg =
+      {
+        Submitter.batch = config.batch;
+        urgency_margin = config.urgency_margin;
+        capacity = config.capacity;
+      }
+    in
+    let t0 = B.time () in
+    B.parallel_run ~num_threads:config.num_workers (fun tid ->
+        let h = instance.Registry.register tid in
+        let sub =
+          Submitter.create ~cfg:sub_cfg ~inflight:pool.Worker.inflight
+            ~enqueue_batch:h.Registry.insert_batch ()
+        in
+        let ctx =
+          Worker.make_ctx ~pool ~tid ~sub ~pop:h.Registry.try_delete_min
+            ~metrics:metrics.(tid)
+        in
+        let rng = Xoshiro.create ~seed:(config.seed + (7919 * tid)) in
+        let next_priority = Workload.generator config.priorities rng in
+        let service_rng = Xoshiro.split rng in
+        let arrival_rng = Xoshiro.split rng in
+        let remaining = ref config.roots_per_worker in
+        let next_arrival = ref (B.time ()) in
+        let fresh_root () =
+          decr remaining;
+          let priority = next_priority () in
+          let ticks = service_ticks config.service service_rng in
+          `Submit
+            (priority, make_body config ~depth:config.spawn_depth ~priority ~ticks)
+        in
+        let arrivals () =
+          if !remaining <= 0 then `Done
+          else
+            match config.mode with
+            | Closed -> fresh_root ()
+            | Open_poisson rate ->
+                if B.time () >= !next_arrival then begin
+                  let gap =
+                    -.log (1.0 -. Xoshiro.float arrival_rng) /. rate
+                  in
+                  next_arrival := !next_arrival +. gap;
+                  fresh_root ()
+                end
+                else `Wait
+        in
+        Worker.run ctx ~arrivals;
+        (* Fold the submitter's private counters into this worker's metrics
+           record (they are separate objects so the submitter stays
+           harness-agnostic). *)
+        let w = metrics.(tid) in
+        w.Metrics.flushes <- w.Metrics.flushes + sub.Submitter.flushes;
+        w.Metrics.urgent_flushes <-
+          w.Metrics.urgent_flushes + sub.Submitter.urgent_flushes);
+    let makespan = B.time () -. t0 in
+    (* Post-run audit: every allocated task must have completed exactly
+       once.  [claim_count > 1] would mean a queue delivered an id twice
+       (the claim guard stopped the double execution, but it is still a
+       conservation bug worth surfacing). *)
+    let allocated = B.get pool.Worker.next_id in
+    let lost = ref 0 and double = ref 0 in
+    for id = 0 to allocated - 1 do
+      match B.get pool.Worker.tasks.(id) with
+      | None -> incr lost
+      | Some task ->
+          if not (Task.is_completed task) then incr lost;
+          if Task.claim_count task > 1 then incr double
+    done;
+    let summary = Metrics.summarize metrics in
+    {
+      spec;
+      config;
+      total_tasks = allocated;
+      makespan;
+      throughput =
+        (if makespan > 0.0 then float_of_int allocated /. makespan
+         else Float.nan);
+      completion_order = Worker.completion_log pool;
+      metrics = summary;
+      per_worker = metrics;
+      peak_inflight = Worker.peak_inflight pool;
+      lost = !lost;
+      double = !double + summary.Metrics.double_claims;
+    }
+end

@@ -1,0 +1,77 @@
+(** Tasks for the scheduling runtime (lib/sched).
+
+    The k-LSM was designed as the scheduling backbone of Wimmer's
+    task-parallel runtime; this module is the unit of work that backbone
+    moves around.  A task carries a priority (smaller = more urgent — the
+    queue's key), a payload closure, the timestamp at which it entered the
+    system (for queueing-delay metrics), and a completion cell.
+
+    Execution is guarded by a claim counter: whichever worker wins the
+    [claim] increment runs the body, so even a queue that (incorrectly)
+    delivered the same task twice could not double-execute it — and the
+    stress tests assert that the counter never exceeds one.
+
+    Tasks may spawn tasks (the Pheet pattern): a body receives a [spawn]
+    callback wired by the executing worker to its own submission path, so
+    children inherit the batching/backpressure machinery of the parent's
+    thread. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  (** A task body.  The wrapper type breaks the recursion between "a body"
+      and "the spawn callback that accepts bodies". *)
+  type body = Body of (spawn:(priority:int -> body -> unit) -> unit)
+
+  type t = {
+    id : int;  (** dense index into the run's task table *)
+    priority : int;  (** queue key; smaller is more urgent *)
+    body : body;
+    enqueued_at : float;  (** backend time at submission *)
+    claims : int B.atomic;  (** execution guard; first increment wins *)
+    completed : bool B.atomic;  (** completion cell, set after the body ran *)
+    mutable started_at : float;  (** owner-written by the claiming worker *)
+    mutable finished_at : float;
+  }
+
+  let make ~id ~priority ~now body =
+    if priority < 0 then invalid_arg "Task.make: negative priority";
+    {
+      id;
+      priority;
+      body;
+      enqueued_at = now;
+      claims = B.make 0;
+      completed = B.make false;
+      started_at = nan;
+      finished_at = nan;
+    }
+
+  (** Lift a plain closure into a non-spawning body. *)
+  let fn f = Body (fun ~spawn:_ -> f ())
+
+  let noop = Body (fun ~spawn:_ -> ())
+
+  (** [claim t] is true for exactly one caller per task. *)
+  let claim t = B.fetch_and_add t.claims 1 = 0
+
+  (** Number of claim attempts so far; > 1 would mean a queue delivered the
+      task twice (the stress tests assert this never happens). *)
+  let claim_count t = B.get t.claims
+
+  let start t ~now = t.started_at <- now
+
+  let finish t ~now =
+    t.finished_at <- now;
+    B.set t.completed true
+
+  let is_completed t = B.get t.completed
+
+  (** Seconds between submission and the start of execution. *)
+  let queueing_delay t = t.started_at -. t.enqueued_at
+
+  (** Seconds between submission and completion. *)
+  let response_time t = t.finished_at -. t.enqueued_at
+
+  let run t ~spawn =
+    let (Body f) = t.body in
+    f ~spawn
+end

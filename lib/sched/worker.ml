@@ -1,0 +1,201 @@
+(** Worker loops: the execution layer of the scheduler.
+
+    A pool is one scheduling run's shared state — the task table, the
+    in-flight accounting, and the completion log.  Each participating
+    thread builds a {!ctx} around its queue handle and runs {!run}, which
+    interleaves three duties:
+
+    + admitting new root tasks from an arrival source (with backpressure:
+      a rejected arrival is retried after serving, never busy-waited on);
+    + popping task ids from the priority queue and executing their bodies,
+      wiring the [spawn] callback so tasks can spawn tasks (the Pheet
+      pattern) through the executing worker's own batched submitter;
+    + degrading gracefully when the queue runs dry: the worker first
+      flushes its own submission buffer (the only place remaining work can
+      hide from other threads), relying on the k-LSM's own spy/steal path
+      for work sitting in other threads' DistLSMs, and backs off before
+      re-polling so an idle worker does not saturate the shared components.
+
+    Termination is exact, not heuristic: a worker exits only when every
+    arrival source has finished {e and} the in-flight counter is zero.
+    The counter is incremented before a task becomes visible and
+    decremented only after its body completed, so "0" proves completion of
+    everything ever admitted.
+
+    Determinism: under [Sim.Fair] with a fixed seed the whole loop — pops,
+    claims, completion-log appends — is a deterministic function of the
+    virtual schedule, which is what makes same-seed runs byte-identical
+    (asserted by [test/test_sched.ml]). *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Task = Task.Make (B)
+  module Submitter = Submitter.Make (B)
+  module Backoff = Klsm_primitives.Backoff
+
+  type pool = {
+    tasks : Task.t option B.atomic array;  (** id -> task *)
+    next_id : int B.atomic;
+    inflight : int B.atomic;  (** admitted - completed; 0 = drained *)
+    peak_inflight : int B.atomic;
+    sources_live : int B.atomic;  (** workers still producing arrivals *)
+    completed : int B.atomic;
+    log : int array;
+        (** completion order: task ids in the order execution finished.
+            Each slot is written once by the finishing worker; read after
+            the run joins. *)
+    log_next : int B.atomic;
+    last_started : int B.atomic;  (** priority watermark for slack metric *)
+  }
+
+  let create_pool ~max_tasks ~num_workers =
+    if max_tasks < 1 then invalid_arg "Worker.create_pool: max_tasks < 1";
+    if num_workers < 1 then invalid_arg "Worker.create_pool: num_workers < 1";
+    {
+      tasks = Array.init max_tasks (fun _ -> B.make None);
+      next_id = B.make 0;
+      inflight = B.make 0;
+      peak_inflight = B.make 0;
+      sources_live = B.make num_workers;
+      completed = B.make 0;
+      log = Array.make max_tasks (-1);
+      log_next = B.make 0;
+      last_started = B.make 0;
+    }
+
+  let completed_count pool = B.get pool.completed
+  let peak_inflight pool = B.get pool.peak_inflight
+
+  (** Completion order so far; call after the run for the full log. *)
+  let completion_log pool = Array.sub pool.log 0 (B.get pool.log_next)
+
+  type ctx = {
+    pool : pool;
+    tid : int;
+    sub : Submitter.t;
+    pop : unit -> (int * int) option;  (** the queue's try_delete_min *)
+    w : Metrics.worker;
+  }
+
+  let make_ctx ~pool ~tid ~sub ~pop ~metrics = { pool; tid; sub; pop; w = metrics }
+
+  let rec bump_peak pool v =
+    let cur = B.get pool.peak_inflight in
+    if v > cur && not (B.compare_and_set pool.peak_inflight cur v) then
+      bump_peak pool v
+
+  (* Allocate an id, publish the task in the table, then hand the
+     (priority, id) pair to the submitter.  Publication MUST precede the
+     queue insert: a popped id is looked up in the table immediately. *)
+  let inject ctx ~priority body =
+    let id = B.fetch_and_add ctx.pool.next_id 1 in
+    if id >= Array.length ctx.pool.tasks then
+      failwith "Sched.Worker: task table overflow (max_tasks too small)";
+    let task = Task.make ~id ~priority ~now:(B.time ()) body in
+    B.set ctx.pool.tasks.(id) (Some task);
+    Submitter.push ctx.sub ~priority ~id;
+    id
+
+  (** Root submission through admission control.  [false] = at capacity;
+      the caller should serve the queue and retry instead of spinning. *)
+  let try_submit_root ctx ~priority body =
+    match Submitter.try_admit ctx.sub with
+    | None ->
+        ctx.w.rejected <- ctx.w.rejected + 1;
+        false
+    | Some now ->
+        bump_peak ctx.pool now;
+        ignore (inject ctx ~priority body);
+        ctx.w.submitted <- ctx.w.submitted + 1;
+        true
+
+  (* Spawn path handed to executing bodies: bypasses the admission bound
+     (see Submitter.admit_spawn) but fully participates in accounting and
+     batching. *)
+  let spawn ctx ~priority body =
+    Submitter.admit_spawn ctx.sub;
+    ignore (inject ctx ~priority body);
+    ctx.w.spawned <- ctx.w.spawned + 1
+
+  let execute ctx task =
+    let now = B.time () in
+    Task.start task ~now;
+    Metrics.push ctx.w.delays (Task.queueing_delay task);
+    let prev = B.exchange ctx.pool.last_started task.Task.priority in
+    Metrics.push ctx.w.slacks
+      (float_of_int (max 0 (prev - task.Task.priority)));
+    Task.run task ~spawn:(fun ~priority body -> spawn ctx ~priority body);
+    Task.finish task ~now:(B.time ());
+    let slot = B.fetch_and_add ctx.pool.log_next 1 in
+    ctx.pool.log.(slot) <- task.Task.id;
+    ignore (B.fetch_and_add ctx.pool.completed 1);
+    Submitter.release ctx.sub;
+    ctx.w.executed <- ctx.w.executed + 1
+
+  (** Pop and execute at most one task; [false] when the queue looked
+      empty.  A task id the queue delivers twice loses the claim race and
+      is counted (never re-executed). *)
+  let try_execute_one ctx =
+    match ctx.pop () with
+    | None ->
+        ctx.w.empty_pops <- ctx.w.empty_pops + 1;
+        false
+    | Some (_priority, id) ->
+        (match B.get ctx.pool.tasks.(id) with
+        | None ->
+            (* Unreachable with a conserving queue: ids are enqueued only
+               after table publication. *)
+            ctx.w.double_claims <- ctx.w.double_claims + 1
+        | Some task ->
+            if Task.claim task then execute ctx task
+            else ctx.w.double_claims <- ctx.w.double_claims + 1);
+        true
+
+  (** The full worker loop.  [arrivals ()] drives this thread's workload:
+      - [`Submit (priority, body)]: a root task wants in now;
+      - [`Wait]: nothing due yet (open-loop pacing) — keep serving;
+      - [`Done]: this worker's arrival stream is exhausted (final). *)
+  let run ctx ~arrivals =
+    let pending = ref None in
+    let sources_done = ref false in
+    let bo = Backoff.create ~max:256 () in
+    let rec loop () =
+      (* 1. Admit the next due arrival, honouring backpressure. *)
+      (match !pending with
+      | Some (priority, body) ->
+          if try_submit_root ctx ~priority body then pending := None
+      | None ->
+          if not !sources_done then begin
+            match arrivals () with
+            | `Submit (priority, body) ->
+                if not (try_submit_root ctx ~priority body) then
+                  pending := Some (priority, body)
+            | `Wait -> ()
+            | `Done ->
+                sources_done := true;
+                ignore (B.fetch_and_add ctx.pool.sources_live (-1));
+                (* Nothing will flow through the submit path anymore; make
+                   any stragglers visible to the other workers. *)
+                Submitter.flush ctx.sub
+          end);
+      (* 2. Serve the queue. *)
+      if try_execute_one ctx then begin
+        Backoff.reset bo;
+        loop ()
+      end
+      else begin
+        (* The queue looks dry.  Remaining work can only hide in (a) our
+           own submission buffer — flush it; (b) other threads' DistLSMs —
+           the queue's own spy path covers that on the next pop; (c) other
+           workers' buffers — their own dry-queue flushes cover those. *)
+        Submitter.flush ctx.sub;
+        if B.get ctx.pool.sources_live = 0 && B.get ctx.pool.inflight = 0 then
+          ()  (* every admitted task completed: exact termination *)
+        else begin
+          Backoff.once bo ~relax:B.relax_n;
+          B.yield ();
+          loop ()
+        end
+      end
+    in
+    loop ()
+end

@@ -149,6 +149,107 @@ let test_spy_respects_level_order () =
   ignore (Dist_lsm.spy thief ~victim);
   Dist_lsm.check_invariants thief
 
+let test_spy_copy_levels_strictly_decreasing () =
+  (* Explicit check of the §4.2 copy rule: spy accepts a victim block only
+     when its level is strictly below the last accepted one, so the thief
+     ends up with a valid LSM shape whatever the victim's published state
+     looked like.  On a quiescent victim, nothing is skipped: the thief
+     acquires exactly the victim's alive multiset. *)
+  let victim = make_lsm ~tid:0 () in
+  insert_keys victim (List.init 85 Fun.id);
+  let thief = make_lsm ~tid:1 () in
+  check_bool "spy succeeds" true (Dist_lsm.spy thief ~victim);
+  let n = Dist_lsm.size thief in
+  check_bool "thief non-empty" true (n > 0);
+  let last = ref max_int in
+  for i = 0 to n - 1 do
+    match Dist_lsm.block_at thief i with
+    | None -> Alcotest.failf "thief slot %d empty below size" i
+    | Some b ->
+        let lvl = Block.level b in
+        if lvl >= !last then
+          Alcotest.failf "thief levels not strictly decreasing: %d then %d"
+            !last lvl;
+        last := lvl
+  done;
+  let keys_of t =
+    let acc = ref [] in
+    Dist_lsm.iter_items t ~f:(fun it ->
+        if alive it then acc := Item.key it :: !acc);
+    List.sort compare !acc
+  in
+  check_list_int "quiescent spy copies everything" (keys_of victim)
+    (keys_of thief)
+
+(* Spy racing the victim's insert-driven merge cascades (there is no
+   separate merge entry point — merges happen inside [insert], republishing
+   the block array slot by slot, and that publication order is exactly what
+   is under test): across many random preemption schedules, every inserted
+   item must be taken exactly once, whether it is stolen through a spy copy
+   or drained from the victim afterwards.  Because spy copies share the
+   physical items, a duplicated delivery would show up as a payload taken
+   twice; a lost item as a payload never taken. *)
+module Sim = Klsm_backend.Sim
+module SItem = Klsm_core.Item.Make (Sim)
+module SDist = Klsm_core.Dist_lsm.Make (Sim)
+
+let test_spy_racing_merges_fuzzed () =
+  let n = 150 in
+  for seed = 1 to 32 do
+    Sim.configure ~seed ~policy:(Sim.Random_preempt 0.3) ();
+    let hasher = Tabular_hash.create ~seed:7 in
+    let salive it = not (SItem.is_taken it) in
+    let no_spill _ = Alcotest.fail "unexpected spill" in
+    let victim = SDist.create ~tid:0 ~hasher ~alive:salive () in
+    let inserts_done = Sim.make false in
+    let taken = Array.make n 0 in
+    let take_all_of lsm =
+      let continue_loop = ref true in
+      while !continue_loop do
+        match SDist.find_min lsm with
+        | None -> continue_loop := false
+        | Some it ->
+            if SItem.take it then taken.(SItem.value it) <- taken.(SItem.value it) + 1
+      done
+    in
+    Sim.parallel_run ~num_threads:2 (fun tid ->
+        if tid = 0 then begin
+          let rng = Xoshiro.create ~seed:(seed * 31) in
+          for i = 0 to n - 1 do
+            SDist.insert victim
+              (SItem.make (Xoshiro.int rng 10_000) i)
+              ~max_level:max_int ~spill:no_spill
+          done;
+          Sim.set inserts_done true
+        end
+        else begin
+          (* Keep spying fresh thief LSMs (spy's precondition: an empty
+             local LSM) and stealing whatever each copy acquired, until the
+             victim finished inserting; one final spy catches stragglers. *)
+          let rounds = ref 0 in
+          while not (Sim.get inserts_done) && !rounds < 10_000 do
+            incr rounds;
+            let thief = SDist.create ~tid:1 ~hasher ~alive:salive () in
+            if SDist.spy thief ~victim then begin
+              SDist.check_invariants thief;
+              take_all_of thief
+            end
+            else Sim.yield ()
+          done;
+          let thief = SDist.create ~tid:1 ~hasher ~alive:salive () in
+          if SDist.spy thief ~victim then take_all_of thief
+        end);
+    (* Post-run (single-threaded): drain what the thief did not steal. *)
+    take_all_of victim;
+    Array.iteri
+      (fun payload count ->
+        if count <> 1 then
+          Alcotest.failf "seed %d: payload %d taken %d times" seed payload
+            count)
+      taken
+  done;
+  Sim.configure ~policy:Sim.Fair ()
+
 (* Publication-order regression: find_min during a partially-visible merge
    must never lose reachability of items (single-threaded re-check that the
    merged publication preserves the whole content). *)
@@ -191,5 +292,9 @@ let () =
           Alcotest.test_case "empty victim" `Quick test_spy_empty_victim;
           Alcotest.test_case "all-dead victim" `Quick test_spy_all_dead_victim;
           Alcotest.test_case "level order" `Quick test_spy_respects_level_order;
+          Alcotest.test_case "copy order strictly decreasing" `Quick
+            test_spy_copy_levels_strictly_decreasing;
+          Alcotest.test_case "spy vs merges (32 fuzzed schedules)" `Slow
+            test_spy_racing_merges_fuzzed;
         ] );
     ]

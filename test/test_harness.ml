@@ -94,9 +94,29 @@ let test_parse_spec () =
     ]
   in
   List.iter
-    (fun (s, want) ->
-      check_bool s true (R.parse_spec s = want))
+    (fun (s, want) -> check_bool s true (R.parse_spec_opt s = want))
     cases
+
+let test_parse_spec_rejects_bad_args () =
+  (* Specs that used to be silently mis-accepted must now produce an
+     error message mentioning the offending spec. *)
+  let bad = [ "linden:4"; "dlsm:8"; "heap:1"; "klsm:abc"; "klsm:-3"; "multiq:2x"; "spraylist:0" ] in
+  List.iter
+    (fun s ->
+      match R.parse_spec s with
+      | Ok _ -> Alcotest.failf "%S should be rejected" s
+      | Error msg ->
+          check_bool
+            (Printf.sprintf "%s: message mentions spec (%s)" s msg)
+            true
+            (String.length msg > 0))
+    bad;
+  (* Unknown base names list the known implementations. *)
+  match R.parse_spec "nonsense" with
+  | Ok _ -> Alcotest.fail "nonsense accepted"
+  | Error msg ->
+      check_bool "lists known impls" true
+        (String.length msg > 20)
 
 let test_spec_names_unique () =
   let names = List.map R.spec_name R.figure3_specs in
@@ -285,6 +305,8 @@ let () =
       ( "registry",
         [
           Alcotest.test_case "parse_spec" `Quick test_parse_spec;
+          Alcotest.test_case "parse_spec rejects bad args" `Quick
+            test_parse_spec_rejects_bad_args;
           Alcotest.test_case "unique names" `Quick test_spec_names_unique;
           Alcotest.test_case "lazy-deletion flags" `Quick test_lazy_deletion_support_flags;
         ] );

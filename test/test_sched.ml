@@ -1,0 +1,282 @@
+(* Tests for the task-scheduling runtime (lib/sched).
+
+   The two load-bearing properties:
+
+   - determinism: on the simulator under the Fair policy, a (config, spec,
+     seed) triple fully determines the run — same completion order, same
+     makespan, byte-identical metrics on replay;
+   - exactly-once: under randomized preemption schedules (many seeds, 8
+     virtual threads) no submitted task is lost or executed twice, with
+     and without task-spawning-tasks, across queue implementations.
+
+   Plus unit tests for the submitter's batching/urgent-flush/admission
+   machinery and the task claim protocol (on the Real backend — they are
+   single-threaded and need no simulated schedule). *)
+
+module Sim = Klsm_backend.Sim
+module Real = Klsm_backend.Real
+module CL = Klsm_sched.Closed_loop.Make (Sim)
+module M = Klsm_sched.Metrics
+
+(* ---------------- helpers ---------------- *)
+
+let base_config =
+  {
+    CL.default_config with
+    num_workers = 8;
+    roots_per_worker = 30;
+    service = CL.Fixed 16;
+    priorities = Klsm_harness.Workload.Uniform 10_000;
+    batch = 4;
+  }
+
+(* The simulated schedule is exactly reproducible, but [makespan] is
+   computed as [(base +. m) -. base] against the simulator's global clock,
+   whose base advances between runs — so replayed makespans agree only up
+   to float-rounding of that subtraction.  Everything discrete (completion
+   order, counters) is compared exactly. *)
+let check_makespan name a b = Alcotest.(check (float 1e-9)) name a b
+
+(* The completion log must be a permutation of 0 .. total-1: every task id
+   appears exactly once (delivered, claimed, executed, logged). *)
+let check_permutation name (r : CL.result) =
+  Alcotest.(check int)
+    (name ^ ": log length") r.CL.total_tasks
+    (Array.length r.CL.completion_order);
+  let seen = Array.make r.CL.total_tasks 0 in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= r.CL.total_tasks then
+        Alcotest.failf "%s: bogus id %d in completion log" name id;
+      seen.(id) <- seen.(id) + 1)
+    r.CL.completion_order;
+  Array.iteri
+    (fun id c ->
+      if c <> 1 then Alcotest.failf "%s: task %d logged %d times" name id c)
+    seen
+
+let check_conserving name (r : CL.result) =
+  Alcotest.(check (pair int int)) (name ^ ": lost/double") (0, 0)
+    (r.CL.lost, r.CL.double);
+  check_permutation name r
+
+(* ---------------- determinism under Sim Fair ---------------- *)
+
+let run_fair ~seed config spec =
+  Sim.configure ~seed ~policy:Sim.Fair ();
+  CL.run { config with CL.seed } spec
+
+let test_determinism_fair () =
+  List.iter
+    (fun spec ->
+      let name = CL.Registry.spec_name spec in
+      let a = run_fair ~seed:42 base_config spec in
+      let b = run_fair ~seed:42 base_config spec in
+      check_conserving name a;
+      Alcotest.(check (array int))
+        (name ^ ": same completion order") a.CL.completion_order
+        b.CL.completion_order;
+      check_makespan (name ^ ": same makespan") a.CL.makespan b.CL.makespan;
+      Alcotest.(check int)
+        (name ^ ": same flush count") a.CL.metrics.M.flushes
+        b.CL.metrics.M.flushes;
+      (* ... and a different seed gives a genuinely different run (sanity
+         check that determinism is not degeneracy). *)
+      let c = run_fair ~seed:43 base_config spec in
+      if
+        a.CL.completion_order = c.CL.completion_order
+        && a.CL.makespan = c.CL.makespan
+      then Alcotest.failf "%s: seed 42 and 43 produced identical runs" name)
+    [ CL.Registry.Klsm 16; CL.Registry.Multiq 2; CL.Registry.Linden ]
+
+let test_determinism_fair_with_spawns () =
+  let config =
+    { base_config with CL.spawn_fanout = 2; spawn_depth = 2; batch = 3 }
+  in
+  let spec = CL.Registry.Klsm 64 in
+  let a = run_fair ~seed:7 config spec in
+  let b = run_fair ~seed:7 config spec in
+  Alcotest.(check int)
+    "spawn tree size" (CL.total_tasks config) a.CL.total_tasks;
+  check_conserving "spawns" a;
+  Alcotest.(check (array int))
+    "same completion order (spawns)" a.CL.completion_order
+    b.CL.completion_order;
+  check_makespan "same makespan (spawns)" a.CL.makespan b.CL.makespan
+
+(* ---------------- exactly-once under random preemption ---------------- *)
+
+let test_exactly_once_fuzzed () =
+  (* >= 32 schedules at 8 virtual threads: no task lost, none executed
+     twice, whatever the preemption pattern does to the queue, the
+     submitter buffers, and the claim races. *)
+  let config = { base_config with CL.roots_per_worker = 15 } in
+  for seed = 1 to 32 do
+    Sim.configure ~seed ~policy:(Sim.Random_preempt 0.25) ();
+    let r = CL.run { config with CL.seed } (CL.Registry.Klsm 8) in
+    check_conserving (Printf.sprintf "klsm(8) seed %d" seed) r
+  done;
+  Sim.configure ~policy:Sim.Fair ()
+
+let test_exactly_once_fuzzed_spawns_and_queues () =
+  (* Fewer seeds but the harder shapes: spawning tasks, other queues, a
+     tight admission bound that keeps the backpressure path hot. *)
+  let config =
+    {
+      base_config with
+      CL.roots_per_worker = 8;
+      spawn_fanout = 2;
+      spawn_depth = 1;
+      capacity = 16;
+    }
+  in
+  List.iter
+    (fun spec ->
+      for seed = 33 to 40 do
+        Sim.configure ~seed ~policy:(Sim.Random_preempt 0.3) ();
+        let r = CL.run { config with CL.seed } spec in
+        check_conserving
+          (Printf.sprintf "%s seed %d" (CL.Registry.spec_name spec) seed)
+          r
+      done)
+    [ CL.Registry.Klsm 4; CL.Registry.Dlsm; CL.Registry.Multiq 2 ];
+  Sim.configure ~policy:Sim.Fair ()
+
+let test_open_loop_conserves () =
+  let config =
+    {
+      base_config with
+      CL.mode = CL.Open_poisson 100_000.0;
+      roots_per_worker = 20;
+    }
+  in
+  let r = run_fair ~seed:5 config (CL.Registry.Klsm 16) in
+  check_conserving "open loop" r;
+  let r2 = run_fair ~seed:5 config (CL.Registry.Klsm 16) in
+  Alcotest.(check (array int))
+    "open loop deterministic" r.CL.completion_order r2.CL.completion_order
+
+let test_backpressure_bounds_inflight () =
+  let config = { base_config with CL.capacity = 8; roots_per_worker = 50 } in
+  let r = run_fair ~seed:11 config (CL.Registry.Klsm 16) in
+  check_conserving "bounded" r;
+  if r.CL.peak_inflight > 8 then
+    Alcotest.failf "peak in-flight %d exceeds capacity 8" r.CL.peak_inflight;
+  if r.CL.metrics.M.rejected = 0 then
+    Alcotest.fail "capacity 8 under 400 tasks never triggered backpressure"
+
+(* ---------------- submitter unit tests (Real backend) ---------------- *)
+
+module Sub = Klsm_sched.Submitter.Make (Real)
+
+let make_sub ?(batch = 4) ?(margin = 10) ?(capacity = max_int) () =
+  let batches = ref [] in
+  let sub =
+    Sub.create
+      ~cfg:{ Sub.batch; urgency_margin = margin; capacity }
+      ~inflight:(Real.make 0)
+      ~enqueue_batch:(fun pairs -> batches := pairs :: !batches)
+      ()
+  in
+  (sub, batches)
+
+let test_submitter_batches () =
+  let sub, batches = make_sub ~batch:4 () in
+  for i = 1 to 3 do
+    Sub.push sub ~priority:(100 * i) ~id:i
+  done;
+  Alcotest.(check int) "buffered, not flushed" 0 (List.length !batches);
+  Sub.push sub ~priority:400 ~id:4;
+  Alcotest.(check int) "flushed at batch size" 1 (List.length !batches);
+  Alcotest.(check int) "whole buffer in one batch" 4
+    (Array.length (List.hd !batches));
+  Sub.push sub ~priority:7 ~id:5;
+  Sub.flush sub;
+  Alcotest.(check int) "manual flush" 2 (List.length !batches);
+  Alcotest.(check (list (pair int int)))
+    "flush carries the pending pair"
+    [ (7, 5) ]
+    (Array.to_list (List.hd !batches));
+  Sub.flush sub;
+  Alcotest.(check int) "empty flush is a no-op" 2 (List.length !batches)
+
+let test_submitter_urgent_flush () =
+  let sub, batches = make_sub ~batch:100 ~margin:10 () in
+  Sub.push sub ~priority:1_000 ~id:1;
+  Sub.push sub ~priority:995 ~id:2;
+  (* within the margin of the buffered min: stays buffered *)
+  Alcotest.(check int) "near-min priority buffers" 0 (List.length !batches);
+  Sub.push sub ~priority:100 ~id:3;
+  (* undercuts 995 by more than 10: the whole buffer must go out now *)
+  Alcotest.(check int) "urgent task forces flush" 1 (List.length !batches);
+  Alcotest.(check int) "urgent flush includes the urgent task" 3
+    (Array.length (List.hd !batches));
+  Alcotest.(check int) "urgent flush counted" 1 sub.Sub.urgent_flushes
+
+let test_submitter_admission () =
+  let sub, _ = make_sub ~capacity:2 () in
+  Alcotest.(check (option int)) "admit 1" (Some 1) (Sub.try_admit sub);
+  Alcotest.(check (option int)) "admit 2" (Some 2) (Sub.try_admit sub);
+  Alcotest.(check (option int)) "reject at capacity" None (Sub.try_admit sub);
+  Alcotest.(check int) "inflight unchanged by rejection" 2 (Sub.inflight sub);
+  Sub.release sub;
+  Alcotest.(check (option int)) "admit after release" (Some 2)
+    (Sub.try_admit sub);
+  (* spawned children bypass the bound but still count *)
+  Sub.admit_spawn sub;
+  Alcotest.(check int) "spawn counts in-flight" 3 (Sub.inflight sub)
+
+(* ---------------- task claim protocol (Real backend) ---------------- *)
+
+module T = Klsm_sched.Task.Make (Real)
+
+let test_task_claim_exactly_once () =
+  let t = T.make ~id:0 ~priority:5 ~now:0.0 T.noop in
+  Alcotest.(check bool) "first claim wins" true (T.claim t);
+  Alcotest.(check bool) "second claim loses" false (T.claim t);
+  Alcotest.(check bool) "third claim loses" false (T.claim t);
+  Alcotest.(check int) "claim count" 3 (T.claim_count t);
+  Alcotest.(check bool) "not completed before finish" false (T.is_completed t);
+  T.finish t ~now:1.0;
+  Alcotest.(check bool) "completed after finish" true (T.is_completed t)
+
+let test_task_rejects_negative_priority () =
+  Alcotest.check_raises "negative priority"
+    (Invalid_argument "Task.make: negative priority") (fun () ->
+      ignore (T.make ~id:0 ~priority:(-1) ~now:0.0 T.noop))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same run (3 queues)" `Quick
+            test_determinism_fair;
+          Alcotest.test_case "with spawn trees" `Quick
+            test_determinism_fair_with_spawns;
+          Alcotest.test_case "open loop" `Quick test_open_loop_conserves;
+        ] );
+      ( "exactly-once",
+        [
+          Alcotest.test_case "32 fuzzed schedules, 8 threads" `Slow
+            test_exactly_once_fuzzed;
+          Alcotest.test_case "fuzzed: spawns, queues, tight capacity" `Slow
+            test_exactly_once_fuzzed_spawns_and_queues;
+          Alcotest.test_case "backpressure bounds in-flight" `Quick
+            test_backpressure_bounds_inflight;
+        ] );
+      ( "submitter",
+        [
+          Alcotest.test_case "batch flush" `Quick test_submitter_batches;
+          Alcotest.test_case "urgent flush" `Quick test_submitter_urgent_flush;
+          Alcotest.test_case "admission control" `Quick
+            test_submitter_admission;
+        ] );
+      ( "task",
+        [
+          Alcotest.test_case "claim exactly once" `Quick
+            test_task_claim_exactly_once;
+          Alcotest.test_case "negative priority rejected" `Quick
+            test_task_rejects_negative_priority;
+        ] );
+    ]
