@@ -1,7 +1,8 @@
 # Developer entry points.  `make check` is the gate CI runs: formatting,
-# full build, full test suite.
+# full build, full test suite, odoc build, and the BENCH_stats.json schema
+# check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check check bench clean
 
 all: build
 
@@ -18,7 +19,20 @@ fmt:
 fmt-fix:
 	dune fmt
 
-check: fmt build test
+# API docs from the odoc comments (lib/core cites the paper's listings).
+# When the switch has no odoc installed, dune's @doc alias is an empty
+# no-op, so this stays green everywhere; with odoc present it renders to
+# _build/default/_doc/_html.
+doc:
+	dune build @doc
+
+# Regenerate BENCH_stats.json (internal counters of every registry queue,
+# lib/obs) and validate its schema + METRICS.md coverage.
+stats-check:
+	dune exec bench/main.exe -- stats
+	dune exec bin/statscheck.exe -- BENCH_stats.json docs/METRICS.md
+
+check: fmt build test doc stats-check
 
 bench:
 	dune exec bench/main.exe

@@ -11,9 +11,12 @@
 
    fig3 and quality also emit machine-readable BENCH_throughput.json /
    BENCH_quality.json (raw floats, not the table-formatted strings) into
-   the working directory.
+   the working directory; the stats section emits BENCH_stats.json (the
+   lib/obs internal counters of every registry queue; docs/METRICS.md).
    Paper-scale parameters (slow):
        dune exec bench/main.exe -- --full fig3
+   Internal counters for any section (lib/obs, ~no overhead):
+       dune exec bench/main.exe -- --stats sched
 
    Figures are reproduced on the simulator backend (DESIGN.md §1.4): the
    shapes — who wins, how curves move with T and k — are the reproduction
@@ -26,6 +29,8 @@ module T = Klsm_harness.Throughput.Make (Sim)
 module Q = Klsm_harness.Quality.Make (Sim)
 module SB = Klsm_harness.Sssp_bench.Make (Sim)
 module Report = Klsm_harness.Report
+module Obs = Klsm_obs.Obs
+module Obs_report = Klsm_harness.Obs_report
 
 let full = ref false
 let paper_threads = [ 1; 2; 3; 5; 10; 20; 40; 80 ]
@@ -297,10 +302,12 @@ let sched () =
     }
   in
   let specs = [ R.Klsm 256; R.Klsm 4; R.Multiq 2; R.Linden; R.Heap_lock ] in
+  let measured = ref [] in
   let rows =
     List.map
       (fun spec ->
         let r = CL.run config spec in
+        measured := !measured @ [ (spec, r) ];
         if r.CL.lost > 0 || r.CL.double > 0 then
           failwith
             (Printf.sprintf "sched: %s lost=%d double=%d" (R.spec_name spec)
@@ -338,7 +345,17 @@ let sched () =
         "inversions";
         "flushes";
       ]
-    rows
+    rows;
+  if Obs.enabled () then
+    List.iter
+      (fun (spec, (r : CL.result)) ->
+        Obs_report.print_table
+          ~name:(R.spec_name spec ^ " (queue)")
+          r.CL.queue_stats;
+        Obs_report.print_table
+          ~name:(R.spec_name spec ^ " (sched)")
+          r.CL.sched_stats)
+      !measured
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -676,6 +693,66 @@ let micro () =
   Report.table ~header:[ "operation"; "ns/op-pair" ] (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Internal counters: one Figure 3 style run per registry queue, with    *)
+(* lib/obs enabled, dumped as per-thread tables and BENCH_stats.json     *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability companion of fig3 (docs/METRICS.md): the same mixed
+   workload, but the reported quantities are the queues' internal events —
+   CAS retries, consolidations, spills, spy traffic — rather than external
+   throughput.  Observability is force-enabled for this section regardless
+   of --stats (that is the section's whole point) and restored after. *)
+let stats_section () =
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  let t = if !full then 20 else 8 in
+  let config =
+    {
+      T.default_config with
+      num_threads = t;
+      prefill = (if !full then 100_000 else 10_000);
+      ops_per_thread = (if !full then 40_000 else 4_000);
+    }
+  in
+  (* Every queue the registry knows: the Figure 3 line-up plus the Figure 4
+     Wimmer variants. *)
+  let specs =
+    R.figure3_specs
+    @ List.filter (fun s -> not (List.mem s R.figure3_specs)) R.figure4_specs
+  in
+  let measured = List.map (fun spec -> (spec, T.run config spec)) specs in
+  Report.section
+    (Printf.sprintf
+       "Internal counters (lib/obs): 50-50 mix, T=%d, prefill %d (sim); see \
+        docs/METRICS.md"
+       t config.T.prefill);
+  List.iter
+    (fun (spec, (r : T.result)) ->
+      Obs_report.print_table ~name:(R.spec_name spec) r.T.stats)
+    measured;
+  let path = "BENCH_stats.json" in
+  Report.write_json ~path
+    (Report.Obj
+       [
+         ("benchmark", Report.String "internal-stats");
+         ("backend", Report.String Sim.name);
+         ("threads", Report.Int t);
+         ("full_scale", Report.Bool !full);
+         ( "queues",
+           Report.List
+             (List.map
+                (fun (spec, (r : T.result)) ->
+                  match Obs_report.to_json r.T.stats with
+                  | Report.Obj fields ->
+                      Report.Obj
+                        (("impl", Report.String (R.spec_name spec)) :: fields)
+                  | other -> other)
+                measured) );
+       ]);
+  Printf.printf "wrote %s\n%!" path;
+  Obs.set_enabled was_enabled
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -684,6 +761,7 @@ let sections =
     ("fig4b", fig4b);
     ("quality", quality);
     ("sched", sched);
+    ("stats", stats_section);
     ("ablation-spill", ablation_spill);
     ("ablation-bloom", ablation_bloom);
     ("ablation-cost", ablation_cost);
@@ -698,6 +776,13 @@ let () =
     |> List.filter (fun a ->
            if a = "--full" then begin
              full := true;
+             false
+           end
+           else if a = "--stats" then begin
+             (* Latch observability on for every queue created from here on
+                (lib/obs); sections with a printer (sched) dump the counter
+                tables after their own. *)
+             Obs.set_enabled true;
              false
            end
            else true)

@@ -5,6 +5,7 @@
      sched --queue klsm:256 --queue multiq:2 --queue linden --threads 8
      sched --arrival open:50000 --service exp:64 --capacity 512
      sched --fanout 2 --depth 3 --tasks 50 --mode real
+     sched --stats --queue klsm:256     # + per-thread internal counters
 
    Runs the closed/open-loop workload driver over each requested queue and
    reports throughput, queueing delay (mean/p99), dequeue slack — the
@@ -29,7 +30,10 @@ let parse_service s =
   | _ -> failwith ("unknown service distribution " ^ s ^ " (fixed:N | uniform:N | exp:MEAN)")
 
 let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
-    ~depth ~batch ~margin ~capacity ~seed =
+    ~depth ~batch ~margin ~capacity ~seed ~stats =
+  (* Must happen before any queue is created: lib/obs latches the flag at
+     sheet creation. *)
+  if stats then Klsm_obs.Obs.set_enabled true;
   let module Go (B : Klsm_backend.Backend_intf.S) = struct
     module CL = Klsm_sched.Closed_loop.Make (B)
     module Report = Klsm_harness.Report
@@ -72,10 +76,12 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
 
     let main () =
       let failures = ref 0 in
+      let measured = ref [] in
       let rows =
         List.map
           (fun spec ->
             let r = CL.run config spec in
+            measured := !measured @ [ (spec, r) ];
             if r.CL.lost > 0 || r.CL.double > 0 then incr failures;
             let m = r.CL.metrics in
             let fmean = function
@@ -122,6 +128,15 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
             "lost/dup";
           ]
         rows;
+      if stats then
+        List.iter
+          (fun (spec, (r : CL.result)) ->
+            let name = CL.Registry.spec_name spec in
+            Klsm_harness.Obs_report.print_table ~name:(name ^ " (queue)")
+              r.CL.queue_stats;
+            Klsm_harness.Obs_report.print_table ~name:(name ^ " (sched)")
+              r.CL.sched_stats)
+          !measured;
       if !failures > 0 then begin
         Printf.eprintf "FAILURE: tasks lost or double-executed\n";
         exit 1
@@ -195,15 +210,24 @@ let capacity =
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Root random seed.")
 
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable lib/obs observability and print per-thread internal \
+           counter tables (queue internals and sched.* scheduler events; \
+           see docs/METRICS.md) after the summary table.")
+
 let cmd =
   let doc = "elastic task-scheduling runtime on relaxed priority queues" in
   Cmd.v (Cmd.info "sched" ~doc)
     Term.(
       const (fun mode queues threads tasks arrival service workload fanout
-                 depth batch margin capacity seed ->
+                 depth batch margin capacity seed stats ->
           run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload
-            ~fanout ~depth ~batch ~margin ~capacity ~seed)
+            ~fanout ~depth ~batch ~margin ~capacity ~seed ~stats)
       $ mode $ queues $ threads $ tasks $ arrival $ service $ workload $ fanout
-      $ depth $ batch $ margin $ capacity $ seed)
+      $ depth $ batch $ margin $ capacity $ seed $ stats)
 
 let () = exit (Cmd.eval cmd)

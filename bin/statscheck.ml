@@ -1,0 +1,293 @@
+(* Schema sanity check for BENCH_stats.json (the `make stats-check` half of
+   `make check`).
+
+   Usage: statscheck BENCH_STATS_JSON METRICS_MD
+
+   Validates that
+   - the file is well-formed JSON of the shape Obs_report.to_json emits:
+     top-level {benchmark, backend, threads, queues[]}, each queue
+     {impl, threads, counters[], spans[]}, each counter {name, total,
+     per_thread[]} with total = sum(per_thread) and |per_thread| = threads,
+     each span {name, count, total_ns, per_thread_count, per_thread_ns};
+   - at least one queue emitted at least one counter (an all-empty file
+     means observability never got enabled — a plumbing regression);
+   - every counter/span name appearing in the file is documented in
+     docs/METRICS.md (the reference must never lag the code).
+
+   Deliberately dependency-free: the repository has no JSON library, so a
+   ~100-line recursive-descent parser for the JSON subset Report emits
+   (only the simple backslash escapes, which Report never writes in names)
+   lives here rather than a new dependency. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* ---------------- parser ---------------- *)
+
+type state = { s : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail "at %d: expected %C, got %C" st.pos c d
+  | None -> fail "at %d: expected %C, got end of input" st.pos c
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at %d" st.pos
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'u' ->
+            (* Report never emits non-ASCII names; keep the escape verbatim
+               so the check still terminates on foreign files. *)
+            Buffer.add_string buf "\\u"
+        | c -> fail "bad escape %s at %d"
+                 (match c with Some c -> String.make 1 c | None -> "EOF")
+                 st.pos);
+        advance st;
+        go ()
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> num_char c | None -> false) do
+    advance st
+  done;
+  let lit = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt lit with
+  | Some f -> Num f
+  | None -> fail "bad number %S at %d" lit start
+
+let parse_literal st lit v =
+  if
+    st.pos + String.length lit <= String.length st.s
+    && String.sub st.s st.pos (String.length lit) = lit
+  then begin
+    st.pos <- st.pos + String.length lit;
+    v
+  end
+  else fail "bad literal at %d" st.pos
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> Str (parse_string st)
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws st;
+          let key = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members ((key, v) :: acc)
+          | Some '}' ->
+              advance st;
+              Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or } at %d" st.pos
+        in
+        members []
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              elements (v :: acc)
+          | Some ']' ->
+              advance st;
+              Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] at %d" st.pos
+        in
+        elements []
+      end
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some 'n' -> parse_literal st "null" Null
+  | Some _ -> parse_number st
+  | None -> fail "unexpected end of input at %d" st.pos
+
+let parse_json s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing garbage at %d" st.pos;
+  v
+
+(* ---------------- schema ---------------- *)
+
+let field obj name =
+  match obj with
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> fail "missing field %S" name)
+  | _ -> fail "expected an object with field %S" name
+
+let as_str what = function Str s -> s | _ -> fail "%s: expected string" what
+let as_arr what = function Arr l -> l | _ -> fail "%s: expected array" what
+
+let as_int what = function
+  | Num f when Float.is_integer f -> int_of_float f
+  | _ -> fail "%s: expected integer" what
+
+let int_list what v = List.map (as_int what) (as_arr what v)
+
+let check_counter ~threads ~impl c =
+  let name = as_str "counter.name" (field c "name") in
+  let ctx = Printf.sprintf "%s/%s" impl name in
+  let total = as_int (ctx ^ ".total") (field c "total") in
+  let per = int_list (ctx ^ ".per_thread") (field c "per_thread") in
+  if List.length per <> threads then
+    fail "%s: per_thread has %d entries, queue has %d threads" ctx
+      (List.length per) threads;
+  let sum = List.fold_left ( + ) 0 per in
+  if sum <> total then fail "%s: total %d <> sum(per_thread) %d" ctx total sum;
+  name
+
+let check_span ~threads ~impl s =
+  let name = as_str "span.name" (field s "name") in
+  let ctx = Printf.sprintf "%s/%s" impl name in
+  let count = as_int (ctx ^ ".count") (field s "count") in
+  (match field s "total_ns" with
+  | Num _ | Null -> ()  (* Report serializes non-finite floats as null *)
+  | _ -> fail "%s.total_ns: expected number" ctx);
+  let per = int_list (ctx ^ ".per_thread_count") (field s "per_thread_count") in
+  if List.length per <> threads then
+    fail "%s: per_thread_count has %d entries, queue has %d threads" ctx
+      (List.length per) threads;
+  if List.fold_left ( + ) 0 per <> count then
+    fail "%s: count <> sum(per_thread_count)" ctx;
+  if
+    List.length (as_arr (ctx ^ ".per_thread_ns") (field s "per_thread_ns"))
+    <> threads
+  then fail "%s: per_thread_ns has wrong length" ctx;
+  name
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let stats_path, metrics_path =
+    match Sys.argv with
+    | [| _; a; b |] -> (a, b)
+    | _ ->
+        prerr_endline "usage: statscheck BENCH_stats.json docs/METRICS.md";
+        exit 2
+  in
+  try
+    let root = parse_json (read_file stats_path) in
+    ignore (as_str "benchmark" (field root "benchmark"));
+    ignore (as_str "backend" (field root "backend"));
+    ignore (as_int "threads" (field root "threads"));
+    let queues = as_arr "queues" (field root "queues") in
+    if queues = [] then fail "queues is empty";
+    let metrics_md = read_file metrics_path in
+    let documented name =
+      (* METRICS.md writes every name in backticks; require exactly that so
+         an incidental prose mention does not count as documentation. *)
+      let needle = "`" ^ name ^ "`" in
+      let nl = String.length needle and ml = String.length metrics_md in
+      let rec scan i =
+        i + nl <= ml && (String.sub metrics_md i nl = needle || scan (i + 1))
+      in
+      scan 0
+    in
+    let total_counters = ref 0 in
+    let undocumented = ref [] in
+    List.iter
+      (fun q ->
+        let impl = as_str "queue.impl" (field q "impl") in
+        let threads = as_int (impl ^ ".threads") (field q "threads") in
+        let counters = as_arr (impl ^ ".counters") (field q "counters") in
+        let spans = as_arr (impl ^ ".spans") (field q "spans") in
+        let names =
+          List.map (check_counter ~threads ~impl) counters
+          @ List.map (check_span ~threads ~impl) spans
+        in
+        total_counters := !total_counters + List.length counters;
+        List.iter
+          (fun n ->
+            if (not (documented n)) && not (List.mem n !undocumented) then
+              undocumented := n :: !undocumented)
+          names)
+      queues;
+    if !total_counters = 0 then
+      fail "no queue emitted any counter (observability never enabled?)";
+    if !undocumented <> [] then
+      fail "names missing from %s: %s" metrics_path
+        (String.concat ", " (List.sort compare !undocumented));
+    Printf.printf "statscheck: %s OK (%d queues, %d counters, all documented)\n"
+      stats_path (List.length queues) !total_counters
+  with
+  | Bad msg ->
+      Printf.eprintf "statscheck: %s: %s\n" stats_path msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "statscheck: %s\n" msg;
+      exit 1

@@ -14,18 +14,35 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Sk = Skiplist.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
+  module Obs = Klsm_obs.Obs
 
   let name = "linden"
   let prefix_bound = 32
 
-  type 'v t = { sk : 'v Sk.t; seed : int }
-  type 'v handle = { t : 'v t; rng : Xoshiro.t }
+  (* Observability (lib/obs; docs/METRICS.md): lost take races on the
+     deleted prefix and the amortized physical restructures. *)
+  let c_take_fail = Obs.counter "linden.take_fail"
+  let c_restructure = Obs.counter "linden.restructure"
 
-  let create_with ?(seed = 1) ~dummy ~num_threads:_ () =
-    { sk = Sk.create ~dummy (); seed }
+  type 'v t = { sk : 'v Sk.t; seed : int; obs : Obs.sheet }
+  type 'v handle = { t : 'v t; rng : Xoshiro.t; obs : Obs.handle }
+
+  let create_with ?(seed = 1) ~dummy ~num_threads () =
+    {
+      sk = Sk.create ~dummy ();
+      seed;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
+    }
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
 
   let register t tid =
-    { t; rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) }
+    {
+      t;
+      rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1)));
+      obs = Obs.handle t.obs ~tid;
+    }
 
   let insert h key value =
     if key < 0 then invalid_arg "Linden_pq.insert: negative key";
@@ -45,11 +62,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             Sk.mark_node n;
             (* Batch the physical unlinking: restructure only when the dead
                prefix is long enough to amortize the multi-level repair. *)
-            if prefix >= prefix_bound then
-              ignore (Sk.search sk (Sk.node_key n + 1));
+            if prefix >= prefix_bound then begin
+              Obs.incr h.obs c_restructure;
+              ignore (Sk.search sk (Sk.node_key n + 1))
+            end;
             Some (Sk.node_key n, Sk.node_value n)
           end
           else begin
+            Obs.incr h.obs c_take_fail;
             B.tick 20;
             walk (prefix + 1) (Sk.next_bottom n)
           end

@@ -6,20 +6,38 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Heap = Seq_heap.Make (B)
   module Lock = Spinlock.Make (B)
+  module Obs = Klsm_obs.Obs
 
   let name = "heap+lock"
 
-  type 'v t = { lock : Lock.t; heap : 'v Heap.t }
-  type 'v handle = 'v t
+  (* Observability (lib/obs; docs/METRICS.md): the single interesting
+     internal quantity of this baseline is how often the one lock is
+     contended — the serialization Figure 3 blames for the 1/T decay. *)
+  let c_contended = Obs.counter "heap.lock_contended"
 
-  let create ?seed:_ ~num_threads:_ () =
-    { lock = Lock.create (); heap = Heap.create () }
+  type 'v t = { lock : Lock.t; heap : 'v Heap.t; obs : Obs.sheet }
+  type 'v handle = { t : 'v t; obs : Obs.handle }
 
-  let register t _tid = t
+  let create ?seed:_ ~num_threads () =
+    {
+      lock = Lock.create ();
+      heap = Heap.create ();
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
+    }
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
+  let register t tid = { t; obs = Obs.handle t.obs ~tid }
+
+  let locked h f =
+    Lock.with_lock
+      ~on_contend:(fun () -> Obs.incr h.obs c_contended)
+      h.t.lock f
 
   let insert h key value =
     if key < 0 then invalid_arg "Locked_heap.insert: negative key";
-    Lock.with_lock h.lock (fun () -> Heap.insert h.heap key value)
+    locked h (fun () -> Heap.insert h.t.heap key value)
 
   (* Batched insert (Pq_intf): one lock acquisition covers the batch. *)
   let insert_batch h pairs =
@@ -28,13 +46,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (fun (key, _) ->
           if key < 0 then invalid_arg "Locked_heap.insert_batch: negative key")
         pairs;
-      Lock.with_lock h.lock (fun () ->
-          Array.iter (fun (key, value) -> Heap.insert h.heap key value) pairs)
+      locked h (fun () ->
+          Array.iter (fun (key, value) -> Heap.insert h.t.heap key value) pairs)
     end
 
-  let try_delete_min h = Lock.with_lock h.lock (fun () -> Heap.pop_min h.heap)
+  let try_delete_min h = locked h (fun () -> Heap.pop_min h.t.heap)
 
-  let size h = Lock.with_lock h.lock (fun () -> Heap.size h.heap)
+  let size t = Lock.with_lock t.lock (fun () -> Heap.size t.heap)
 end
 
 module Default = Make (Klsm_backend.Real)
+module _ : Klsm_core.Pq_intf.S = Default

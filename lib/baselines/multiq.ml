@@ -16,8 +16,16 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Heap = Seq_heap.Make (B)
   module Lock = Spinlock.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
+  module Obs = Klsm_obs.Obs
 
   let name = "multiq"
+
+  (* Observability (lib/obs; docs/METRICS.md): how often the random choices
+     collide (locked queue on insert, raced pop on delete) and how often the
+     probabilistic sampling gives up into the deterministic sweep. *)
+  let c_insert_retry = Obs.counter "multiq.insert_retry"
+  let c_delete_retry = Obs.counter "multiq.delete_retry"
+  let c_scan_all = Obs.counter "multiq.scan_all"
 
   type 'v queue = {
     lock : Lock.t;
@@ -25,8 +33,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     cached_min : int B.atomic;  (** [max_int] when empty *)
   }
 
-  type 'v t = { queues : 'v queue array; seed : int }
-  type 'v handle = { t : 'v t; rng : Xoshiro.t }
+  type 'v t = { queues : 'v queue array; seed : int; obs : Obs.sheet }
+  type 'v handle = { t : 'v t; rng : Xoshiro.t; obs : Obs.handle }
 
   let create_with ?(seed = 1) ?(c = 2) ~num_threads () =
     if num_threads < 1 then invalid_arg "Multiq.create: num_threads < 1";
@@ -40,12 +48,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               cached_min = B.make max_int;
             });
       seed;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
 
   let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
 
   let register t tid =
-    { t; rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) }
+    {
+      t;
+      rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1)));
+      obs = Obs.handle t.obs ~tid;
+    }
 
   let refresh_min q = B.set q.cached_min (Heap.peek_key q.heap)
 
@@ -59,7 +75,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         refresh_min q;
         Lock.release q.lock
       end
-      else attempt ()  (* contended: pick another random queue *)
+      else begin
+        (* Contended: pick another random queue. *)
+        Obs.incr h.obs c_insert_retry;
+        attempt ()
+      end
     in
     attempt ()
 
@@ -82,7 +102,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           refresh_min q;
           Lock.release q.lock
         end
-        else attempt ()
+        else begin
+          Obs.incr h.obs c_insert_retry;
+          attempt ()
+        end
       in
       attempt ()
     end
@@ -98,7 +121,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let try_delete_min h =
     let n = Array.length h.t.queues in
     let rec attempt tries =
-      if tries > 2 * n then scan_all 0
+      if tries > 2 * n then begin
+        Obs.incr h.obs c_scan_all;
+        scan_all 0
+      end
       else begin
         let i = Xoshiro.int h.rng n in
         let j =
@@ -112,7 +138,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           let q = if mi <= mj then qi else qj in
           match pop_from q with
           | Some kv -> Some kv
-          | None -> attempt (tries + 1)  (* raced with another deleter *)
+          | None ->
+              (* Raced with another deleter. *)
+              Obs.incr h.obs c_delete_retry;
+              attempt (tries + 1)
         end
       end
     (* All sampled queues looked empty: one deterministic sweep before

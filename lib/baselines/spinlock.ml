@@ -17,25 +17,29 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Single attempt; [true] iff the lock was acquired. *)
   let try_acquire t = (not (B.get t)) && B.compare_and_set t false true
 
-  (** Blocking acquire (spin). *)
-  let acquire t =
-    let backoff = Backoff.create () in
-    let rec loop () =
-      if not (try_acquire t) then begin
+  (** Blocking acquire (spin).  [on_contend] fires once per acquisition that
+      did not succeed on the first attempt — the hook the lock-based
+      baselines hang their [*.lock_contended] observability counters on
+      (lib/obs; docs/METRICS.md). *)
+  let acquire ?(on_contend = fun () -> ()) t =
+    if not (try_acquire t) then begin
+      on_contend ();
+      let backoff = Backoff.create () in
+      let rec loop () =
         (* Test-and-test-and-set: spin on plain reads until free. *)
         while B.get t do
           Backoff.once backoff ~relax:B.relax_n
         done;
-        loop ()
-      end
-    in
-    loop ()
+        if not (try_acquire t) then loop ()
+      in
+      loop ()
+    end
 
   let release t = B.set t false
 
   (** Run [f] under the lock. *)
-  let with_lock t f =
-    acquire t;
+  let with_lock ?on_contend t f =
+    acquire ?on_contend t;
     match f () with
     | v ->
         release t;

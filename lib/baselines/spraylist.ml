@@ -16,19 +16,41 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Sk = Skiplist.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
   module Bits = Klsm_primitives.Bits
+  module Obs = Klsm_obs.Obs
 
   let name = "spraylist"
   let cleaner_prefix_bound = 32
 
-  type 'v t = { sk : 'v Sk.t; num_threads : int; seed : int }
-  type 'v handle = { t : 'v t; rng : Xoshiro.t }
+  (* Observability (lib/obs; docs/METRICS.md): how delete-min attempts
+     split between sprays, cleaner duty and the exact-walk fallback — the
+     contention-spreading machinery §6 compares against the k-LSM. *)
+  let c_spray = Obs.counter "spray.spray"
+  let c_collision = Obs.counter "spray.collision"
+  let c_linear_fallback = Obs.counter "spray.linear_fallback"
+  let c_cleaner = Obs.counter "spray.cleaner"
+  let c_restructure = Obs.counter "spray.restructure"
+
+  type 'v t = { sk : 'v Sk.t; num_threads : int; seed : int; obs : Obs.sheet }
+  type 'v handle = { t : 'v t; rng : Xoshiro.t; obs : Obs.handle }
 
   let create_with ?(seed = 1) ~dummy ~num_threads () =
     if num_threads < 1 then invalid_arg "Spraylist.create: num_threads < 1";
-    { sk = Sk.create ~dummy (); num_threads; seed }
+    {
+      sk = Sk.create ~dummy ();
+      num_threads;
+      seed;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
+    }
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
 
   let register t tid =
-    { t; rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) }
+    {
+      t;
+      rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1)));
+      obs = Obs.handle t.obs ~tid;
+    }
 
   let insert h key value =
     if key < 0 then invalid_arg "Spraylist.insert: negative key";
@@ -80,8 +102,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | Some n ->
           if Sk.try_take n then begin
             Sk.mark_node n;
-            if prefix >= cleaner_prefix_bound then
-              ignore (Sk.search sk (Sk.node_key n + 1));
+            if prefix >= cleaner_prefix_bound then begin
+              Obs.incr h.obs c_restructure;
+              ignore (Sk.search sk (Sk.node_key n + 1))
+            end;
             Some (Sk.node_key n, Sk.node_value n)
           end
           else begin
@@ -95,22 +119,33 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   let try_delete_min h =
     (* With probability 1/T, act as a cleaner. *)
-    if Xoshiro.int h.rng h.t.num_threads = 0 then linear_delete_min h
+    if Xoshiro.int h.rng h.t.num_threads = 0 then begin
+      Obs.incr h.obs c_cleaner;
+      linear_delete_min h
+    end
     else begin
       let rec attempt n =
-        if n >= max_spray_attempts then
+        if n >= max_spray_attempts then begin
           (* Too many collisions/dead landings: fall back to the exact walk
              so the operation cannot fail spuriously on a non-empty list. *)
+          Obs.incr h.obs c_linear_fallback;
           linear_delete_min h
+        end
         else begin
+          Obs.incr h.obs c_spray;
           match spray h with
-          | None -> linear_delete_min h
+          | None ->
+              Obs.incr h.obs c_linear_fallback;
+              linear_delete_min h
           | Some node ->
               if Sk.try_take node then begin
                 Sk.mark_node node;
                 Some (Sk.node_key node, Sk.node_value node)
               end
-              else attempt (n + 1)
+              else begin
+                Obs.incr h.obs c_collision;
+                attempt (n + 1)
+              end
         end
       in
       attempt 0

@@ -14,33 +14,51 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Heap = Seq_heap.Make (B)
   module Lock = Spinlock.Make (B)
+  module Obs = Klsm_obs.Obs
 
   let name = "wimmer-centralized"
+
+  (* Observability (lib/obs; docs/METRICS.md): central-lock contention (the
+     serialization that makes this queue k-independent and non-scalable)
+     and lazy-deletion drops on the way out. *)
+  let c_contended = Obs.counter "centralized.lock_contended"
+  let c_lazy_drop = Obs.counter "centralized.lazy_drop"
 
   type 'v t = {
     lock : Lock.t;
     heap : 'v Heap.t;
     should_delete : (int -> 'v -> bool) option;
     on_lazy_delete : int -> 'v -> unit;
+    obs : Obs.sheet;
   }
 
-  type 'v handle = 'v t
+  type 'v handle = { t : 'v t; obs : Obs.handle }
 
-  let create_with ?seed:_ ?k:_ ?should_delete ?on_lazy_delete ~num_threads:_ () =
+  let create_with ?seed:_ ?k:_ ?should_delete ?on_lazy_delete ~num_threads () =
     {
       lock = Lock.create ();
       heap = Heap.create ();
       should_delete;
       on_lazy_delete =
         (match on_lazy_delete with Some f -> f | None -> fun _ _ -> ());
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
   let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
-  let register t _tid = t
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
+  let register t tid = { t; obs = Obs.handle t.obs ~tid }
+
+  let locked h f =
+    Lock.with_lock
+      ~on_contend:(fun () -> Obs.incr h.obs c_contended)
+      h.t.lock f
 
   let insert h key value =
     if key < 0 then invalid_arg "Wimmer_centralized.insert: negative key";
-    Lock.with_lock h.lock (fun () -> Heap.insert h.heap key value)
+    locked h (fun () -> Heap.insert h.t.heap key value)
 
   (* Batched insert (Pq_intf): one lock acquisition covers the batch. *)
   let insert_batch h pairs =
@@ -50,26 +68,28 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           if key < 0 then
             invalid_arg "Wimmer_centralized.insert_batch: negative key")
         pairs;
-      Lock.with_lock h.lock (fun () ->
-          Array.iter (fun (key, value) -> Heap.insert h.heap key value) pairs)
+      locked h (fun () ->
+          Array.iter (fun (key, value) -> Heap.insert h.t.heap key value) pairs)
     end
 
   let try_delete_min h =
-    Lock.with_lock h.lock (fun () ->
+    locked h (fun () ->
         (* Lazy deletion: condemned items die on the way out. *)
         let rec pop () =
-          match Heap.pop_min h.heap with
+          match Heap.pop_min h.t.heap with
           | None -> None
           | Some (key, v) -> (
-              match h.should_delete with
+              match h.t.should_delete with
               | Some p when p key v ->
-                  h.on_lazy_delete key v;
+                  Obs.incr h.obs c_lazy_drop;
+                  h.t.on_lazy_delete key v;
                   pop ()
               | _ -> Some (key, v))
         in
         pop ())
 
-  let size h = Lock.with_lock h.lock (fun () -> Heap.size h.heap)
+  let size (t : _ t) = Lock.with_lock t.lock (fun () -> Heap.size t.heap)
 end
 
 module Default = Make (Klsm_backend.Real)
+module _ : Klsm_core.Pq_intf.S = Default

@@ -14,8 +14,17 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Heap = Seq_heap.Make (B)
   module Lock = Spinlock.Make (B)
+  module Obs = Klsm_obs.Obs
 
   let name = "wimmer-hybrid"
+
+  (* Observability (lib/obs; docs/METRICS.md): spills of the private heap
+     into the central queue (rarer as k grows — the whole point of the
+     hybrid), central-lock contention, and lazy-deletion drops. *)
+  let c_flush = Obs.counter "hybrid.flush"
+  let c_flush_items = Obs.counter "hybrid.flush_items"
+  let c_contended = Obs.counter "hybrid.lock_contended"
+  let c_lazy_drop = Obs.counter "hybrid.lazy_drop"
 
   type 'v t = {
     lock : Lock.t;
@@ -24,12 +33,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     k : int B.atomic;
     should_delete : (int -> 'v -> bool) option;
     on_lazy_delete : int -> 'v -> unit;
+    obs : Obs.sheet;
   }
 
-  type 'v handle = { t : 'v t; local : 'v Heap.t }
+  type 'v handle = { t : 'v t; local : 'v Heap.t; obs : Obs.handle }
 
   let create_with ?seed:_ ?(k = 256) ?should_delete ?on_lazy_delete
-      ~num_threads:_ () =
+      ~num_threads () =
     if k < 0 then invalid_arg "Wimmer_hybrid.create: k < 0";
     {
       lock = Lock.create ();
@@ -39,11 +49,23 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       should_delete;
       on_lazy_delete =
         (match on_lazy_delete with Some f -> f | None -> fun _ _ -> ());
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
   let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
-  let register t _tid = { t; local = Heap.create () }
-  let set_k t k = B.set t.k k
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
+  let register t tid =
+    { t; local = Heap.create (); obs = Obs.handle t.obs ~tid }
+
+  let set_k (t : _ t) k = B.set t.k k
+
+  let locked h f =
+    Lock.with_lock
+      ~on_contend:(fun () -> Obs.incr h.obs c_contended)
+      h.t.lock f
 
   let refresh_min t = B.set t.global_min (Heap.peek_key t.global)
 
@@ -54,12 +76,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
      batching that makes the hybrid cheaper than the centralized queue. *)
   let flush_local h =
     if not (Heap.is_empty h.local) then begin
-      Lock.with_lock h.t.lock (fun () ->
+      Obs.incr h.obs c_flush;
+      Obs.add h.obs c_flush_items (Heap.size h.local);
+      locked h (fun () ->
           let rec move () =
             match Heap.pop_min h.local with
             | None -> ()
             | Some (key, v) ->
-                if condemned h key v then h.t.on_lazy_delete key v
+                if condemned h key v then begin
+                  Obs.incr h.obs c_lazy_drop;
+                  h.t.on_lazy_delete key v
+                end
                 else Heap.insert h.t.global key v;
                 move ()
           in
@@ -78,12 +105,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     Array.iter (fun (key, value) -> insert h key value) pairs
 
   let pop_global h =
-    Lock.with_lock h.t.lock (fun () ->
+    locked h (fun () ->
         let rec pop () =
           match Heap.pop_min h.t.global with
           | None -> None
           | Some (key, v) ->
               if condemned h key v then begin
+                Obs.incr h.obs c_lazy_drop;
                 h.t.on_lazy_delete key v;
                 pop ()
               end
@@ -98,6 +126,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | None -> None
     | Some (key, v) ->
         if condemned h key v then begin
+          Obs.incr h.obs c_lazy_drop;
           h.t.on_lazy_delete key v;
           pop_local h
         end
@@ -114,8 +143,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       match pop_global h with None -> pop_local h | some -> some
     end
 
-  let approximate_size h_or_t =
-    Lock.with_lock h_or_t.lock (fun () -> Heap.size h_or_t.global)
+  let approximate_size (t : _ t) =
+    Lock.with_lock t.lock (fun () -> Heap.size t.global)
 end
 
 module Default = Make (Klsm_backend.Real)
+module _ : Klsm_core.Pq_intf.S = Default

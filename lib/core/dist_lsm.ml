@@ -21,6 +21,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Block = Block.Make (B)
   module Bloom = Klsm_primitives.Bloom
   module Xoshiro = Klsm_primitives.Xoshiro
+  module Obs = Klsm_obs.Obs
+
+  (* Observability (lib/obs; docs/METRICS.md).  The handle is the owning
+     thread's, so every event lands in that thread's shard. *)
+  let c_merge = Obs.counter "dist.merge"
+  let c_spill = Obs.counter "dist.spill"
+  let c_spill_items = Obs.counter "dist.spill_items"
+  let c_consolidate = Obs.counter "dist.consolidate"
+  let c_spy_blocks = Obs.counter "dist.spy_blocks"
+  let c_spy_items = Obs.counter "dist.spy_items"
+  let s_consolidate = Obs.span "dist.consolidate"
 
   (* 2^40 items per thread-local LSM is beyond any conceivable run. *)
   let max_levels = 40
@@ -31,15 +42,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     tid : int;
     filter : Bloom.t;  (** singleton filter stamped on created blocks *)
     alive : 'v Item.t -> bool;
+    obs : Obs.handle;  (** the owning thread's observability shard *)
   }
 
-  let create ~tid ~hasher ~alive () =
+  let create ?(obs = Obs.null_handle) ~tid ~hasher ~alive () =
     {
       blocks = Array.init max_levels (fun _ -> B.make None);
       size = B.make 0;
       tid;
       filter = Bloom.singleton ~hasher tid;
       alive;
+      obs;
     }
 
   let tid t = t.tid
@@ -77,6 +90,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | None -> continue_merge := false
       | Some prev ->
           if Block.level prev <= Block.level !b then begin
+            Obs.incr t.obs c_merge;
             b := Block.shrink ~alive (Block.merge ~alive prev !b);
             decr i
           end
@@ -89,6 +103,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     else if Block.level !b > max_level then begin
       (* Spill: hand the merged block to the shared component FIRST so its
          items never become unreachable, then forget the consumed blocks. *)
+      Obs.incr t.obs c_spill;
+      Obs.add t.obs c_spill_items (Block.filled !b);
       spill !b;
       B.set t.size !i
     end
@@ -125,6 +141,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       references to blocks being consolidated after the consolidated blocks
       are made available"). *)
   let consolidate t =
+    Obs.incr t.obs c_consolidate;
+    let t0 = Obs.span_begin t.obs in
     let alive = t.alive in
     let n = B.get t.size in
     let survivors = ref [] in
@@ -158,7 +176,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     for i = 0 to m - 1 do
       B.set t.blocks.(i) (Some arr.(i))
     done;
-    B.set t.size m
+    B.set t.size m;
+    Obs.span_end t.obs s_consolidate t0
 
   (** Fraction of logically-held items that are dead; drives the lazy
       consolidation heuristic in the combined queue. *)
@@ -206,10 +225,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               B.set t.blocks.(!n) (Some copy);
               incr n;
               B.set t.size !n;
+              Obs.incr t.obs c_spy_blocks;
               copied := !copied + Block.filled copy
             end
           end
     done;
+    Obs.add t.obs c_spy_items !copied;
     (* Report whether any *alive* item was actually acquired: returning true
        on a merely non-empty (dead) local LSM would let a caller's
        spy-and-retry loop spin forever on an exhausted queue. *)

@@ -8,8 +8,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Dist_lsm = Dist_lsm.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
   module Tabular_hash = Klsm_primitives.Tabular_hash
+  module Obs = Klsm_obs.Obs
 
   let name = "dlsm"
+
+  (* Observability (lib/obs; docs/METRICS.md).  The component-level events
+     (merges, spies) are counted inside {!Dist_lsm}; these cover the
+     composition layer. *)
+  let c_take_race = Obs.counter "dlsm.take_race"
+  let c_spy_attempt = Obs.counter "dlsm.spy_attempt"
+  let c_spy_success = Obs.counter "dlsm.spy_success"
+  let c_delete_empty = Obs.counter "dlsm.delete_empty"
 
   type 'v t = {
     dists : 'v Dist_lsm.t option B.atomic array;
@@ -17,9 +26,16 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     seed : int;
     hasher : Tabular_hash.t;
     alive : 'v Item.t -> bool;
+    obs : Obs.sheet;
   }
 
-  type 'v handle = { t : 'v t; tid : int; dist : 'v Dist_lsm.t; rng : Xoshiro.t }
+  type 'v handle = {
+    t : 'v t;
+    tid : int;
+    dist : 'v Dist_lsm.t;
+    rng : Xoshiro.t;
+    obs : Obs.handle;
+  }
 
   let create_with ?(seed = 1) ?should_delete ?on_lazy_delete ~num_threads () =
     if num_threads < 1 then invalid_arg "Dlsm.create: num_threads < 1";
@@ -46,16 +62,21 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       seed;
       hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed);
       alive;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
   let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
 
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
   let register t tid =
     if tid < 0 || tid >= t.num_threads then invalid_arg "Dlsm.register: tid";
     let rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) in
-    let dist = Dist_lsm.create ~tid ~hasher:t.hasher ~alive:t.alive () in
+    let obs = Obs.handle t.obs ~tid in
+    let dist = Dist_lsm.create ~obs ~tid ~hasher:t.hasher ~alive:t.alive () in
     B.set t.dists.(tid) (Some dist);
-    { t; tid; dist; rng }
+    { t; tid; dist; rng; obs }
 
   let insert h key value =
     if key < 0 then invalid_arg "Dlsm.insert: negative key";
@@ -88,7 +109,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         | None -> None
         | Some item ->
             if Item.take item then Some (Item.key item, Item.value item)
-            else take_loop ()
+            else begin
+              Obs.incr h.obs c_take_race;
+              take_loop ()
+            end
       in
       match take_loop () with
       | Some kv -> Some kv
@@ -96,7 +120,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           (* Spy must start from an empty local LSM (§4.2): clean out
              logically deleted leftovers first. *)
           Dist_lsm.consolidate h.dist;
-          if spy_once h then outer () else None
+          Obs.incr h.obs c_spy_attempt;
+          if spy_once h then begin
+            Obs.incr h.obs c_spy_success;
+            outer ()
+          end
+          else begin
+            Obs.incr h.obs c_delete_empty;
+            None
+          end
     in
     outer ()
 

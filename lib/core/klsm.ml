@@ -21,8 +21,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Dist_lsm = Dist_lsm.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
   module Tabular_hash = Klsm_primitives.Tabular_hash
+  module Obs = Klsm_obs.Obs
 
   let name = "k-lsm"
+
+  (* Observability of the Listing 5 composition layer (lib/obs;
+     docs/METRICS.md): claim races and the two fallback paths of
+     delete-min. *)
+  let c_take_race = Obs.counter "klsm.take_race"
+  let c_delete_local = Obs.counter "klsm.delete_local"
+  let c_delete_shared = Obs.counter "klsm.delete_shared"
+  let c_delete_empty = Obs.counter "klsm.delete_empty"
+  let c_spy_attempt = Obs.counter "klsm.spy_attempt"
+  let c_spy_success = Obs.counter "klsm.spy_success"
 
   type 'v t = {
     shared : 'v Shared_klsm.t;
@@ -33,6 +44,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     alive : 'v Item.t -> bool;
     spill_max_level : int option;
         (** ablation override of the §4.3 spill threshold *)
+    obs : Obs.sheet;  (** per-thread internal event counters (lib/obs) *)
   }
 
   type 'v handle = {
@@ -41,6 +53,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     dist : 'v Dist_lsm.t;
     shared_h : 'v Shared_klsm.handle;
     rng : Xoshiro.t;
+    obs : Obs.handle;
   }
 
   let create_with ?(seed = 1) ?(k = 256) ?should_delete ?on_lazy_delete
@@ -74,6 +87,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       hasher;
       alive;
       spill_max_level;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
   let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
@@ -81,17 +95,23 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let get_k t = Shared_klsm.get_k t.shared
   let set_k t k = Shared_klsm.set_k t.shared k
 
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
   let register t tid =
     if tid < 0 || tid >= t.num_threads then invalid_arg "Klsm.register: tid";
     let rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) in
-    let dist = Dist_lsm.create ~tid ~hasher:t.hasher ~alive:t.alive () in
+    let obs = Obs.handle t.obs ~tid in
+    let dist = Dist_lsm.create ~obs ~tid ~hasher:t.hasher ~alive:t.alive () in
     B.set t.dists.(tid) (Some dist);
     {
       t;
       tid;
       dist;
-      shared_h = Shared_klsm.register t.shared ~tid ~rng:(Xoshiro.split rng);
+      shared_h =
+        Shared_klsm.register ~obs t.shared ~tid ~rng:(Xoshiro.split rng);
       rng;
+      obs;
     }
 
   (** Insert a key (§4.3): a fresh item goes into the thread-local LSM; if
@@ -159,19 +179,29 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     let rec outer () =
       let rec take_loop () =
         let local = Dist_lsm.find_min h.dist in
-        let candidate =
+        (* [from_shared] records which component supplied the winning
+           candidate — the split the paper's §4.3 design argument is
+           about (most deletes should be served locally). *)
+        let candidate, from_shared =
           match local with
-          | None -> Shared_klsm.find_min h.shared_h
+          | None -> (Shared_klsm.find_min h.shared_h, true)
           | Some it -> (
               match Shared_klsm.find_min h.shared_h with
-              | Some sh when Item.key sh < Item.key it -> Some sh
-              | _ -> local)
+              | Some sh when Item.key sh < Item.key it -> (Some sh, true)
+              | _ -> (local, false))
         in
         match candidate with
         | None -> None
         | Some item ->
-            if Item.take item then Some (Item.key item, Item.value item)
-            else take_loop ()
+            if Item.take item then begin
+              Obs.incr h.obs
+                (if from_shared then c_delete_shared else c_delete_local);
+              Some (Item.key item, Item.value item)
+            end
+            else begin
+              Obs.incr h.obs c_take_race;
+              take_loop ()
+            end
       in
       match take_loop () with
       | Some kv -> Some kv
@@ -179,7 +209,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           (* §4.2 requires spy to start from an empty local LSM; ours may
              still hold logically deleted items, so clean it first. *)
           Dist_lsm.consolidate h.dist;
-          if spy_once h then outer () else None
+          Obs.incr h.obs c_spy_attempt;
+          if spy_once h then begin
+            Obs.incr h.obs c_spy_success;
+            outer ()
+          end
+          else begin
+            Obs.incr h.obs c_delete_empty;
+            None
+          end
     in
     outer ()
 

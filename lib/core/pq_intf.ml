@@ -25,7 +25,9 @@ module type S = sig
   (** [register t tid] claims thread slot [tid] (0-based, < num_threads). *)
 
   val insert : 'v handle -> int -> 'v -> unit
-  (** [insert h key v] inserts; always succeeds.  [key >= 0]. *)
+  (** [insert h key v] inserts; always succeeds.  [key >= 0].  The paper's
+      Listing 5 [insert]: local LSM first, spilling to the shared
+      component per §4.3 (for the k-LSM; baselines use their own paths). *)
 
   val try_delete_min : 'v handle -> (int * 'v) option
   (** Delete and return a minimal key (under the queue's relaxation).
@@ -39,4 +41,12 @@ module type S = sig
       update, which is how batching layers above the queue (the submitter
       in [lib/sched]) amortize the shared hot spot.  Queues without a bulk
       path fall back to an element-by-element loop. *)
+
+  val stats : 'v t -> Klsm_obs.Obs.snapshot
+  (** Type-erased snapshot of the queue's internal event counters and span
+      timers ([lib/obs]): per-thread CAS retries, consolidations, spy
+      traffic, ... — the internal quantities the paper's §5 discussion
+      explains Figures 3-4 with.  Empty unless observability was enabled
+      ({!Klsm_obs.Obs.set_enabled}) {e before} the queue was created; see
+      [docs/METRICS.md] for what each emitted name means. *)
 end

@@ -18,6 +18,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Block_array = Block_array.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
   module Tabular_hash = Klsm_primitives.Tabular_hash
+  module Obs = Klsm_obs.Obs
+
+  (* Observability (lib/obs; docs/METRICS.md).  [Block_array] mutations are
+     counted here because every one of them happens through this module's
+     private snapshots. *)
+  let c_cas = Obs.counter "shared.cas_attempt"
+  let c_cas_fail = Obs.counter "shared.cas_fail"
+  let c_insert_retry = Obs.counter "shared.insert_retry"
+  let c_consolidate = Obs.counter "shared.consolidate"
+  let c_pivots = Obs.counter "shared.pivot_recompute"
+  let c_empty_publish = Obs.counter "shared.empty_publish"
+  let s_insert = Obs.span "shared.insert"
+  let s_find_min = Obs.span "shared.find_min"
 
   type 'v t = {
     shared : 'v Block_array.t option B.atomic;
@@ -33,6 +46,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     q : 'v t;
     tid : int;
     rng : Xoshiro.t;
+    obs : Obs.handle;
     mutable observed : 'v Block_array.t option;
     mutable snapshot : 'v Block_array.t option;
   }
@@ -49,7 +63,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if k < 0 then invalid_arg "Shared_klsm.set_k: k < 0";
     B.set t.k k
 
-  let register q ~tid ~rng = { q; tid; rng; observed = None; snapshot = None }
+  let register ?(obs = Obs.null_handle) q ~tid ~rng =
+    { q; tid; rng; obs; observed = None; snapshot = None }
 
   (* Take a fresh consistent snapshot of the shared array. *)
   let refresh_snapshot h =
@@ -60,14 +75,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (* Install the (modified) snapshot; fails iff [shared] moved since the
      snapshot was taken — i.e. iff someone else made progress. *)
   let push_snapshot h next =
-    B.compare_and_set h.q.shared h.observed next
+    Obs.incr h.obs c_cas;
+    let ok = B.compare_and_set h.q.shared h.observed next in
+    if not ok then Obs.incr h.obs c_cas_fail;
+    ok
 
   (** Insert a whole sorted block (the spill path of the distributed LSM and
       the only way items enter the shared component).  Lock-free: retries
       only when another thread's CAS succeeded. *)
   let insert h block =
     let alive = h.q.alive in
-    let rec attempt () =
+    let t0 = Obs.span_begin h.obs in
+    let rec attempt retry =
+      if retry then Obs.incr h.obs c_insert_retry;
       refresh_snapshot h;
       let snap =
         match h.snapshot with
@@ -75,13 +95,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         | None -> Block_array.empty ()
       in
       Block_array.insert ~alive snap block;
+      Obs.incr h.obs c_pivots;
       Block_array.calculate_pivots snap ~k:(B.get h.q.k);
       (* On success [observed] is left stale on purpose: the pushed array is
          now shared and immutable, so the next operation must take a fresh
          private copy (the [shared != observed] check forces it). *)
-      if not (push_snapshot h (Some snap)) then attempt ()
+      if not (push_snapshot h (Some snap)) then attempt true
     in
-    attempt ()
+    attempt false;
+    Obs.span_end h.obs s_insert t0
 
   (** Listing 3's [find_min]: return an item that was alive in the calling
       thread's consistent snapshot, or [None] if the queue (as observed) is
@@ -92,6 +114,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       queue's delete-min loop handles that. *)
   let find_min h =
     let alive = h.q.alive in
+    let t0 = Obs.span_begin h.obs in
     let rec loop () =
       if B.get h.q.shared != h.observed then refresh_snapshot h;
       match h.snapshot with
@@ -108,12 +131,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                  disconnected by an over-eager [None] push. *)
               if h.observed <> None then begin
                 if Block_array.total_filled snap = 0 then begin
+                  Obs.incr h.obs c_empty_publish;
                   ignore (push_snapshot h None);
                   refresh_snapshot h
                 end
                 else begin
                   (* Stale view: rebuild and retry. *)
+                  Obs.incr h.obs c_consolidate;
                   ignore (Block_array.consolidate ~alive snap);
+                  Obs.incr h.obs c_pivots;
                   Block_array.calculate_pivots snap ~k:(B.get h.q.k)
                 end
               end;
@@ -122,14 +148,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               if alive item then Some item
               else begin
                 (* Deleted minimum: clean up, publish if we restructured. *)
+                Obs.incr h.obs c_consolidate;
                 let push = Block_array.consolidate ~alive snap in
                 if Block_array.is_empty snap then begin
                   (* Whether or not our CAS wins, someone published a newer
                      state; re-snapshot either way. *)
+                  Obs.incr h.obs c_empty_publish;
                   ignore (push_snapshot h None);
                   refresh_snapshot h
                 end
                 else begin
+                  Obs.incr h.obs c_pivots;
                   Block_array.calculate_pivots snap ~k:(B.get h.q.k);
                   if push then begin
                     (* As in [insert]: a successfully pushed snapshot is
@@ -142,7 +171,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 loop ()
               end)
     in
-    loop ()
+    let r = loop () in
+    Obs.span_end h.obs s_find_min t0;
+    r
 
   (** Item count as observed in the current shared array (may include
       logically deleted items; the paper allows [size] to be off by rho). *)

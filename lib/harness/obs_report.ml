@@ -1,0 +1,98 @@
+(** Rendering of [lib/obs] snapshots: per-thread counter tables for the
+    console and the JSON shape of [BENCH_stats.json].
+
+    Kept in the harness (not in [lib/obs]) so the observability library
+    stays dependency-free and the JSON schema lives next to the other
+    BENCH_*.json emitters ({!Report}). *)
+
+module Obs = Klsm_obs.Obs
+
+(** Print one snapshot as aligned tables: a counter table (total plus one
+    column per thread) and, when any span fired, a span table (count, total
+    ns, mean ns per call).  Prints nothing but a note when the snapshot is
+    empty (observability disabled or no event fired). *)
+let print_table ?(out = stdout) ~name (s : Obs.snapshot) =
+  if s.Obs.counters = [] && s.Obs.spans = [] then
+    Printf.fprintf out "[%s] no internal counters (observability disabled?)\n"
+      name
+  else begin
+    Printf.fprintf out "-- %s: internal counters (%d threads) --\n" name
+      s.Obs.threads;
+    let tid_headers = List.init s.Obs.threads (fun i -> Printf.sprintf "t%d" i) in
+    if s.Obs.counters <> [] then begin
+      let rows =
+        List.map
+          (fun (cname, per) ->
+            cname
+            :: string_of_int (Obs.counter_total per)
+            :: List.map string_of_int (Array.to_list per))
+          s.Obs.counters
+      in
+      Report.table ~out ~header:(("counter" :: "total" :: tid_headers)) rows
+    end;
+    if s.Obs.spans <> [] then begin
+      let rows =
+        List.map
+          (fun (sname, (d : Obs.span_data)) ->
+            let count = Obs.counter_total d.Obs.count in
+            let ns = Array.fold_left ( +. ) 0.0 d.Obs.ns in
+            [
+              sname;
+              string_of_int count;
+              Printf.sprintf "%.0f" ns;
+              (if count = 0 then "-"
+               else Printf.sprintf "%.1f" (ns /. float_of_int count));
+            ])
+          s.Obs.spans
+      in
+      Report.table ~out
+        ~header:[ "span"; "count"; "total_ns"; "mean_ns" ]
+        rows
+    end
+  end
+
+(** The JSON shape of one snapshot as embedded in [BENCH_stats.json]:
+    {v
+    { "threads": T,
+      "counters": [ {"name": n, "total": t, "per_thread": [..]} ],
+      "spans":    [ {"name": n, "count": c, "total_ns": ns,
+                     "per_thread_count": [..], "per_thread_ns": [..]} ] }
+    v} *)
+let to_json (s : Obs.snapshot) : Report.json =
+  let ints arr = Report.List (List.map (fun i -> Report.Int i) (Array.to_list arr)) in
+  let floats arr =
+    Report.List (List.map (fun f -> Report.Float f) (Array.to_list arr))
+  in
+  Report.Obj
+    [
+      ("threads", Report.Int s.Obs.threads);
+      ( "counters",
+        Report.List
+          (List.map
+             (fun (name, per) ->
+               Report.Obj
+                 [
+                   ("name", Report.String name);
+                   ("total", Report.Int (Obs.counter_total per));
+                   ("per_thread", ints per);
+                 ])
+             s.Obs.counters) );
+      ( "spans",
+        Report.List
+          (List.map
+             (fun (name, (d : Obs.span_data)) ->
+               Report.Obj
+                 [
+                   ("name", Report.String name);
+                   ("count", Report.Int (Obs.counter_total d.Obs.count));
+                   ("total_ns", Report.Float (Array.fold_left ( +. ) 0.0 d.Obs.ns));
+                   ("per_thread_count", ints d.Obs.count);
+                   ("per_thread_ns", floats d.Obs.ns);
+                 ])
+             s.Obs.spans) );
+    ]
+
+(** Every counter/span name appearing in a snapshot; used by the schema
+    sanity check to cross-reference [docs/METRICS.md]. *)
+let names (s : Obs.snapshot) =
+  List.map fst s.Obs.counters @ List.map fst s.Obs.spans

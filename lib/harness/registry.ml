@@ -113,6 +113,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     name : string;
     register : int -> handle;  (** tid -> per-thread handle *)
     approximate_size : unit -> int;
+    stats : unit -> Klsm_obs.Obs.snapshot;
+        (** internal-counter snapshot (Pq_intf.stats); empty unless
+            observability was enabled before [make] ran (lib/obs) *)
   }
 
   (** Instantiate a [spec].  [should_delete]/[on_lazy_delete] are passed to
@@ -132,6 +135,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Locked_heap.try_delete_min h);
               });
           approximate_size = (fun () -> Locked_heap.size q);
+          stats = (fun () -> Locked_heap.stats q);
         }
     | Linden ->
         let q = Linden.create_with ~seed ~dummy:0 ~num_threads () in
@@ -146,6 +150,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Linden.try_delete_min h);
               });
           approximate_size = (fun () -> Linden.alive_size q);
+          stats = (fun () -> Linden.stats q);
         }
     | Spraylist ->
         let q = Spraylist.create_with ~seed ~dummy:0 ~num_threads () in
@@ -160,6 +165,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Spraylist.try_delete_min h);
               });
           approximate_size = (fun () -> Spraylist.alive_size q);
+          stats = (fun () -> Spraylist.stats q);
         }
     | Multiq c ->
         let q = Multiq.create_with ~seed ~c ~num_threads () in
@@ -174,6 +180,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Multiq.try_delete_min h);
               });
           approximate_size = (fun () -> Multiq.approximate_size q);
+          stats = (fun () -> Multiq.stats q);
         }
     | Klsm k ->
         let q = Klsm.create_with ~seed ~k ?should_delete ?on_lazy_delete ~num_threads () in
@@ -188,6 +195,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Klsm.try_delete_min h);
               });
           approximate_size = (fun () -> Klsm.approximate_size q);
+          stats = (fun () -> Klsm.stats q);
         }
     | Dlsm ->
         let q = Dlsm.create_with ~seed ?should_delete ?on_lazy_delete ~num_threads () in
@@ -202,6 +210,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Dlsm.try_delete_min h);
               });
           approximate_size = (fun () -> Dlsm.approximate_size q);
+          stats = (fun () -> Dlsm.stats q);
         }
     | Wimmer_centralized ->
         let q =
@@ -220,6 +229,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                   (fun () -> Wimmer_centralized.try_delete_min h);
               });
           approximate_size = (fun () -> Wimmer_centralized.size q);
+          stats = (fun () -> Wimmer_centralized.stats q);
         }
     | Wimmer_hybrid k ->
         let q =
@@ -237,6 +247,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 try_delete_min = (fun () -> Wimmer_hybrid.try_delete_min h);
               });
           approximate_size = (fun () -> Wimmer_hybrid.approximate_size q);
+          stats = (fun () -> Wimmer_hybrid.stats q);
         }
 
   (** The full Figure 3 line-up, with the paper's parameters. *)

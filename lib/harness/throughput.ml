@@ -40,6 +40,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     elapsed : float;  (** wall (real) or makespan (sim), seconds *)
     throughput_per_thread : float;
     failed_deletes : int;  (** delete-mins that returned [None] *)
+    stats : Klsm_obs.Obs.snapshot;
+        (** internal counters accumulated over prefill + timed phase; empty
+            unless observability was enabled (lib/obs) *)
   }
 
   (** One benchmark run: prefill (untimed), then the timed mixed phase. *)
@@ -89,6 +92,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
            float_of_int total_ops /. elapsed /. float_of_int t
          else Float.nan);
       failed_deletes = Array.fold_left ( + ) 0 failed;
+      stats = instance.stats ();
     }
 
   (** Repeat [reps] times with distinct seeds; returns per-rep

@@ -33,6 +33,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Submitter = Submitter.Make (B)
   module Worker = Worker.Make (B)
   module Xoshiro = Klsm_primitives.Xoshiro
+  module Obs = Klsm_obs.Obs
 
   type arrival_mode =
     | Closed  (** submit as fast as admission control allows *)
@@ -120,6 +121,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     peak_inflight : int;
     lost : int;  (** submitted tasks that never executed; must be 0 *)
     double : int;  (** double claims/executions observed; must be 0 *)
+    queue_stats : Obs.snapshot;
+        (** the queue's internal counters (Pq_intf.stats; lib/obs) *)
+    sched_stats : Obs.snapshot;
+        (** the scheduling layer's [sched.*] counters; both snapshots are
+            empty unless observability was enabled before the run *)
   }
 
   let run config spec =
@@ -142,6 +148,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         capacity = config.capacity;
       }
     in
+    let sched_obs =
+      Obs.create_sheet ~now:B.time ~num_threads:config.num_workers ()
+    in
     let t0 = B.time () in
     B.parallel_run ~num_threads:config.num_workers (fun tid ->
         let h = instance.Registry.register tid in
@@ -149,9 +158,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           Submitter.create ~cfg:sub_cfg ~inflight:pool.Worker.inflight
             ~enqueue_batch:h.Registry.insert_batch ()
         in
+        let obs = Obs.handle sched_obs ~tid in
         let ctx =
-          Worker.make_ctx ~pool ~tid ~sub ~pop:h.Registry.try_delete_min
-            ~metrics:metrics.(tid)
+          Worker.make_ctx ~obs ~pool ~tid ~sub ~pop:h.Registry.try_delete_min
+            ~metrics:metrics.(tid) ()
         in
         let rng = Xoshiro.create ~seed:(config.seed + (7919 * tid)) in
         let next_priority = Workload.generator config.priorities rng in
@@ -188,7 +198,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         let w = metrics.(tid) in
         w.Metrics.flushes <- w.Metrics.flushes + sub.Submitter.flushes;
         w.Metrics.urgent_flushes <-
-          w.Metrics.urgent_flushes + sub.Submitter.urgent_flushes);
+          w.Metrics.urgent_flushes + sub.Submitter.urgent_flushes;
+        Obs.add obs Worker.c_flush sub.Submitter.flushes;
+        Obs.add obs Worker.c_urgent_flush sub.Submitter.urgent_flushes);
     let makespan = B.time () -. t0 in
     (* Post-run audit: every allocated task must have completed exactly
        once.  [claim_count > 1] would mean a queue delivered an id twice
@@ -218,5 +230,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       peak_inflight = Worker.peak_inflight pool;
       lost = !lost;
       double = !double + summary.Metrics.double_claims;
+      queue_stats = instance.Registry.stats ();
+      sched_stats = Obs.snapshot sched_obs;
     }
 end

@@ -31,6 +31,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Task = Task.Make (B)
   module Submitter = Submitter.Make (B)
   module Backoff = Klsm_primitives.Backoff
+  module Obs = Klsm_obs.Obs
+
+  (* Observability (lib/obs; docs/METRICS.md).  These double the
+     always-on {!Metrics} fields into the shared counter namespace so one
+     BENCH_stats.json carries queue internals and scheduler behaviour
+     side by side; [sched.flush]/[sched.urgent_flush] are folded in from
+     the submitter after the run (see {!Closed_loop}). *)
+  let c_claim_race = Obs.counter "sched.claim_race"
+  let c_empty_pop = Obs.counter "sched.empty_pop"
+  let c_reject = Obs.counter "sched.reject"
+  let c_execute = Obs.counter "sched.execute"
+  let c_flush = Obs.counter "sched.flush"
+  let c_urgent_flush = Obs.counter "sched.urgent_flush"
 
   type pool = {
     tasks : Task.t option B.atomic array;  (** id -> task *)
@@ -74,9 +87,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     sub : Submitter.t;
     pop : unit -> (int * int) option;  (** the queue's try_delete_min *)
     w : Metrics.worker;
+    obs : Obs.handle;
   }
 
-  let make_ctx ~pool ~tid ~sub ~pop ~metrics = { pool; tid; sub; pop; w = metrics }
+  let make_ctx ?(obs = Obs.null_handle) ~pool ~tid ~sub ~pop ~metrics () =
+    { pool; tid; sub; pop; w = metrics; obs }
 
   let rec bump_peak pool v =
     let cur = B.get pool.peak_inflight in
@@ -101,6 +116,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     match Submitter.try_admit ctx.sub with
     | None ->
         ctx.w.rejected <- ctx.w.rejected + 1;
+        Obs.incr ctx.obs c_reject;
         false
     | Some now ->
         bump_peak ctx.pool now;
@@ -129,7 +145,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     ctx.pool.log.(slot) <- task.Task.id;
     ignore (B.fetch_and_add ctx.pool.completed 1);
     Submitter.release ctx.sub;
-    ctx.w.executed <- ctx.w.executed + 1
+    ctx.w.executed <- ctx.w.executed + 1;
+    Obs.incr ctx.obs c_execute
 
   (** Pop and execute at most one task; [false] when the queue looked
       empty.  A task id the queue delivers twice loses the claim race and
@@ -138,16 +155,21 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     match ctx.pop () with
     | None ->
         ctx.w.empty_pops <- ctx.w.empty_pops + 1;
+        Obs.incr ctx.obs c_empty_pop;
         false
     | Some (_priority, id) ->
         (match B.get ctx.pool.tasks.(id) with
         | None ->
             (* Unreachable with a conserving queue: ids are enqueued only
                after table publication. *)
-            ctx.w.double_claims <- ctx.w.double_claims + 1
+            ctx.w.double_claims <- ctx.w.double_claims + 1;
+            Obs.incr ctx.obs c_claim_race
         | Some task ->
             if Task.claim task then execute ctx task
-            else ctx.w.double_claims <- ctx.w.double_claims + 1);
+            else begin
+              ctx.w.double_claims <- ctx.w.double_claims + 1;
+              Obs.incr ctx.obs c_claim_race
+            end);
         true
 
   (** The full worker loop.  [arrivals ()] drives this thread's workload:
