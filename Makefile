@@ -2,7 +2,7 @@
 # full build, full test suite, odoc build, and the BENCH_stats.json schema
 # check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix doc stats-check check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check chaos-check check bench clean
 
 all: build
 
@@ -32,7 +32,14 @@ stats-check:
 	dune exec bench/main.exe -- stats
 	dune exec bin/statscheck.exe -- BENCH_stats.json docs/METRICS.md
 
-check: fmt build test doc stats-check
+# Fault-injection gate (lib/chaos; docs/CHAOS.md): a 32-seed sweep of
+# deterministic fault plans over queue conservation and hardened-scheduler
+# cases, plus the planted-bug teeth check.  Writes BENCH_chaos.json and
+# fails on any violation.
+chaos-check:
+	dune exec bin/chaos.exe -- --seeds 32
+
+check: fmt build test doc stats-check chaos-check
 
 bench:
 	dune exec bench/main.exe

@@ -72,6 +72,8 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
         urgency_margin = margin;
         capacity;
         seed;
+        robust = CL.Worker.default_robust;
+        drain_after = infinity;
       }
 
     let main () =

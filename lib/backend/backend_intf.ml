@@ -54,6 +54,14 @@ module type S = sig
   val yield : unit -> unit
   (** Voluntary reschedule point (no cost). *)
 
+  val fault_point : string -> unit
+  (** [fault_point site] marks a named sensitive step of a multi-step
+      protocol (a publication order, a CAS dance) for fault injection.
+      No-op on {!Real} and on {!Sim} unless a fault plan is installed
+      ({!Klsm_chaos.Chaos}), in which case the plan may delay the calling
+      thread here, force its next CAS to fail spuriously, or kill it
+      outright.  Site names are catalogued in [docs/CHAOS.md]. *)
+
   val parallel_run : num_threads:int -> (int -> unit) -> unit
   (** [parallel_run ~num_threads body] runs [body 0 .. body (n-1)]
       concurrently to completion.  Exceptions in any thread abort the run

@@ -24,6 +24,9 @@ let relax_n n =
    sleep releases the core. *)
 let yield () = Unix.sleepf 1e-4
 
+(* Fault injection is a simulator facility; deployment code pays nothing. *)
+let fault_point _ = ()
+
 exception Thread_failure of int * exn
 
 let parallel_run ~num_threads body =

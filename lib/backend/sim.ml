@@ -73,6 +73,9 @@ type sim = {
   st : stats;
   base_time : float;
   mutable failure : (int * exn) option;
+  forced_cas : bool array;
+      (* Per-thread "next CAS fails spuriously" flag, armed by the fault
+         hook ({!arm_cas_failure}) and consumed by [compare_and_set]. *)
 }
 
 (* The simulator is single-domain, so one global context suffices.  [None]
@@ -147,6 +150,45 @@ let dump_trace () =
       })
 
 exception Aborted
+
+(* ---- fault injection (Backend_intf.fault_point; lib/chaos) ----
+
+   The simulator exposes raw mechanisms only; policy (which site, which
+   hit, which thread) lives in the plan interpreter of [Klsm_chaos.Chaos],
+   installed through [set_fault_hook].  The hook runs on the faulting
+   fiber itself, so it may charge virtual time ([relax_n]), arm a forced
+   CAS failure, or kill the fiber ([kill_current]). *)
+
+exception Killed
+(** Raised by {!kill_current}: the fiber unwinds and is retired {e without}
+    failing the run — the simulated thread simply dies mid-protocol, which
+    is the whole point of crash injection. *)
+
+let fault_hook : (string -> unit) option ref = ref None
+
+(** Install ([Some f]) or remove ([None]) the handler consulted by every
+    {!fault_point} hit inside [parallel_run]. *)
+let set_fault_hook h = fault_hook := h
+
+(** Executing thread's id inside [parallel_run]; [-1] outside. *)
+let current_tid () = match !state with Some s -> s.current | None -> -1
+
+(** Make the calling thread's next [compare_and_set] fail as if another
+    thread had won the race (charged and recorded as an ordinary CAS
+    failure).  Only meaningful inside [parallel_run]. *)
+let arm_cas_failure () =
+  match !state with
+  | Some s -> s.forced_cas.(s.current) <- true
+  | None -> ()
+
+(** Kill the calling fiber (see {!Killed}).  The run continues with the
+    remaining fibers. *)
+let kill_current () = raise Killed
+
+let fault_point site =
+  match !fault_hook with
+  | None -> ()
+  | Some f -> if !state <> None then f site
 
 type _ Effect.t += Yield : unit Effect.t
 
@@ -357,7 +399,16 @@ let compare_and_set a old nu =
   | Some s ->
       maybe_yield s;
       s.st.cas <- s.st.cas + 1;
-      if a.v == old then begin
+      if s.forced_cas.(s.current) then begin
+        (* Injected spurious failure (see {!arm_cas_failure}): pay the same
+           price a genuinely lost race would. *)
+        s.forced_cas.(s.current) <- false;
+        s.st.cas_failures <- s.st.cas_failures + 1;
+        exclusive_access s a (s.cost.rmw_extra +. s.cost.cas_fail_extra);
+        record s T_cas_fail;
+        false
+      end
+      else if a.v == old then begin
         exclusive_access s a s.cost.rmw_extra;
         record s T_cas_ok;
         a.v <- nu;
@@ -448,7 +499,10 @@ let run_fiber s tid thunk =
         (fun e ->
           s.states.(tid) <- Finished;
           s.live <- s.live - 1;
-          if s.failure = None && e <> Aborted then s.failure <- Some (tid, e));
+          (* [Killed] is an injected crash, not a bug: the fiber dies
+             silently and the run carries on without it. *)
+          if s.failure = None && e <> Aborted && e <> Killed then
+            s.failure <- Some (tid, e));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -485,6 +539,7 @@ let parallel_run ~num_threads body =
       st = fresh_stats ();
       base_time = !global_time;
       failure = None;
+      forced_cas = Array.make num_threads false;
     }
   in
   for tid = 0 to num_threads - 1 do

@@ -1,0 +1,377 @@
+(** The chaos sweep driver: seeds × fault plans on the simulator, shared
+    by [bench chaos] and [bin/chaos.exe].
+
+    Two kinds of cases, both run under an installed {!Chaos} plan:
+
+    - {b queue cases} drive the combined k-LSM directly with uniquely
+      tagged payloads while a {!Klsm_harness.Oracle} shadows every insert
+      and delete.  After the run the survivors drain the queue and the
+      case asserts {e conservation}: every payload whose insert returned
+      comes out exactly once (a crashed thread's single in-flight payload
+      may vanish with it; payloads it never reached are not owed),
+      nothing comes out twice, the oracle never sees a key deleted twice, and the
+      structural invariants (strictly decreasing block levels, sorted
+      blocks) still hold for the shared array and every surviving
+      thread-local LSM.
+    - {b sched cases} run a {!Klsm_sched.Closed_loop} workload with the
+      robustness knobs on (leases, retries, dead-lettering, supervision)
+      and assert that every admitted task reaches a terminal state
+      ([lost = 0]), nothing completes twice (the completion log has no
+      duplicate ids), and the run makes bounded virtual-time progress
+      (no give-up) — the no-deadlock half of the acceptance bar.
+
+    A case is deterministic in (seed, plan): rerunning a reported failure
+    replays it exactly (docs/CHAOS.md shows the workflow).
+
+    {!teeth} is the suite's self-test: it flips Listing 4's publication
+    order ({!Klsm_core.Dist_lsm.test_only_flip_publication_order}) and
+    demands that crash plans aimed between the two writes make the
+    conservation check fail — an injector that cannot catch a planted bug
+    proves nothing about the absence of real ones. *)
+
+module Sim = Klsm_backend.Sim
+module K = Klsm_core.Klsm.Make (Sim)
+module Dist_lsm = Klsm_core.Dist_lsm
+module Shared = K.Shared_klsm
+module Block_array = K.Block_array
+module CL = Klsm_sched.Closed_loop.Make (Sim)
+module Worker = CL.Worker
+module Oracle = Klsm_harness.Oracle
+module Report = Klsm_harness.Report
+module Xoshiro = Klsm_primitives.Xoshiro
+
+type case_result = {
+  label : string;
+  seed : int;
+  plan_text : string;
+  cas_fails : int;  (** faults actually injected, by kind *)
+  stalls : int;
+  crashes : int;
+  violations : string list;  (** empty = the case passed *)
+  info : (string * int) list;  (** extra counters for the report *)
+}
+
+let key_range = 1 lsl 16
+
+(* ------------------------------------------------------------------ *)
+(* Queue-level case                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let queue_case ~seed ~threads ~per_thread ~k plan =
+  Sim.configure ~seed ();
+  let plan_text = Chaos.plan_to_string plan in
+  let q = K.create_with ~seed ~k ~num_threads:threads () in
+  let handles = Array.make threads None in
+  let total = threads * per_thread in
+  let got = Array.make total 0 in
+  (* Conservation is owed only for payloads whose insert returned: a
+     crashed thread never reaches its remaining loop iterations, and its
+     one in-flight payload (insert entered, not returned) may go either
+     way — the item becomes visible part-way through the protocol, so it
+     may be delivered once, or vanish with the crasher.  Either is fine;
+     delivering it twice is not ([got] catches that regardless). *)
+  let submitted = Array.make total false in
+  let oracle = Oracle.create ~universe:key_range in
+  let oracle_violations = ref 0 in
+  let max_rank_error = ref 0 in
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Chaos.install plan;
+  (try
+     Sim.parallel_run ~num_threads:threads (fun tid ->
+         let h = K.register q tid in
+         handles.(tid) <- Some h;
+         let rng = Xoshiro.create ~seed:(seed + (7919 * tid)) in
+         for i = 0 to per_thread - 1 do
+           let payload = (tid * per_thread) + i in
+           let key = Xoshiro.int rng key_range in
+           (* Oracle first: the item becomes visible to other threads
+              part-way through the insert (same pattern as Quality). *)
+           Oracle.insert oracle key;
+           K.insert h key payload;
+           submitted.(payload) <- true;
+           if i land 1 = 1 then
+             match K.try_delete_min h with
+             | None -> ()
+             | Some (dk, v) ->
+                 got.(v) <- got.(v) + 1;
+                 (match Oracle.delete oracle dk with
+                 | e -> if e > !max_rank_error then max_rank_error := e
+                 | exception Failure _ ->
+                     incr oracle_violations)
+         done)
+   with Sim.Thread_failure (tid, e) ->
+     violation "thread %d failed: %s" tid (Printexc.to_string e));
+  let faults = Chaos.stats () in
+  let crashed = Chaos.crashed_tids () in
+  Chaos.uninstall ();
+  (* Survivor drain: crashed threads' items must still be reachable
+     through spy.  The drainer retries through empty results because spy
+     picks random victims (same miss bound as bin/fuzz.ml). *)
+  let drained = ref 0 in
+  (match
+     Array.to_list handles
+     |> List.filteri (fun tid _ -> not (List.mem tid crashed))
+     |> List.find_map (fun h -> h)
+   with
+  | None -> violation "no surviving thread to drain with"
+  | Some h ->
+      let misses = ref 0 in
+      while !misses < 300 do
+        match K.try_delete_min h with
+        | Some (dk, v) ->
+            incr drained;
+            got.(v) <- got.(v) + 1;
+            (match Oracle.delete oracle dk with
+            | e -> if e > !max_rank_error then max_rank_error := e
+            | exception Failure _ -> incr oracle_violations);
+            misses := 0
+        | None -> incr misses
+      done);
+  if !oracle_violations > 0 then
+    violation "oracle: %d deletes of absent keys" !oracle_violations;
+  (* Conservation: every submitted payload delivered exactly once; no
+     payload (submitted or in-flight) delivered twice. *)
+  let lost = ref 0 and dup = ref 0 in
+  for p = 0 to total - 1 do
+    if got.(p) > 1 then incr dup
+    else if got.(p) = 0 && submitted.(p) then incr lost
+  done;
+  if !lost > 0 then violation "%d payloads lost" !lost;
+  if !dup > 0 then violation "%d payloads delivered twice" !dup;
+  (* Structural invariants of everything the survivors can still reach. *)
+  (try
+     match Shared.peek_shared (K.internal_shared q) with
+     | None -> ()
+     | Some arr -> Block_array.check_invariants arr
+   with Failure msg -> violation "shared invariant: %s" msg);
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) -> (
+          try K.Dist_lsm.check_invariants (K.internal_dist h)
+          with Failure msg -> violation "dist[%d] invariant: %s" tid msg)
+      | _ -> ())
+    handles;
+  {
+    label = "queue";
+    seed;
+    plan_text;
+    cas_fails = faults.Chaos.cas_fails;
+    stalls = faults.Chaos.stalls;
+    crashes = faults.Chaos.crashes;
+    violations = List.rev !violations;
+    info =
+      [
+        ("items", total);
+        ("drained", !drained);
+        ("max_rank_error", !max_rank_error);
+        ("crashed_threads", List.length crashed);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler-level case                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Virtual-time scales (Cost_model.default, nanosecond units): a task body
+   is a few ns, a generated stall is 3-150 us — so the lease must sit in
+   between, and the liveness timeout above the longest stall. *)
+let chaos_robust =
+  {
+    Worker.lease = 2e-5;
+    max_attempts = 6;
+    retry_delay = 2e-6;
+    task_deadline = infinity;
+    liveness_timeout = 5e-4;
+    run_deadline = 2e-2;
+  }
+
+let sched_case ~seed ~threads ~roots plan =
+  Sim.configure ~seed ();
+  let plan_text = Chaos.plan_to_string plan in
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Chaos.install plan;
+  let result =
+    try
+      Ok
+        (CL.run
+           {
+             CL.default_config with
+             num_workers = threads;
+             roots_per_worker = roots;
+             service = CL.Fixed 8;
+             batch = 4;
+             capacity = 256;
+             seed;
+             robust = chaos_robust;
+           }
+           (CL.Registry.Klsm 8))
+    with e -> Error e
+  in
+  let faults = Chaos.stats () in
+  Chaos.uninstall ();
+  match result with
+  | Error e ->
+      {
+        label = "sched";
+        seed;
+        plan_text;
+        cas_fails = faults.Chaos.cas_fails;
+        stalls = faults.Chaos.stalls;
+        crashes = faults.Chaos.crashes;
+        violations = [ "run raised: " ^ Printexc.to_string e ];
+        info = [];
+      }
+  | Ok r ->
+      if r.CL.lost > 0 then
+        violation "%d tasks lost (no terminal state)" r.CL.lost;
+      if r.CL.gave_up then violation "run gave up (run_deadline hit): no progress";
+      (* Exactly-once: the completion log must be duplicate-free even when
+         faults forced re-deliveries. *)
+      let seen = Hashtbl.create 256 in
+      Array.iter
+        (fun id ->
+          if Hashtbl.mem seen id then violation "task %d completed twice" id
+          else Hashtbl.add seen id ())
+        r.CL.completion_order;
+      if
+        Array.length r.CL.completion_order + r.CL.dead_lettered
+        <> r.CL.total_tasks
+      then
+        violation "accounting: %d completed + %d dead <> %d allocated"
+          (Array.length r.CL.completion_order)
+          r.CL.dead_lettered r.CL.total_tasks;
+      {
+        label = "sched";
+        seed;
+        plan_text;
+        cas_fails = faults.Chaos.cas_fails;
+        stalls = faults.Chaos.stalls;
+        crashes = faults.Chaos.crashes;
+        violations = List.rev !violations;
+        info =
+          [
+            ("tasks", r.CL.total_tasks);
+            ("completed", Array.length r.CL.completion_order);
+            ("dead_lettered", r.CL.dead_lettered);
+            ("retries", r.CL.metrics.Klsm_sched.Metrics.retries);
+            ("timeouts", r.CL.metrics.Klsm_sched.Metrics.timeouts);
+            ("reenqueues", r.CL.metrics.Klsm_sched.Metrics.reenqueues);
+            ("worker_deaths", r.CL.metrics.Klsm_sched.Metrics.worker_deaths);
+            ("late_completions",
+             r.CL.metrics.Klsm_sched.Metrics.late_completions);
+            ("double_deliveries", r.CL.double);
+          ];
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let queue_sites =
+  [
+    "shared.push_snapshot.before";
+    "shared.push_snapshot.after";
+    "dist.insert.pre_size";
+    "dist.insert.spill";
+    "dist.spy.block";
+    "dist.consolidate.pre_size";
+    "block_array.consolidate";
+  ]
+
+let sched_sites = Chaos.sites
+
+(** One deterministic plan per seed, alternating case kinds and cycling
+    the primary fault kind (see {!Chaos.random_plan}); every third seed
+    adds a second rule so multi-fault runs are covered too. *)
+let case_for ~threads ~per_thread ~roots ~k i seed =
+  let rng = Xoshiro.create ~seed:(seed * 31 + 17) in
+  let sched = i mod 2 = 1 in
+  let sites = if sched then sched_sites else queue_sites in
+  let rules = 1 + (if i mod 3 = 0 then 1 else 0) in
+  let plan =
+    Chaos.random_plan ~rng ~sites ~num_threads:threads ~rules i
+  in
+  if sched then sched_case ~seed ~threads ~roots plan
+  else queue_case ~seed ~threads ~per_thread ~k plan
+
+(** Run [seeds] cases starting at [seed0]; the even cases stress the bare
+    queue, the odd ones the hardened scheduler. *)
+let sweep ?(seed0 = 0xC4A05) ?(threads = 4) ?(per_thread = 400) ?(roots = 60)
+    ?(k = 8) ~seeds () =
+  List.init seeds (fun i ->
+      case_for ~threads ~per_thread ~roots ~k i (seed0 + i))
+
+(* ------------------------------------------------------------------ *)
+(* Teeth: the planted-bug check                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Flip Listing 4's publication order and aim crashes between the two
+    (now reversed) writes: the conservation check must catch the planted
+    loss on at least one plan.  Returns [(caught, cases)]. *)
+let teeth ?(seed0 = 0x7EE7) ?(threads = 4) ?(per_thread = 400) ~plans () =
+  Dist_lsm.test_only_flip_publication_order := true;
+  let cases =
+    Fun.protect
+      ~finally:(fun () -> Dist_lsm.test_only_flip_publication_order := false)
+      (fun () ->
+        List.init plans (fun i ->
+            (* Vary the hit index so some crash lands on a merge publish
+               (a merge-free insert consumes no blocks, so a crash there
+               only strands the crasher's own in-flight item, which the
+               fault model forgives).  k = 64 keeps the local LSMs deep
+               enough that merges routinely consume multi-item blocks. *)
+            let plan =
+              [ Chaos.rule ~tid:1 ~hit:(3 + (5 * i)) "dist.insert.pre_size"
+                  Chaos.Crash ]
+            in
+            queue_case ~seed:(seed0 + i) ~threads ~per_thread ~k:64 plan))
+  in
+  let caught = List.exists (fun c -> c.violations <> []) cases in
+  (caught, cases)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let totals cases =
+  List.fold_left
+    (fun (c, s, k, v) r ->
+      ( c + r.cas_fails,
+        s + r.stalls,
+        k + r.crashes,
+        v + List.length r.violations ))
+    (0, 0, 0, 0) cases
+
+let case_to_json r =
+  Report.Obj
+    ([
+       ("case", Report.String r.label);
+       ("seed", Report.Int r.seed);
+       ("plan", Report.String r.plan_text);
+       ("cas_fails", Report.Int r.cas_fails);
+       ("stalls", Report.Int r.stalls);
+       ("crashes", Report.Int r.crashes);
+       ( "violations",
+         Report.List (List.map (fun v -> Report.String v) r.violations) );
+     ]
+    @ List.map (fun (name, v) -> (name, Report.Int v)) r.info)
+
+let to_json ?teeth_caught cases =
+  let cas_fails, stalls, crashes, violations = totals cases in
+  Report.Obj
+    ([
+       ("benchmark", Report.String "chaos");
+       ("backend", Report.String Sim.name);
+       ("cases", Report.Int (List.length cases));
+       ("cas_fails", Report.Int cas_fails);
+       ("stalls", Report.Int stalls);
+       ("crashes", Report.Int crashes);
+       ("violations", Report.Int violations);
+     ]
+    @ (match teeth_caught with
+      | None -> []
+      | Some caught -> [ ("teeth_caught", Report.Bool caught) ])
+    @ [ ("results", Report.List (List.map case_to_json cases)) ])

@@ -81,6 +81,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       merge occurred (Listing 2's return value, used to decide whether the
       snapshot must be pushed). *)
   let consolidate ~alive t =
+    B.fault_point "block_array.consolidate";
     let before = size t in
     let merged = normalize ~alive t (block_list t) in
     merged || size t <> before

@@ -16,6 +16,15 @@
     rho = T*k relies on, while spilled blocks carry ~k/2..k items each —
     the batching that removes the shared bottleneck (§4.1). *)
 
+(** Test-only teeth check for the chaos suite (shared by every functor
+    instance): when set, {!Make.insert} publishes in the {e wrong} order —
+    [size] before the merged block — recreating the bug Listing 4's
+    ordering exists to prevent.  A crash injected between the two writes
+    then permanently loses the items of the consumed blocks, which the
+    conservation oracle of [bin/chaos.exe --teeth] must catch.  Never set
+    outside tests. *)
+let test_only_flip_publication_order = ref false
+
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Item = Item.Make (B)
   module Block = Block.Make (B)
@@ -106,12 +115,22 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       Obs.incr t.obs c_spill;
       Obs.add t.obs c_spill_items (Block.filled !b);
       spill !b;
+      B.fault_point "dist.insert.spill";
       B.set t.size !i
+    end
+    else if !test_only_flip_publication_order then begin
+      (* Deliberately wrong order (teeth check, see the flag above): a crash
+         at the fault point strands the consumed blocks' items in slots the
+         shrunken [size] no longer covers. *)
+      B.set t.size (!i + 1);
+      B.fault_point "dist.insert.pre_size";
+      B.set t.blocks.(!i) (Some !b)
     end
     else begin
       (* Publish the merged block, then shrink [size]: redundant old blocks
          only become unreachable after the replacement is visible. *)
       B.set t.blocks.(!i) (Some !b);
+      B.fault_point "dist.insert.pre_size";
       B.set t.size (!i + 1)
     end
 
@@ -176,6 +195,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     for i = 0 to m - 1 do
       B.set t.blocks.(i) (Some arr.(i))
     done;
+    B.fault_point "dist.consolidate.pre_size";
     B.set t.size m;
     Obs.span_end t.obs s_consolidate t0
 
@@ -207,6 +227,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     let n = ref (B.get t.size) in
     let copied = ref 0 in
     for i = 0 to min vn max_levels - 1 do
+      B.fault_point "dist.spy.block";
       match B.get victim.blocks.(i) with
       | None -> ()
       | Some b ->

@@ -76,7 +76,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
      snapshot was taken — i.e. iff someone else made progress. *)
   let push_snapshot h next =
     Obs.incr h.obs c_cas;
+    B.fault_point "shared.push_snapshot.before";
     let ok = B.compare_and_set h.q.shared h.observed next in
+    B.fault_point "shared.push_snapshot.after";
     if not ok then Obs.incr h.obs c_cas_fail;
     ok
 

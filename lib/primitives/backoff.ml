@@ -1,12 +1,27 @@
-type t = { min : int; max : int; mutable cur : int }
+type t = {
+  min : int;
+  max : int;
+  mutable cur : int;
+  jitter : Xoshiro.t option;
+}
 
-let create ?(min = 1) ?(max = 512) () =
+let create ?(min = 1) ?(max = 512) ?jitter () =
   if min < 1 || max < min then invalid_arg "Backoff.create";
-  { min; max; cur = min }
+  { min; max; cur = min; jitter }
 
 let once t ~relax =
   relax t.cur;
-  t.cur <- Stdlib.min t.max (t.cur * 2)
+  let next =
+    match t.jitter with
+    | None -> t.cur * 2
+    | Some rng ->
+        (* Decorrelated jitter (the "decorrelated" variant of AWS's
+           exponential-backoff study): uniform in [min, 3 * previous].
+           Threads that lost the same race stop waking in lockstep, while
+           the expected wait still grows geometrically. *)
+        t.min + Xoshiro.int rng (Stdlib.max 1 ((t.cur * 3) - t.min))
+  in
+  t.cur <- Stdlib.min t.max (Stdlib.max t.min next)
 
 let reset t = t.cur <- t.min
 

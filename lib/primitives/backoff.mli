@@ -9,15 +9,22 @@
 
 type t
 
-val create : ?min:int -> ?max:int -> unit -> t
+val create : ?min:int -> ?max:int -> ?jitter:Xoshiro.t -> unit -> t
 (** [create ?min ?max ()] starts at [min] (default 1) relax-steps and doubles
-    up to [max] (default 512) on every {!once}. *)
+    up to [max] (default 512) on every {!once}.
+
+    With [?jitter] (a seeded {!Xoshiro} stream), growth switches to
+    decorrelated jitter: the next wait is uniform in [min, 3 * previous]
+    (truncated to [max]), so threads that lost the same race don't retry in
+    lockstep.  Without it the deterministic doubling path is unchanged —
+    the form simulator-based tests rely on for byte-identical replays. *)
 
 val once : t -> relax:(int -> unit) -> unit
 (** [once t ~relax] calls [relax n] once with the current step count [n],
-    then doubles it (truncated).  Passing the count in one call lets the
-    simulator backend charge the whole wait as a single event instead of
-    interpreting every pause instruction. *)
+    then doubles it (truncated) — or draws the next count from the jitter
+    stream when one was supplied to {!create}.  Passing the count in one
+    call lets the simulator backend charge the whole wait as a single event
+    instead of interpreting every pause instruction. *)
 
 val reset : t -> unit
 (** Return to the minimum step count after a success. *)

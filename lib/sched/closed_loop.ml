@@ -56,6 +56,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     urgency_margin : int;  (** submitter priority-inversion flush margin *)
     capacity : int;  (** admission bound on in-flight tasks *)
     seed : int;
+    robust : Worker.robust;
+        (** timeout/retry/supervision knobs; {!Worker.default_robust}
+            disables them all (the legacy trusting behaviour) *)
+    drain_after : float;
+        (** request a graceful drain this many backend-seconds into the
+            run ([infinity] = never): admission stops, in-flight work
+            finishes, leftovers are reported in the {!result} *)
   }
 
   let default_config =
@@ -71,6 +78,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       urgency_margin = 512;
       capacity = 4096;
       seed = 42;
+      robust = Worker.default_robust;
+      drain_after = infinity;
     }
 
   (** Tasks ultimately created per root (the spawn tree). *)
@@ -119,8 +128,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     metrics : Metrics.summary;
     per_worker : Metrics.worker array;
     peak_inflight : int;
-    lost : int;  (** submitted tasks that never executed; must be 0 *)
-    double : int;  (** double claims/executions observed; must be 0 *)
+    lost : int;
+        (** allocated tasks that reached no terminal state (neither
+            completed nor dead-lettered); must be 0 — even under faults *)
+    double : int;
+        (** tasks delivered more than once.  Must be 0 in a fault-free
+            run; under fault injection re-deliveries are expected (and
+            harmless — the lease CAS blocks double {e execution}, which
+            the completion-log permutation check still asserts) *)
+    dead_lettered : int;  (** tasks that timed out of all their retries *)
+    shed : int;  (** admissions refused by table overflow ([`Overflow]) *)
+    leftovers : (int * string) list;
+        (** unresolved (id, state) pairs after a drain or give-up *)
+    gave_up : bool;  (** the run hit [robust.run_deadline]; must be false *)
     queue_stats : Obs.snapshot;
         (** the queue's internal counters (Pq_intf.stats; lib/obs) *)
     sched_stats : Obs.snapshot;
@@ -137,8 +157,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       Registry.make ~seed:config.seed ~num_threads:config.num_workers spec
     in
     let pool =
-      Worker.create_pool ~max_tasks:(max 1 total)
-        ~num_workers:config.num_workers
+      Worker.create_pool ~robust:config.robust ~max_tasks:(max 1 total)
+        ~num_workers:config.num_workers ()
     in
     let metrics = Metrics.create ~num_workers:config.num_workers in
     let sub_cfg =
@@ -177,6 +197,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             (priority, make_body config ~depth:config.spawn_depth ~priority ~ticks)
         in
         let arrivals () =
+          if
+            config.drain_after < infinity
+            && (not (Worker.draining pool))
+            && B.time () -. t0 >= config.drain_after
+          then Worker.request_drain pool;
           if !remaining <= 0 then `Done
           else
             match config.mode with
@@ -191,7 +216,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 end
                 else `Wait
         in
-        Worker.run ctx ~arrivals;
+        (* Decorrelated idle backoff on the real backend; the simulator
+           keeps the deterministic doubling path so same-seed replays stay
+           byte-identical (see Backoff). *)
+        let jitter =
+          if B.name = "sim" then None
+          else Some (Xoshiro.create ~seed:(config.seed + (104729 * tid)))
+        in
+        Worker.run ?jitter ctx ~arrivals;
         (* Fold the submitter's private counters into this worker's metrics
            record (they are separate objects so the submitter stays
            harness-agnostic). *)
@@ -202,17 +234,23 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         Obs.add obs Worker.c_flush sub.Submitter.flushes;
         Obs.add obs Worker.c_urgent_flush sub.Submitter.urgent_flushes);
     let makespan = B.time () -. t0 in
-    (* Post-run audit: every allocated task must have completed exactly
-       once.  [claim_count > 1] would mean a queue delivered an id twice
-       (the claim guard stopped the double execution, but it is still a
-       conservation bug worth surfacing). *)
-    let allocated = B.get pool.Worker.next_id in
-    let lost = ref 0 and double = ref 0 in
+    (* Post-run audit: every allocated task must have reached a terminal
+       state — completed exactly once, or dead-lettered exactly once.
+       [claim_count > 1] means an id was delivered twice: a conservation
+       bug in a fault-free run, the expected recovery signature under
+       injected faults (the lease CAS stopped any double execution either
+       way). *)
+    let table = Array.length pool.Worker.tasks in
+    let allocated = min (B.get pool.Worker.next_id) table in
+    let lost = ref 0 and double = ref 0 and dead = ref 0 in
     for id = 0 to allocated - 1 do
       match B.get pool.Worker.tasks.(id) with
       | None -> incr lost
       | Some task ->
-          if not (Task.is_completed task) then incr lost;
+          (match Task.status task with
+          | Task.Completed -> ()
+          | Task.Dead -> incr dead
+          | _ -> incr lost);
           if Task.claim_count task > 1 then incr double
     done;
     let summary = Metrics.summarize metrics in
@@ -230,6 +268,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       peak_inflight = Worker.peak_inflight pool;
       lost = !lost;
       double = !double + summary.Metrics.double_claims;
+      dead_lettered = !dead;
+      shed = summary.Metrics.shed;
+      leftovers = Worker.leftovers pool;
+      gave_up = Worker.gave_up pool;
       queue_stats = instance.Registry.stats ();
       sched_stats = Obs.snapshot sched_obs;
     }

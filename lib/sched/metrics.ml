@@ -45,7 +45,17 @@ type worker = {
   mutable urgent_flushes : int;  (** flushes forced by priority inversion *)
   mutable rejected : int;  (** admission-control rejections (backpressure) *)
   mutable empty_pops : int;  (** delete-mins that found nothing *)
-  mutable double_claims : int;  (** lost claim races; must stay 0 *)
+  mutable double_claims : int;
+      (** lost lease/claim races; 0 unless faults force re-deliveries *)
+  mutable shed : int;  (** admitted tasks dropped at a full task table *)
+  mutable timeouts : int;  (** lease/deadline expiries this worker detected *)
+  mutable retries : int;  (** bodies executed with attempt number > 1 *)
+  mutable reenqueues : int;  (** parked/lost tasks this worker re-queued *)
+  mutable dead_letters : int;  (** tasks this worker moved to the DLQ *)
+  mutable late_completions : int;
+      (** bodies that finished after the task's fate was sealed elsewhere *)
+  mutable worker_deaths : int;  (** peers this worker declared dead *)
+  mutable sweeps : int;  (** supervision passes over the task table *)
   delays : series;  (** queueing delay per executed task, seconds *)
   slacks : series;  (** dequeue priority inversion per task, key units *)
 }
@@ -60,6 +70,14 @@ let fresh_worker () =
     rejected = 0;
     empty_pops = 0;
     double_claims = 0;
+    shed = 0;
+    timeouts = 0;
+    retries = 0;
+    reenqueues = 0;
+    dead_letters = 0;
+    late_completions = 0;
+    worker_deaths = 0;
+    sweeps = 0;
     delays = series ();
     slacks = series ();
   }
@@ -75,6 +93,14 @@ type summary = {
   rejected : int;
   empty_pops : int;
   double_claims : int;
+  shed : int;
+  timeouts : int;
+  retries : int;
+  reenqueues : int;
+  dead_letters : int;
+  late_completions : int;
+  worker_deaths : int;
+  sweeps : int;
   delay : Stats.summary option;  (** [None] when nothing executed *)
   delay_p99 : float;
   slack : Stats.summary option;
@@ -100,6 +126,14 @@ let summarize (workers : worker array) =
     rejected = sum (fun w -> w.rejected);
     empty_pops = sum (fun w -> w.empty_pops);
     double_claims = sum (fun w -> w.double_claims);
+    shed = sum (fun w -> w.shed);
+    timeouts = sum (fun w -> w.timeouts);
+    retries = sum (fun w -> w.retries);
+    reenqueues = sum (fun w -> w.reenqueues);
+    dead_letters = sum (fun w -> w.dead_letters);
+    late_completions = sum (fun w -> w.late_completions);
+    worker_deaths = sum (fun w -> w.worker_deaths);
+    sweeps = sum (fun w -> w.sweeps);
     delay = opt_summary delays;
     delay_p99 = p99 delays;
     slack = opt_summary slacks;

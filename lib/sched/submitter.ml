@@ -91,6 +91,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     end
     else if t.len >= t.cfg.batch then flush t
 
+  (** Immediate, buffer-bypassing enqueue — the recovery/retry path.  A
+      task being re-enqueued after a timeout or a worker death must become
+      visible to every worker {e now}: parking it in this thread's private
+      buffer would recreate exactly the invisibility the retry is
+      repairing if this thread stalls in turn.  Counted as a flush. *)
+  let push_now t ~priority ~id =
+    t.flushes <- t.flushes + 1;
+    t.enqueue_batch [| (priority, id) |]
+
   (** Admission control for root tasks: returns [Some inflight_now] (the
       counter after this admission, for peak tracking) or [None] when the
       pool is at capacity. *)

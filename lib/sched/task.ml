@@ -4,12 +4,29 @@
     task-parallel runtime; this module is the unit of work that backbone
     moves around.  A task carries a priority (smaller = more urgent — the
     queue's key), a payload closure, the timestamp at which it entered the
-    system (for queueing-delay metrics), and a completion cell.
+    system (for queueing-delay metrics), an optional start-by deadline, and
+    an execution-lifecycle cell.
 
-    Execution is guarded by a claim counter: whichever worker wins the
-    [claim] increment runs the body, so even a queue that (incorrectly)
-    delivered the same task twice could not double-execute it — and the
-    stress tests assert that the counter never exceeds one.
+    {2 Lifecycle}
+
+    The {!status} cell is the single source of truth for what may happen
+    to a task, and every transition is a CAS, so concurrent workers (or a
+    worker racing the supervisor that declared it dead) always agree:
+
+    {v
+      Pending a --try_lease--> Running (a+1) --try_complete--> Completed
+          |                        |
+          | (deadline passed)      | (lease expired; attempts left)
+          v                        v
+        Dead  <--(attempts out)-- Parked a --unpark (backoff due)--> Pending a
+    v}
+
+    [Completed] and [Dead] are sticky: once either is reached no retry,
+    re-delivery or late finisher can resurrect the task — this is what
+    preserves the exactly-once guarantee under retries.  A queue that
+    (incorrectly or because the supervisor re-enqueued a recovered id)
+    delivers the same task twice loses the [try_lease] race and executes
+    nothing.
 
     Tasks may spawn tasks (the Pheet pattern): a body receives a [spawn]
     callback wired by the executing worker to its own submission path, so
@@ -21,26 +38,39 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       and "the spawn callback that accepts bodies". *)
   type body = Body of (spawn:(priority:int -> body -> unit) -> unit)
 
+  (** Execution state; the [int] is the number of lease attempts so far. *)
+  type status =
+    | Pending of int  (** queued (or re-queued); ready to be leased *)
+    | Running of int * float  (** leased; the float is the lease expiry *)
+    | Parked of int * float
+        (** timed out; retry no earlier than the float (backoff) *)
+    | Completed  (** body ran to completion exactly once; sticky *)
+    | Dead  (** deadline missed or retries exhausted; sticky *)
+
   type t = {
     id : int;  (** dense index into the run's task table *)
     priority : int;  (** queue key; smaller is more urgent *)
     body : body;
     enqueued_at : float;  (** backend time at submission *)
-    claims : int B.atomic;  (** execution guard; first increment wins *)
-    completed : bool B.atomic;  (** completion cell, set after the body ran *)
-    mutable started_at : float;  (** owner-written by the claiming worker *)
+    deadline : float;  (** absolute start-by deadline; [infinity] = none *)
+    lease : float;  (** per-attempt execution budget; [infinity] = none *)
+    status : status B.atomic;
+    claims : int B.atomic;  (** delivery/lease attempts, for diagnostics *)
+    mutable started_at : float;  (** owner-written by the leasing worker *)
     mutable finished_at : float;
   }
 
-  let make ~id ~priority ~now body =
+  let make ~id ~priority ~now ?(deadline = infinity) ?(lease = infinity) body =
     if priority < 0 then invalid_arg "Task.make: negative priority";
     {
       id;
       priority;
       body;
       enqueued_at = now;
+      deadline;
+      lease;
+      status = B.make (Pending 0);
       claims = B.make 0;
-      completed = B.make false;
       started_at = nan;
       finished_at = nan;
     }
@@ -50,20 +80,109 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   let noop = Body (fun ~spawn:_ -> ())
 
-  (** [claim t] is true for exactly one caller per task. *)
+  let status t = B.get t.status
+
+  (** Number of delivery/lease attempts so far; > 1 means the task was
+      delivered more than once — benign double deliveries (supervisor
+      re-enqueues, queue races) that the lifecycle CAS stopped from
+      becoming double executions. *)
+  let claim_count t = B.get t.claims
+
+  (** [claim t] is true for exactly one caller per task — the legacy
+      counter-based guard, kept for direct users that need no
+      timeout/retry machinery ({!try_lease} is the lifecycle-aware
+      path). *)
   let claim t = B.fetch_and_add t.claims 1 = 0
 
-  (** Number of claim attempts so far; > 1 would mean a queue delivered the
-      task twice (the stress tests assert this never happens). *)
-  let claim_count t = B.get t.claims
+  type lease_outcome =
+    | Leased of int  (** run the body; the int is the attempt number *)
+    | Lost  (** someone else holds/held it: drop this delivery *)
+    | Deadline_expired  (** sat in the queue past its deadline: dead *)
+
+  (** Try to take execution ownership at time [now].  At most one caller
+      per (attempt) cycle receives [Leased]; a task whose deadline passed
+      while queued transitions to [Dead] instead (exactly one caller gets
+      [Deadline_expired] and owes the dead-letter bookkeeping). *)
+  let try_lease t ~now =
+    ignore (B.fetch_and_add t.claims 1);
+    let s = B.get t.status in
+    match s with
+    | Pending a ->
+        if now > t.deadline then
+          if B.compare_and_set t.status s Dead then Deadline_expired else Lost
+        else if B.compare_and_set t.status s (Running (a + 1, now +. t.lease))
+        then begin
+          t.started_at <- now;
+          Leased (a + 1)
+        end
+        else Lost
+    | Running _ | Parked _ | Completed | Dead -> Lost
+
+  (** Mark the body's completion; [false] iff the task already reached a
+      terminal state (a supervisor gave up on this attempt and the task
+      completed — or died — elsewhere): the caller must then treat its own
+      finish as late and not account a completion. *)
+  let rec try_complete t ~now =
+    let s = B.get t.status in
+    match s with
+    | Running _ | Parked _ | Pending _ ->
+        if B.compare_and_set t.status s Completed then begin
+          t.finished_at <- now;
+          true
+        end
+        else try_complete t ~now
+    | Completed | Dead -> false
+
+  type expiry =
+    | Expired_parked of float  (** retry scheduled for the given time *)
+    | Expired_dead  (** attempts exhausted; caller owes dead-lettering *)
+    | Not_expired
+
+  (** Supervisor step: if the current lease ran out, either park the task
+      for a retry (exponential backoff: [retry_delay * 2^(attempt-1)]) or,
+      when [max_attempts] is spent, declare it dead.  CAS-guarded, so a
+      worker completing at the same instant wins cleanly. *)
+  let expire t ~now ~max_attempts ~retry_delay =
+    let s = B.get t.status in
+    match s with
+    | Running (a, until) when now > until ->
+        if a >= max_attempts then
+          if B.compare_and_set t.status s Dead then Expired_dead
+          else Not_expired
+        else begin
+          let due = now +. (retry_delay *. float_of_int (1 lsl (a - 1))) in
+          if B.compare_and_set t.status s (Parked (a, due)) then
+            Expired_parked due
+          else Not_expired
+        end
+    | _ -> Not_expired
+
+  (** Supervisor step: release a parked task whose backoff elapsed back to
+      [Pending]; [true] iff this caller performed the transition (and so
+      owes the re-enqueue). *)
+  let unpark t ~now =
+    let s = B.get t.status in
+    match s with
+    | Parked (a, due) when now >= due -> B.compare_and_set t.status s (Pending a)
+    | _ -> false
 
   let start t ~now = t.started_at <- now
 
+  (** Unconditional completion (legacy path for {!claim} users). *)
   let finish t ~now =
     t.finished_at <- now;
-    B.set t.completed true
+    B.set t.status Completed
 
-  let is_completed t = B.get t.completed
+  let is_completed t = B.get t.status = Completed
+  let is_dead t = B.get t.status = Dead
+
+  let status_name t =
+    match B.get t.status with
+    | Pending _ -> "pending"
+    | Running _ -> "running"
+    | Parked _ -> "parked"
+    | Completed -> "completed"
+    | Dead -> "dead"
 
   (** Seconds between submission and the start of execution. *)
   let queueing_delay t = t.started_at -. t.enqueued_at

@@ -1,29 +1,47 @@
 (** Worker loops: the execution layer of the scheduler.
 
     A pool is one scheduling run's shared state — the task table, the
-    in-flight accounting, and the completion log.  Each participating
-    thread builds a {!ctx} around its queue handle and runs {!run}, which
-    interleaves three duties:
+    in-flight accounting, the completion log, and (when a {!robust}
+    configuration enables them) the supervision structures.  Each
+    participating thread builds a {!ctx} around its queue handle and runs
+    {!run}, which interleaves four duties:
 
     + admitting new root tasks from an arrival source (with backpressure:
-      a rejected arrival is retried after serving, never busy-waited on);
-    + popping task ids from the priority queue and executing their bodies,
-      wiring the [spawn] callback so tasks can spawn tasks (the Pheet
-      pattern) through the executing worker's own batched submitter;
+      a rejected arrival is retried after serving, never busy-waited on —
+      and with load shedding: a full task table refuses admission with
+      [`Overflow] instead of killing the worker);
+    + popping task ids from the priority queue and executing their bodies
+      under a {e lease} ({!Task.try_lease}), wiring the [spawn] callback so
+      tasks can spawn tasks (the Pheet pattern) through the executing
+      worker's own batched submitter;
     + degrading gracefully when the queue runs dry: the worker first
       flushes its own submission buffer (the only place remaining work can
       hide from other threads), relying on the k-LSM's own spy/steal path
       for work sitting in other threads' DistLSMs, and backs off before
-      re-polling so an idle worker does not saturate the shared components.
+      re-polling so an idle worker does not saturate the shared components;
+    + {b supervising} (robust mode): on dry rounds the worker heartbeat-
+      checks its peers, declares silent ones dead (so termination does not
+      wait for a crashed fiber's arrivals), expires overdue leases into
+      parked retries or the dead-letter queue, re-enqueues parked tasks
+      whose backoff elapsed, and — after a persistent idle streak —
+      re-enqueues [Pending] tasks wholesale, recovering ids lost inside a
+      crashed worker's unflushed submission buffer.  Re-enqueueing is
+      always safe: a duplicate delivery loses the lease CAS and executes
+      nothing.
 
     Termination is exact, not heuristic: a worker exits only when every
     arrival source has finished {e and} the in-flight counter is zero.
     The counter is incremented before a task becomes visible and
-    decremented only after its body completed, so "0" proves completion of
-    everything ever admitted.
+    decremented only after the task's fate is sealed (completed or
+    dead-lettered), so "0" proves resolution of everything ever admitted.
+    Under fault injection two escape hatches bound the wait: a crashed
+    peer's source is closed by supervision, and a [run_deadline] turns a
+    run that stopped making progress into an explicit give-up
+    ({!gave_up}) rather than a hang — the "bounded virtual-time progress"
+    the chaos suite asserts.
 
     Determinism: under [Sim.Fair] with a fixed seed the whole loop — pops,
-    claims, completion-log appends — is a deterministic function of the
+    leases, completion-log appends — is a deterministic function of the
     virtual schedule, which is what makes same-seed runs byte-identical
     (asserted by [test/test_sched.ml]). *)
 
@@ -31,6 +49,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Task = Task.Make (B)
   module Submitter = Submitter.Make (B)
   module Backoff = Klsm_primitives.Backoff
+  module Xoshiro = Klsm_primitives.Xoshiro
   module Obs = Klsm_obs.Obs
 
   (* Observability (lib/obs; docs/METRICS.md).  These double the
@@ -44,11 +63,56 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_execute = Obs.counter "sched.execute"
   let c_flush = Obs.counter "sched.flush"
   let c_urgent_flush = Obs.counter "sched.urgent_flush"
+  let c_overflow = Obs.counter "sched.overflow"
+  let c_timeout = Obs.counter "sched.timeout"
+  let c_retry = Obs.counter "sched.retry"
+  let c_reenqueue = Obs.counter "sched.reenqueue"
+  let c_dead_letter = Obs.counter "sched.dead_letter"
+  let c_late = Obs.counter "sched.late_completion"
+  let c_worker_dead = Obs.counter "sched.worker_dead"
+  let c_sweep = Obs.counter "sched.sweep"
+
+  (** Robustness knobs.  {!default_robust} disables everything (infinite
+      leases and deadlines, one attempt), reproducing the trusting
+      pre-supervision behaviour byte for byte — the knobs only change a
+      run that actually needs them. *)
+  type robust = {
+    lease : float;  (** per-attempt execution budget, seconds *)
+    max_attempts : int;  (** lease attempts before dead-lettering; >= 1 *)
+    retry_delay : float;
+        (** base retry backoff; attempt [a] parks for [retry_delay *
+            2^(a-1)] before re-entering the queue *)
+    task_deadline : float;
+        (** start-by deadline relative to submission; a task still queued
+            past it is dead-lettered instead of executed *)
+    liveness_timeout : float;
+        (** a worker silent (no heartbeat) for this long is declared dead
+            and its arrival source closed *)
+    run_deadline : float;
+        (** give-up horizon for a whole run, measured from pool creation:
+            the progress bound that turns a would-be deadlock into an
+            explicit, reportable failure *)
+  }
+
+  let default_robust =
+    {
+      lease = infinity;
+      max_attempts = 1;
+      retry_delay = 1e-6;
+      task_deadline = infinity;
+      liveness_timeout = infinity;
+      run_deadline = infinity;
+    }
+
+  let robust_active rc =
+    rc.lease < infinity || rc.task_deadline < infinity
+    || rc.liveness_timeout < infinity
+    || rc.run_deadline < infinity || rc.max_attempts > 1
 
   type pool = {
     tasks : Task.t option B.atomic array;  (** id -> task *)
     next_id : int B.atomic;
-    inflight : int B.atomic;  (** admitted - completed; 0 = drained *)
+    inflight : int B.atomic;  (** admitted - resolved; 0 = drained *)
     peak_inflight : int B.atomic;
     sources_live : int B.atomic;  (** workers still producing arrivals *)
     completed : int B.atomic;
@@ -58,11 +122,25 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             the run joins. *)
     log_next : int B.atomic;
     last_started : int B.atomic;  (** priority watermark for slack metric *)
+    rc : robust;
+    supervised : bool;  (** [robust_active rc], precomputed *)
+    created_at : float;  (** backend time at pool creation (run_deadline) *)
+    draining : bool B.atomic;  (** graceful shutdown: stop admission *)
+    gave_up : bool B.atomic;  (** run_deadline elapsed without completion *)
+    beats : float B.atomic array;  (** per-worker heartbeat timestamps *)
+    source_done : bool B.atomic array;
+        (** per-worker "arrival source closed" latch; guards the single
+            [sources_live] decrement whether the worker closed it itself
+            or a supervisor declared it dead *)
+    dead : int list B.atomic;  (** the dead-letter queue (task ids) *)
   }
 
-  let create_pool ~max_tasks ~num_workers =
+  let create_pool ?(robust = default_robust) ~max_tasks ~num_workers () =
     if max_tasks < 1 then invalid_arg "Worker.create_pool: max_tasks < 1";
     if num_workers < 1 then invalid_arg "Worker.create_pool: num_workers < 1";
+    if robust.max_attempts < 1 then
+      invalid_arg "Worker.create_pool: max_attempts < 1";
+    let now = B.time () in
     {
       tasks = Array.init max_tasks (fun _ -> B.make None);
       next_id = B.make 0;
@@ -73,13 +151,48 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       log = Array.make max_tasks (-1);
       log_next = B.make 0;
       last_started = B.make 0;
+      rc = robust;
+      supervised = robust_active robust;
+      created_at = now;
+      draining = B.make false;
+      gave_up = B.make false;
+      beats = Array.init num_workers (fun _ -> B.make now);
+      source_done = Array.init num_workers (fun _ -> B.make false);
+      dead = B.make [];
     }
 
   let completed_count pool = B.get pool.completed
   let peak_inflight pool = B.get pool.peak_inflight
 
+  (** Ids in the dead-letter queue (most recent first). *)
+  let dead_letters pool = B.get pool.dead
+
+  (** Graceful shutdown: stop admitting new roots.  Workers observe the
+      flag, close their arrival sources, finish everything in flight, and
+      exit through the normal exact-termination path; {!leftovers} then
+      reports what never resolved. *)
+  let request_drain pool = B.set pool.draining true
+
+  let draining pool = B.get pool.draining
+  let gave_up pool = B.get pool.gave_up
+
   (** Completion order so far; call after the run for the full log. *)
   let completion_log pool = Array.sub pool.log 0 (B.get pool.log_next)
+
+  (** Post-run report of every task that never reached a terminal state —
+      empty after a healthy run or a completed drain. *)
+  let leftovers pool =
+    let n = min (B.get pool.next_id) (Array.length pool.tasks) in
+    let acc = ref [] in
+    for id = n - 1 downto 0 do
+      match B.get pool.tasks.(id) with
+      | None -> ()
+      | Some task -> (
+          match Task.status task with
+          | Task.Completed | Task.Dead -> ()
+          | _ -> acc := (id, Task.status_name task) :: !acc)
+    done;
+    !acc
 
   type ctx = {
     pool : pool;
@@ -100,57 +213,103 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (* Allocate an id, publish the task in the table, then hand the
      (priority, id) pair to the submitter.  Publication MUST precede the
-     queue insert: a popped id is looked up in the table immediately. *)
+     queue insert: a popped id is looked up in the table immediately.
+     [`Overflow] sheds the task instead of the old [failwith]: the caller
+     undoes its admission accounting and the burst is survived. *)
   let inject ctx ~priority body =
     let id = B.fetch_and_add ctx.pool.next_id 1 in
-    if id >= Array.length ctx.pool.tasks then
-      failwith "Sched.Worker: task table overflow (max_tasks too small)";
-    let task = Task.make ~id ~priority ~now:(B.time ()) body in
-    B.set ctx.pool.tasks.(id) (Some task);
-    Submitter.push ctx.sub ~priority ~id;
-    id
+    if id >= Array.length ctx.pool.tasks then `Overflow
+    else begin
+      let now = B.time () in
+      let rc = ctx.pool.rc in
+      let task =
+        Task.make ~id ~priority ~now ~deadline:(now +. rc.task_deadline)
+          ~lease:rc.lease body
+      in
+      B.set ctx.pool.tasks.(id) (Some task);
+      Submitter.push ctx.sub ~priority ~id;
+      `Ok
+    end
 
-  (** Root submission through admission control.  [false] = at capacity;
-      the caller should serve the queue and retry instead of spinning. *)
+  let shed ctx =
+    Submitter.release ctx.sub;
+    ctx.w.shed <- ctx.w.shed + 1;
+    Obs.incr ctx.obs c_overflow
+
+  (** Root submission through admission control.  [`Backpressure] = at
+      capacity, the caller should serve the queue and retry; [`Overflow] =
+      the task table itself is full, the task was shed (a permanent
+      refusal the arrival source must absorb). *)
   let try_submit_root ctx ~priority body =
     match Submitter.try_admit ctx.sub with
     | None ->
         ctx.w.rejected <- ctx.w.rejected + 1;
         Obs.incr ctx.obs c_reject;
-        false
-    | Some now ->
+        `Backpressure
+    | Some now -> (
         bump_peak ctx.pool now;
-        ignore (inject ctx ~priority body);
-        ctx.w.submitted <- ctx.w.submitted + 1;
-        true
+        match inject ctx ~priority body with
+        | `Ok ->
+            ctx.w.submitted <- ctx.w.submitted + 1;
+            `Admitted
+        | `Overflow ->
+            shed ctx;
+            `Overflow)
 
   (* Spawn path handed to executing bodies: bypasses the admission bound
      (see Submitter.admit_spawn) but fully participates in accounting and
-     batching. *)
+     batching.  Overflow sheds the child like a root. *)
   let spawn ctx ~priority body =
     Submitter.admit_spawn ctx.sub;
-    ignore (inject ctx ~priority body);
-    ctx.w.spawned <- ctx.w.spawned + 1
+    match inject ctx ~priority body with
+    | `Ok -> ctx.w.spawned <- ctx.w.spawned + 1
+    | `Overflow -> shed ctx
 
-  let execute ctx task =
-    let now = B.time () in
-    Task.start task ~now;
+  (* Move a task whose fate was just sealed as [Dead] to the dead-letter
+     queue.  The caller must already own the terminal transition (the
+     Task CAS), so each dead task is recorded exactly once. *)
+  let rec push_dead pool id =
+    let cur = B.get pool.dead in
+    if not (B.compare_and_set pool.dead cur (id :: cur)) then push_dead pool id
+
+  let dead_letter ctx (task : Task.t) =
+    push_dead ctx.pool task.Task.id;
+    Submitter.release ctx.sub;
+    ctx.w.dead_letters <- ctx.w.dead_letters + 1;
+    Obs.incr ctx.obs c_dead_letter
+
+  let execute ctx task ~attempt =
     Metrics.push ctx.w.delays (Task.queueing_delay task);
     let prev = B.exchange ctx.pool.last_started task.Task.priority in
     Metrics.push ctx.w.slacks
       (float_of_int (max 0 (prev - task.Task.priority)));
+    if attempt > 1 then begin
+      ctx.w.retries <- ctx.w.retries + 1;
+      Obs.incr ctx.obs c_retry
+    end;
+    B.fault_point "sched.execute.post_lease";
     Task.run task ~spawn:(fun ~priority body -> spawn ctx ~priority body);
-    Task.finish task ~now:(B.time ());
-    let slot = B.fetch_and_add ctx.pool.log_next 1 in
-    ctx.pool.log.(slot) <- task.Task.id;
-    ignore (B.fetch_and_add ctx.pool.completed 1);
-    Submitter.release ctx.sub;
-    ctx.w.executed <- ctx.w.executed + 1;
-    Obs.incr ctx.obs c_execute
+    B.fault_point "sched.execute.pre_complete";
+    if Task.try_complete task ~now:(B.time ()) then begin
+      let slot = B.fetch_and_add ctx.pool.log_next 1 in
+      ctx.pool.log.(slot) <- task.Task.id;
+      ignore (B.fetch_and_add ctx.pool.completed 1);
+      Submitter.release ctx.sub;
+      ctx.w.executed <- ctx.w.executed + 1;
+      Obs.incr ctx.obs c_execute
+    end
+    else begin
+      (* The supervisor sealed this task's fate (re-leased elsewhere or
+         dead-lettered) while the body ran: the work is done but must not
+         be accounted — whoever owns the terminal state did/does that. *)
+      ctx.w.late_completions <- ctx.w.late_completions + 1;
+      Obs.incr ctx.obs c_late
+    end
 
   (** Pop and execute at most one task; [false] when the queue looked
-      empty.  A task id the queue delivers twice loses the claim race and
-      is counted (never re-executed). *)
+      empty.  A task id delivered twice (queue race or supervisor
+      re-enqueue) loses the lease race and is counted, never
+      re-executed. *)
   let try_execute_one ctx =
     match ctx.pop () with
     | None ->
@@ -164,43 +323,128 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                after table publication. *)
             ctx.w.double_claims <- ctx.w.double_claims + 1;
             Obs.incr ctx.obs c_claim_race
-        | Some task ->
-            if Task.claim task then execute ctx task
-            else begin
-              ctx.w.double_claims <- ctx.w.double_claims + 1;
-              Obs.incr ctx.obs c_claim_race
-            end);
+        | Some task -> (
+            match Task.try_lease task ~now:(B.time ()) with
+            | Task.Leased attempt -> execute ctx task ~attempt
+            | Task.Lost ->
+                ctx.w.double_claims <- ctx.w.double_claims + 1;
+                Obs.incr ctx.obs c_claim_race
+            | Task.Deadline_expired ->
+                ctx.w.timeouts <- ctx.w.timeouts + 1;
+                Obs.incr ctx.obs c_timeout;
+                dead_letter ctx task));
         true
+
+  (* Declare worker [w]'s arrival source closed; [true] iff this caller
+     performed the (exactly-once) transition. *)
+  let mark_source_done pool w =
+    (not (B.get pool.source_done.(w)))
+    && B.compare_and_set pool.source_done.(w) false true
+    &&
+    (ignore (B.fetch_and_add pool.sources_live (-1));
+     true)
+
+  (* One supervision pass (robust mode, executed on dry rounds only):
+     heartbeat-check peers, expire overdue leases, re-enqueue due retries,
+     and — when [rescue] (persistent idle) — re-enqueue every [Pending]
+     task to recover ids stranded in a crashed worker's submission buffer.
+     Everything here is idempotent or CAS-guarded, so concurrent
+     supervisors cannot double-account. *)
+  let supervise ctx ~rescue =
+    let pool = ctx.pool in
+    let rc = pool.rc in
+    let now = B.time () in
+    ctx.w.sweeps <- ctx.w.sweeps + 1;
+    Obs.incr ctx.obs c_sweep;
+    if rc.liveness_timeout < infinity then
+      for w = 0 to Array.length pool.beats - 1 do
+        if
+          w <> ctx.tid
+          && (not (B.get pool.source_done.(w)))
+          && now -. B.get pool.beats.(w) > rc.liveness_timeout
+          && mark_source_done pool w
+        then begin
+          ctx.w.worker_deaths <- ctx.w.worker_deaths + 1;
+          Obs.incr ctx.obs c_worker_dead
+        end
+      done;
+    let n = min (B.get pool.next_id) (Array.length pool.tasks) in
+    for id = 0 to n - 1 do
+      match B.get pool.tasks.(id) with
+      | None -> ()
+      | Some task ->
+          (match
+             Task.expire task ~now ~max_attempts:rc.max_attempts
+               ~retry_delay:rc.retry_delay
+           with
+          | Task.Expired_parked _ ->
+              ctx.w.timeouts <- ctx.w.timeouts + 1;
+              Obs.incr ctx.obs c_timeout
+          | Task.Expired_dead ->
+              ctx.w.timeouts <- ctx.w.timeouts + 1;
+              Obs.incr ctx.obs c_timeout;
+              dead_letter ctx task
+          | Task.Not_expired -> ());
+          let requeue =
+            Task.unpark task ~now
+            || (rescue && match Task.status task with
+                | Task.Pending _ -> true
+                | _ -> false)
+          in
+          if requeue then begin
+            Submitter.push_now ctx.sub ~priority:task.Task.priority ~id;
+            ctx.w.reenqueues <- ctx.w.reenqueues + 1;
+            Obs.incr ctx.obs c_reenqueue
+          end
+    done
 
   (** The full worker loop.  [arrivals ()] drives this thread's workload:
       - [`Submit (priority, body)]: a root task wants in now;
       - [`Wait]: nothing due yet (open-loop pacing) — keep serving;
       - [`Done]: this worker's arrival stream is exhausted (final). *)
-  let run ctx ~arrivals =
+  let run ?jitter ctx ~arrivals =
+    let pool = ctx.pool in
+    let rc = pool.rc in
     let pending = ref None in
     let sources_done = ref false in
-    let bo = Backoff.create ~max:256 () in
+    let idle = ref 0 in
+    let bo = Backoff.create ?jitter ~max:256 () in
+    let close_source () =
+      if not !sources_done then begin
+        sources_done := true;
+        ignore (mark_source_done pool ctx.tid);
+        (* Nothing will flow through the submit path anymore; make any
+           stragglers visible to the other workers. *)
+        Submitter.flush ctx.sub
+      end
+    in
     let rec loop () =
+      if pool.supervised then B.set pool.beats.(ctx.tid) (B.time ());
+      if B.get pool.draining then begin
+        (* Graceful shutdown: drop the backpressured arrival (it was never
+           admitted) and stop pulling from the source. *)
+        pending := None;
+        close_source ()
+      end;
       (* 1. Admit the next due arrival, honouring backpressure. *)
       (match !pending with
-      | Some (priority, body) ->
-          if try_submit_root ctx ~priority body then pending := None
+      | Some (priority, body) -> (
+          match try_submit_root ctx ~priority body with
+          | `Admitted | `Overflow -> pending := None
+          | `Backpressure -> ())
       | None ->
           if not !sources_done then begin
             match arrivals () with
-            | `Submit (priority, body) ->
-                if not (try_submit_root ctx ~priority body) then
-                  pending := Some (priority, body)
+            | `Submit (priority, body) -> (
+                match try_submit_root ctx ~priority body with
+                | `Admitted | `Overflow -> ()
+                | `Backpressure -> pending := Some (priority, body))
             | `Wait -> ()
-            | `Done ->
-                sources_done := true;
-                ignore (B.fetch_and_add ctx.pool.sources_live (-1));
-                (* Nothing will flow through the submit path anymore; make
-                   any stragglers visible to the other workers. *)
-                Submitter.flush ctx.sub
+            | `Done -> close_source ()
           end);
       (* 2. Serve the queue. *)
       if try_execute_one ctx then begin
+        idle := 0;
         Backoff.reset bo;
         loop ()
       end
@@ -208,14 +452,27 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (* The queue looks dry.  Remaining work can only hide in (a) our
            own submission buffer — flush it; (b) other threads' DistLSMs —
            the queue's own spy path covers that on the next pop; (c) other
-           workers' buffers — their own dry-queue flushes cover those. *)
+           workers' buffers — their own dry-queue flushes cover those, or
+           the rescue sweep below if the owner crashed. *)
         Submitter.flush ctx.sub;
-        if B.get ctx.pool.sources_live = 0 && B.get ctx.pool.inflight = 0 then
-          ()  (* every admitted task completed: exact termination *)
+        if B.get pool.sources_live = 0 && B.get pool.inflight = 0 then
+          ()  (* every admitted task resolved: exact termination *)
+        else if B.get pool.gave_up then ()
         else begin
-          Backoff.once bo ~relax:B.relax_n;
-          B.yield ();
-          loop ()
+          incr idle;
+          if pool.supervised then begin
+            if
+              rc.run_deadline < infinity
+              && B.time () -. pool.created_at > rc.run_deadline
+            then B.set pool.gave_up true
+            else supervise ctx ~rescue:(!idle >= 8 && !idle land 3 = 0)
+          end;
+          if B.get pool.gave_up then ()
+          else begin
+            Backoff.once bo ~relax:B.relax_n;
+            B.yield ();
+            loop ()
+          end
         end
       end
     in

@@ -8,6 +8,7 @@ let qtest ?(count = 100) name gen prop =
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
 let check_list_int = Alcotest.(check (list int))
 
 (* Random key list generator with bounded values (suitable for oracles). *)

@@ -1,0 +1,194 @@
+(* Tests for lib/chaos: the plan grammar, the fault engine's semantics on
+   the simulator (arm-next-CAS, stalls, crashes, fire-once rules), and the
+   end-to-end drive cases the chaos gate (bin/chaos.exe) is built from. *)
+
+open Helpers
+module Sim = Klsm_backend.Sim
+module Chaos = Klsm_chaos.Chaos
+module Drive = Klsm_chaos.Drive
+module Xoshiro = Klsm_primitives.Xoshiro
+
+(* ---------------- plan grammar ---------------- *)
+
+let roundtrip text =
+  match Chaos.parse_plan text with
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+  | Ok plan -> Chaos.plan_to_string plan
+
+let test_grammar_roundtrip () =
+  List.iter
+    (fun text -> check_string "roundtrip" text (roundtrip text))
+    [
+      "dist.insert.pre_size:crash";
+      "shared.push_snapshot.before@4:casfail";
+      "dist.spy.block@2#3:stall:500";
+      "block_array.consolidate#0:casfail,dist.insert.spill@12#1:crash";
+    ]
+
+let test_grammar_rejects () =
+  List.iter
+    (fun text ->
+      match Chaos.parse_plan text with
+      | Ok _ -> Alcotest.failf "accepted bad plan %S" text
+      | Error _ -> ())
+    [
+      "no-action";
+      "site:explode";
+      "site:stall:0";
+      "site:stall:x";
+      "site@0:crash";
+      "site#-1:crash";
+      ":crash";
+    ]
+
+let test_random_plan_covers_kinds () =
+  (* Any 3 consecutive sweep indices exercise all three fault kinds — the
+     property the acceptance bar of the chaos suite rests on. *)
+  let rng = Xoshiro.create ~seed:3 in
+  let kinds = Hashtbl.create 4 in
+  for k = 0 to 2 do
+    List.iter
+      (fun (r : Chaos.rule) ->
+        let kind =
+          match r.Chaos.action with
+          | Chaos.Cas_fail -> "casfail"
+          | Chaos.Stall _ -> "stall"
+          | Chaos.Crash -> "crash"
+        in
+        Hashtbl.replace kinds kind ())
+      (Chaos.random_plan ~rng ~sites:Chaos.sites ~num_threads:4 ~rules:1 k)
+  done;
+  check_int "all three kinds" 3 (Hashtbl.length kinds)
+
+let test_random_plan_never_crashes_tid0 () =
+  let rng = Xoshiro.create ~seed:17 in
+  for k = 0 to 199 do
+    List.iter
+      (fun (r : Chaos.rule) ->
+        match (r.Chaos.action, r.Chaos.tid) with
+        | Chaos.Crash, Some 0 -> Alcotest.fail "generated a tid-0 crash"
+        | Chaos.Crash, None -> Alcotest.fail "generated an unfiltered crash"
+        | _ -> ())
+      (Chaos.random_plan ~rng ~sites:Chaos.sites ~num_threads:4 ~rules:2 k)
+  done
+
+(* ---------------- engine semantics on the simulator ---------------- *)
+
+(* A rule fires exactly once, on its hit index, only for its thread. *)
+let test_rule_fires_once_on_hit () =
+  Sim.configure ~seed:1 ();
+  let plan = [ Chaos.rule ~tid:1 ~hit:3 "unit.site" (Chaos.Stall 10) ] in
+  Chaos.install plan;
+  Fun.protect ~finally:Chaos.uninstall (fun () ->
+      Sim.parallel_run ~num_threads:2 (fun _tid ->
+          for _ = 1 to 10 do
+            Sim.fault_point "unit.site"
+          done);
+      check_int "fired once" 1 (Chaos.fired_count plan);
+      check_int "one stall" 1 (Chaos.stats ()).Chaos.stalls)
+
+(* Cas_fail arms the thread's next CAS: it fails spuriously once, then the
+   retry (with the same expected value) succeeds. *)
+let test_casfail_forces_one_failure () =
+  Sim.configure ~seed:1 ();
+  let plan = [ Chaos.rule "unit.cas" Chaos.Cas_fail ] in
+  Chaos.install plan;
+  Fun.protect ~finally:Chaos.uninstall (fun () ->
+      Sim.parallel_run ~num_threads:1 (fun _ ->
+          let a = Sim.make 0 in
+          Sim.fault_point "unit.cas";
+          check_bool "armed CAS fails" false (Sim.compare_and_set a 0 1);
+          check_int "value untouched" 0 (Sim.get a);
+          check_bool "retry succeeds" true (Sim.compare_and_set a 0 1);
+          check_int "value updated" 1 (Sim.get a)))
+
+(* A crash kills only the targeted fiber; the run completes and the other
+   fibers' work survives. *)
+let test_crash_kills_one_fiber () =
+  Sim.configure ~seed:1 ();
+  let plan = [ Chaos.rule ~tid:1 "unit.crash" Chaos.Crash ] in
+  Chaos.install plan;
+  Fun.protect ~finally:Chaos.uninstall (fun () ->
+      let reached = Array.make 2 false in
+      Sim.parallel_run ~num_threads:2 (fun tid ->
+          Sim.fault_point "unit.crash";
+          reached.(tid) <- true);
+      check_bool "survivor finished" true reached.(0);
+      check_bool "victim died at the fault point" false reached.(1);
+      check_list_int "crashed tid recorded" [ 1 ] (Chaos.crashed_tids ()))
+
+(* ---------------- end-to-end drive cases ---------------- *)
+
+let no_violations (c : Drive.case_result) =
+  if c.Drive.violations <> [] then
+    Alcotest.failf "case %s seed=0x%x plan=%s violated: %s" c.Drive.label
+      c.Drive.seed c.Drive.plan_text
+      (String.concat "; " c.Drive.violations)
+
+let test_queue_case_casfail_stall () =
+  let plan =
+    match
+      Chaos.parse_plan
+        "shared.push_snapshot.before@2:casfail,dist.spy.block@3:stall:5000"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let c = Drive.queue_case ~seed:42 ~threads:4 ~per_thread:200 ~k:8 plan in
+  no_violations c;
+  check_bool "cas fault injected" true (c.Drive.cas_fails = 1)
+
+let test_queue_case_crash () =
+  let plan = [ Chaos.rule ~tid:2 ~hit:5 "dist.insert.pre_size" Chaos.Crash ] in
+  let c = Drive.queue_case ~seed:43 ~threads:4 ~per_thread:200 ~k:8 plan in
+  no_violations c;
+  check_int "crash injected" 1 c.Drive.crashes
+
+let test_sched_case_crash () =
+  let plan =
+    [ Chaos.rule ~tid:1 ~hit:4 "sched.execute.post_lease" Chaos.Crash ]
+  in
+  let c = Drive.sched_case ~seed:44 ~threads:4 ~roots:50 plan in
+  no_violations c;
+  check_int "crash injected" 1 c.Drive.crashes
+
+(* The teeth check: with Listing 4's publication order flipped, the same
+   conservation oracle must detect the planted loss — the suite can catch
+   the bug class it exists for. *)
+let test_teeth_catch () =
+  let caught, cases = Drive.teeth ~plans:6 () in
+  check_int "ran all plans" 6 (List.length cases);
+  check_bool "planted publication-order bug caught" true caught;
+  (* The flag is restored: a normal crash case must pass again. *)
+  test_queue_case_crash ()
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "grammar",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_grammar_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_grammar_rejects;
+          Alcotest.test_case "kind coverage" `Quick
+            test_random_plan_covers_kinds;
+          Alcotest.test_case "no tid-0 crashes" `Quick
+            test_random_plan_never_crashes_tid0;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "fires once on hit" `Quick
+            test_rule_fires_once_on_hit;
+          Alcotest.test_case "casfail arms next CAS" `Quick
+            test_casfail_forces_one_failure;
+          Alcotest.test_case "crash kills one fiber" `Quick
+            test_crash_kills_one_fiber;
+        ] );
+      ( "drive",
+        [
+          Alcotest.test_case "queue casfail+stall" `Quick
+            test_queue_case_casfail_stall;
+          Alcotest.test_case "queue crash" `Quick test_queue_case_crash;
+          Alcotest.test_case "sched crash" `Quick test_sched_case_crash;
+          Alcotest.test_case "teeth" `Slow test_teeth_catch;
+        ] );
+    ]

@@ -250,6 +250,68 @@ let test_spy_racing_merges_fuzzed () =
   done;
   Sim.configure ~policy:Sim.Fair ()
 
+(* Crash mid-publication (lib/chaos): kill the owner between Listing 4's
+   two publication writes — merged block visible, [size] not yet bumped —
+   and check the half-published LSM is still fully usable by others: the
+   structural invariants hold, a spy copy is a valid strictly-decreasing
+   prefix, and every item whose insert returned is reachable through it.
+   This is exactly the window the paper's publication order protects. *)
+let test_crash_mid_publication () =
+  let module Chaos = Klsm_chaos.Chaos in
+  Sim.configure ~seed:11 ();
+  let n = 64 in
+  let crash_hit = 9 in
+  let hasher = Tabular_hash.create ~seed:5 in
+  let salive it = not (SItem.is_taken it) in
+  let no_spill _ = Alcotest.fail "unexpected spill" in
+  let completed = ref [] in
+  (* inserts that returned, victim-side *)
+  let spied = ref [] in
+  let plan =
+    [ Chaos.rule ~tid:1 ~hit:crash_hit "dist.insert.pre_size" Chaos.Crash ]
+  in
+  Chaos.install plan;
+  Fun.protect ~finally:Chaos.uninstall (fun () ->
+      let victim = SDist.create ~tid:1 ~hasher ~alive:salive () in
+      let thief = SDist.create ~tid:0 ~hasher ~alive:salive () in
+      Sim.parallel_run ~num_threads:2 (fun tid ->
+          if tid = 1 then
+            for i = 0 to n - 1 do
+              SDist.insert victim (SItem.make i ()) ~max_level:max_int
+                ~spill:no_spill;
+              completed := i :: !completed
+            done
+          else begin
+            (* Wait (virtual time) until the crash fired, then spy the
+               corpse: its last publication is half done. *)
+            while (Chaos.stats ()).Chaos.crashes = 0 do
+              Sim.relax_n 1
+            done;
+            ignore (SDist.spy thief ~victim);
+            SDist.check_invariants thief;
+            SDist.iter_items thief ~f:(fun it ->
+                spied := SItem.key it :: !spied)
+          end);
+      check_int "victim crashed" 1 (Chaos.stats ()).Chaos.crashes;
+      check_bool "crash interrupted the loop" true
+        (List.length !completed < n);
+      (* The half-published victim still satisfies the invariants: the
+         merged block replaced its slot before [size] changed. *)
+      SDist.check_invariants victim);
+  (* Conservation through spy: completed inserts all visible; nothing
+     beyond the in-flight key ever appears. *)
+  let spied = List.sort_uniq compare !spied in
+  List.iter
+    (fun k ->
+      if not (List.mem k spied) then
+        Alcotest.failf "completed key %d invisible to spy" k)
+    !completed;
+  List.iter
+    (fun k ->
+      if k > List.length !completed then
+        Alcotest.failf "spy saw phantom key %d" k)
+    spied
+
 (* Publication-order regression: find_min during a partially-visible merge
    must never lose reachability of items (single-threaded re-check that the
    merged publication preserves the whole content). *)
@@ -296,5 +358,7 @@ let () =
             test_spy_copy_levels_strictly_decreasing;
           Alcotest.test_case "spy vs merges (32 fuzzed schedules)" `Slow
             test_spy_racing_merges_fuzzed;
+          Alcotest.test_case "crash mid-publication" `Quick
+            test_crash_mid_publication;
         ] );
     ]

@@ -202,6 +202,45 @@ let test_backoff_validation () =
   Alcotest.check_raises "bad min" (Invalid_argument "Backoff.create")
     (fun () -> ignore (Backoff.create ~min:0 ()))
 
+(* Decorrelated jitter (AWS-style): next = min + U[0, 3*cur - min), clamped
+   to [min, max].  Bounds must hold along any trajectory, the same seed
+   must replay the same trajectory, and a jitter-free instance must keep
+   the exact legacy doubling behaviour (Sim determinism depends on it). *)
+let test_backoff_jitter_bounds () =
+  let rng = Xoshiro.create ~seed:99 in
+  let b = Backoff.create ~min:2 ~max:64 ~jitter:rng () in
+  for _ = 1 to 200 do
+    let spins = ref 0 in
+    Backoff.once b ~relax:(fun n -> spins := n);
+    check_bool "relaxed within [min,max]" true (!spins >= 2 && !spins <= 64);
+    check_bool "state within [min,max]" true
+      (Backoff.current b >= 2 && Backoff.current b <= 64)
+  done
+
+let test_backoff_jitter_deterministic () =
+  let trajectory seed =
+    let b =
+      Backoff.create ~min:1 ~max:512 ~jitter:(Xoshiro.create ~seed) ()
+    in
+    List.init 50 (fun _ ->
+        let n = ref 0 in
+        Backoff.once b ~relax:(fun s -> n := !n + s);
+        !n)
+  in
+  check_list_int "same seed, same delays" (trajectory 5) (trajectory 5);
+  check_bool "different seed diverges" true (trajectory 5 <> trajectory 6)
+
+let test_backoff_no_jitter_unchanged () =
+  (* Without ~jitter the schedule is the deterministic doubling ramp. *)
+  let b = Backoff.create ~min:1 ~max:16 () in
+  let seen =
+    List.init 6 (fun _ ->
+        let n = ref 0 in
+        Backoff.once b ~relax:(fun s -> n := !n + s);
+        !n)
+  in
+  check_list_int "pure doubling" [ 1; 2; 4; 8; 16; 16 ] seen
+
 (* ---------------- Bits ---------------- *)
 
 let prop_ceil_log2 =
@@ -291,6 +330,11 @@ let () =
           Alcotest.test_case "growth and reset" `Quick test_backoff_growth;
           Alcotest.test_case "counts relaxes" `Quick test_backoff_counts_relaxes;
           Alcotest.test_case "validation" `Quick test_backoff_validation;
+          Alcotest.test_case "jitter bounds" `Quick test_backoff_jitter_bounds;
+          Alcotest.test_case "jitter deterministic" `Quick
+            test_backoff_jitter_deterministic;
+          Alcotest.test_case "no-jitter path unchanged" `Quick
+            test_backoff_no_jitter_unchanged;
         ] );
       ("bits", [ prop_ceil_log2; prop_floor_log2; Alcotest.test_case "powers" `Quick test_powers ]);
       ( "stats",
