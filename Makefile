@@ -2,7 +2,7 @@
 # full build, full test suite, odoc build, and the BENCH_stats.json schema
 # check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix doc stats-check chaos-check check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check chaos-check perf-check check bench clean
 
 all: build
 
@@ -39,7 +39,16 @@ stats-check:
 chaos-check:
 	dune exec bin/chaos.exe -- --seeds 32
 
-check: fmt build test doc stats-check chaos-check
+# Hot-path performance gate (bin/perfcheck.ml): runs the uniform
+# insert/delete-min workload on both backends, writes BENCH_throughput.json
+# (ops/sec + pool hit rate on Real, tick counts on Sim), and fails if the
+# deterministic Sim tick count for the fixed merge/pivot workload exceeds
+# its budget — i.e. if the merge/copy/pivot kernels start charging more
+# work per operation.
+perf-check:
+	dune exec bin/perfcheck.exe
+
+check: fmt build test doc stats-check chaos-check perf-check
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,135 @@
+(* The `make perf-check` gate (wired into `make check`).
+
+   Two runs of the uniform insert/delete-min workload (the paper's Figure 3
+   mix) on the k-LSM:
+
+   - Real backend, 8 threads: reports ops/sec and the block-pool hit rate
+     (lib/obs `pool.*` counters; docs/METRICS.md).  Wall-clock throughput
+     on shared CI machines is too noisy to gate on, so this half only
+     checks the run completes and the pool is actually being exercised.
+
+   - Sim backend, fixed seed and cost model: the simulator's virtual-work
+     tick count for this exact merge/pivot workload is DETERMINISTIC, so it
+     is an assertable proxy for hot-path work.  The run fails (exit 1) if
+     the tick count exceeds [sim_tick_budget], i.e. if a change regresses
+     the amount of sequential work the merge/pivot kernels charge.
+
+   Results land in BENCH_throughput.json. *)
+
+module Real = Klsm_backend.Real
+module Sim = Klsm_backend.Sim
+module Report = Klsm_harness.Report
+module Obs = Klsm_obs.Obs
+
+(* Sim ticks for the fixed workload below, measured at 323_603 when this
+   gate was introduced (SoA blocks + pooled consolidation); the budget
+   leaves ~20% headroom for benign drift.  A regression past it means the
+   merge/copy/pivot kernels are charging materially more work per op. *)
+let sim_tick_budget = 390_000
+
+let counter_total snapshot name =
+  match List.assoc_opt name snapshot.Obs.counters with
+  | Some per_thread -> Array.fold_left ( + ) 0 per_thread
+  | None -> 0
+
+let real_section () =
+  let module T = Klsm_harness.Throughput.Make (Real) in
+  let module R = Klsm_harness.Registry.Make (Real) in
+  let threads = 8 in
+  let spec =
+    match R.parse_spec "klsm:256" with Ok s -> s | Error m -> failwith m
+  in
+  let config =
+    {
+      T.default_config with
+      num_threads = threads;
+      prefill = 50_000;
+      ops_per_thread = 25_000;
+      seed = 42;
+    }
+  in
+  let r = T.run config spec in
+  let ops_per_sec = r.T.throughput_per_thread *. float_of_int threads in
+  let hits = counter_total r.T.stats "pool.hit" in
+  let misses = counter_total r.T.stats "pool.miss" in
+  let bytes = counter_total r.T.stats "pool.bytes_avoided" in
+  let hit_rate =
+    if hits + misses = 0 then 0.0
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  Printf.printf "perf-check real: %.0f ops/s (%d threads), pool hit rate %.1f%% (%d hits, %d misses, %d bytes avoided)\n%!"
+    ops_per_sec threads (100.0 *. hit_rate) hits misses bytes;
+  if hits = 0 then begin
+    prerr_endline "perf-check FAILED: block pool never hit (pooling broken?)";
+    exit 1
+  end;
+  Report.Obj
+    [
+      ("backend", Report.String "real");
+      ("threads", Report.Int threads);
+      ("prefill", Report.Int config.T.prefill);
+      ("ops_per_thread", Report.Int config.T.ops_per_thread);
+      ("ops_per_sec", Report.Float ops_per_sec);
+      ("throughput_per_thread", Report.Float r.T.throughput_per_thread);
+      ("pool_hits", Report.Int hits);
+      ("pool_misses", Report.Int misses);
+      ("pool_hit_rate", Report.Float hit_rate);
+      ("pool_bytes_avoided", Report.Int bytes);
+    ]
+
+let sim_section () =
+  let module T = Klsm_harness.Throughput.Make (Sim) in
+  let module R = Klsm_harness.Registry.Make (Sim) in
+  Sim.configure ~seed:42 ~cost:Klsm_backend.Cost_model.default ();
+  let spec =
+    match R.parse_spec "klsm:256" with Ok s -> s | Error m -> failwith m
+  in
+  let config =
+    {
+      T.default_config with
+      num_threads = 4;
+      prefill = 2_000;
+      ops_per_thread = 2_000;
+      seed = 42;
+    }
+  in
+  let r = T.run config spec in
+  let st = Sim.stats () in
+  let ticks = st.Sim.ticks in
+  let makespan = Sim.makespan () in
+  Printf.printf
+    "perf-check sim: %d ticks (budget %d), makespan %.3f, %.0f ops/s-sim\n%!"
+    ticks sim_tick_budget makespan
+    (r.T.throughput_per_thread *. 4.0);
+  if ticks > sim_tick_budget then begin
+    Printf.eprintf
+      "perf-check FAILED: sim tick count %d exceeds budget %d — the \
+       merge/pivot hot paths regressed\n%!"
+      ticks sim_tick_budget;
+    exit 1
+  end;
+  Report.Obj
+    [
+      ("backend", Report.String "sim");
+      ("threads", Report.Int config.T.num_threads);
+      ("prefill", Report.Int config.T.prefill);
+      ("ops_per_thread", Report.Int config.T.ops_per_thread);
+      ("ticks", Report.Int ticks);
+      ("tick_budget", Report.Int sim_tick_budget);
+      ("makespan", Report.Float makespan);
+    ]
+
+let () =
+  Obs.set_enabled true;
+  let real = real_section () in
+  let sim = sim_section () in
+  let path = "BENCH_throughput.json" in
+  Report.write_json ~path
+    (Report.Obj
+       [
+         ("benchmark", Report.String "perf-check");
+         ("metric", Report.String "ops_per_sec (real) / ticks (sim)");
+         ("real", real);
+         ("sim", sim);
+       ]);
+  Printf.printf "wrote %s\nperf-check OK\n%!" path

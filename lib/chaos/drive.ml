@@ -139,7 +139,9 @@ let queue_case ~seed ~threads ~per_thread ~k plan =
   done;
   if !lost > 0 then violation "%d payloads lost" !lost;
   if !dup > 0 then violation "%d payloads delivered twice" !dup;
-  (* Structural invariants of everything the survivors can still reach. *)
+  (* Structural invariants of everything the survivors can still reach
+     (Block.check_invariants now also asserts the SoA keys mirror and that
+     no Retired block is reachable). *)
   (try
      match Shared.peek_shared (K.internal_shared q) with
      | None -> ()
@@ -151,6 +153,46 @@ let queue_case ~seed ~threads ~per_thread ~k plan =
       | Some h when not (List.mem tid crashed) -> (
           try K.Dist_lsm.check_invariants (K.internal_dist h)
           with Failure msg -> violation "dist[%d] invariant: %s" tid msg)
+      | _ -> ())
+    handles;
+  (* Pool-reuse safety (paper §4.4 adapted; DESIGN.md §11): a recycled
+     block must never be aliased by a published structure.  Collect every
+     block physically reachable from the shared snapshot and the surviving
+     thread-local LSMs, and assert it is disjoint (physical equality) from
+     every surviving thread's freelist. *)
+  let reachable = ref [] in
+  (match Shared.peek_shared (K.internal_shared q) with
+  | None -> ()
+  | Some arr ->
+      Array.iter (fun b -> reachable := b :: !reachable) (Block_array.blocks arr));
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) ->
+          let d = K.internal_dist h in
+          for i = 0 to K.Dist_lsm.size d - 1 do
+            match K.Dist_lsm.block_at d i with
+            | Some b -> reachable := b :: !reachable
+            | None -> ()
+          done
+      | _ -> ())
+    handles;
+  let pooled = ref 0 in
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) ->
+          Array.iteri
+            (fun lvl free ->
+              List.iter
+                (fun pb ->
+                  incr pooled;
+                  if List.exists (fun rb -> rb == pb) !reachable then
+                    violation
+                      "pool[%d] level-%d block aliased by a live structure"
+                      tid lvl)
+                free)
+            h.K.pool.K.Block.Pool.slots
       | _ -> ())
     handles;
   {

@@ -8,6 +8,24 @@
     decrement; that race is benign (a stale, larger [filled] merely makes a
     reader inspect items that are already logically deleted — see §4.1).
 
+    {b Structure of arrays}: alongside the boxed [items], every block keeps
+    a contiguous unboxed [keys] array with [keys.(i) = Item.key items.(i)]
+    for all [i < filled].  The merge/pivot/find-min kernels — the paper's
+    memory-bandwidth-bound hot paths (§5) — compare raw ints streamed from
+    [keys] and touch the boxed item only on final selection.  [keys] slots
+    below [filled] are written before publication and never after, so they
+    are safe to read without synchronization even while [filled] shrinks.
+
+    {b Memory reuse} (paper §4.4, adapted to OCaml): a block is [Private]
+    while under construction, [Published] once any other thread may reach
+    it (a DistLSM slot, a shared snapshot, a CAS attempt), and [Retired]
+    once its owner has handed its arrays back to its thread-local {!Pool}.
+    Only [Private] blocks are ever retired — a published block's arrays can
+    be pinned by spies and snapshot readers indefinitely, and for those we
+    keep relying on the GC exactly as §4.4's remark permits.  Merge-cascade
+    intermediates, which dominate allocation on the insert path, never get
+    published and are recycled at once.
+
     Every mutating operation filters out items that are no longer [alive]
     (logically deleted, or condemned by the application's lazy-deletion
     predicate of §4.5).
@@ -19,12 +37,25 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Item = Item.Make (B)
   module Bloom = Klsm_primitives.Bloom
+  module Obs = Klsm_obs.Obs
+
+  (* Observability of the block pool (lib/obs; docs/METRICS.md). *)
+  let c_pool_hit = Obs.counter "pool.hit"
+  let c_pool_miss = Obs.counter "pool.miss"
+  let c_pool_bytes = Obs.counter "pool.bytes_avoided"
+
+  type state =
+    | Private  (** under construction; reachable only by its creator *)
+    | Published  (** possibly reachable by other threads; never recycled *)
+    | Retired  (** arrays handed back to the owner's pool; must be dead *)
 
   type 'v t = {
     level : int;
     items : 'v Item.t array;  (** capacity [2^level]; descending keys *)
+    keys : int array;  (** [keys.(i) = Item.key items.(i)] for [i < filled] *)
     filled : int B.atomic;
     mutable filter : Bloom.t;
+    mutable state : state;
   }
 
   let capacity_of_level level = 1 lsl level
@@ -33,22 +64,118 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let filled t = B.get t.filled
   let capacity t = Array.length t.items
   let filter t = t.filter
+  let state t = t.state
   let is_empty t = filled t = 0
 
-  (** [singleton ~filter item] is the level-0 block of one item. *)
-  let singleton ~filter item =
-    { level = 0; items = [| item |]; filled = B.make 1; filter }
+  (** Per-thread freelist of retired blocks, binned by level (paper §4.4's
+      reuse scheme).  Strictly single-owner: only the owning thread ever
+      acquires from or retires into its pool, so no synchronization is
+      needed and the Sim backend schedule is unperturbed. *)
+  module Pool = struct
+    type 'v block = 'v t
+
+    type 'v t = {
+      slots : 'v block list array;  (** freelist per level *)
+      counts : int array;
+      obs : Obs.handle;
+    }
+
+    (* Levels above [max_level] are never pooled (a level-21 pair is
+       ~32 MiB); [max_per_level] bounds retention of stale item pointers
+       the recycled arrays keep alive until overwritten. *)
+    let max_level = 21
+    let max_per_level = 4
+
+    let create ?(obs = Obs.null_handle) () =
+      {
+        slots = Array.make (max_level + 1) [];
+        counts = Array.make (max_level + 1) 0;
+        obs;
+      }
+  end
+
+  (* Bytes a pool hit avoids allocating: one unboxed int array plus one
+     pointer array, [2^level] words each. *)
+  let bytes_per_slot = 2 * (Sys.word_size / 8)
+
+  let pool_acquire (p : 'v Pool.t) lvl : 'v t option =
+    if lvl <= Pool.max_level then begin
+      match p.Pool.slots.(lvl) with
+      | b :: rest ->
+          p.Pool.slots.(lvl) <- rest;
+          p.Pool.counts.(lvl) <- p.Pool.counts.(lvl) - 1;
+          Obs.incr p.Pool.obs c_pool_hit;
+          Obs.add p.Pool.obs c_pool_bytes (Array.length b.keys * bytes_per_slot);
+          b.state <- Private;
+          B.set b.filled 0;
+          b.filter <- Bloom.empty;
+          Some b
+      | [] ->
+          Obs.incr p.Pool.obs c_pool_miss;
+          None
+    end
+    else begin
+      Obs.incr p.Pool.obs c_pool_miss;
+      None
+    end
+
+  (** Hand a block's arrays back to the owning thread's pool.  A no-op on
+      [Published] blocks (spies/snapshots may still hold them — §4.4's GC
+      fallback) and without a pool; callers therefore never need to track
+      ownership at the call site. *)
+  let retire ?pool t =
+    match pool with
+    | None -> ()
+    | Some p -> (
+        match t.state with
+        | Published | Retired -> ()
+        | Private ->
+            t.state <- Retired;
+            let l = t.level in
+            if l <= Pool.max_level && p.Pool.counts.(l) < Pool.max_per_level
+            then begin
+              p.Pool.slots.(l) <- t :: p.Pool.slots.(l);
+              p.Pool.counts.(l) <- p.Pool.counts.(l) + 1
+            end)
+
+  (** Mark a block reachable by other threads.  Must run before the
+      publishing write (slot store / snapshot CAS): from then on the block
+      must never be recycled.  Idempotent; a [Retired] block resurfacing
+      here is a pooling bug and fails loudly. *)
+  let publish t =
+    match t.state with
+    | Private -> t.state <- Published
+    | Published -> ()
+    | Retired -> failwith "Block.publish: retired block resurfaced"
 
   (* Blocks are always created from at least one source item, which doubles
      as the array filler for the unfilled tail (never read: readers stop at
-     [filled]). *)
-  let create_with_exemplar level exemplar =
-    {
-      level;
-      items = Array.make (capacity_of_level level) exemplar;
-      filled = B.make 0;
-      filter = Bloom.empty;
-    }
+     [filled]).  A pooled block keeps its previous tail contents instead —
+     equally unread. *)
+  let create_with_exemplar ?pool level exemplar =
+    let fresh () =
+      let cap = capacity_of_level level in
+      {
+        level;
+        items = Array.make cap exemplar;
+        keys = Array.make cap 0;
+        filled = B.make 0;
+        filter = Bloom.empty;
+        state = Private;
+      }
+    in
+    match pool with
+    | None -> fresh ()
+    | Some p -> ( match pool_acquire p level with Some b -> b | None -> fresh ())
+
+  (** [singleton ~filter item] is the level-0 block of one item. *)
+  let singleton ?pool ~filter item =
+    let b = create_with_exemplar ?pool 0 item in
+    b.items.(0) <- item;
+    b.keys.(0) <- Item.key item;
+    B.set b.filled 1;
+    b.filter <- filter;
+    b
 
   (** Minimal key of the block in O(1): the last logically-held item.
       May be a deleted item; callers handle that (find-min falls back and
@@ -102,31 +229,42 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     done;
     List.rev !acc
 
-  (* Append to a block under construction (private to the caller). *)
-  let append ~alive t item =
+  (* Append with a precomputed key (hot paths stream keys from the flat
+     array instead of re-reading the boxed item). *)
+  let append_keyed ~alive t item key =
     if alive item then begin
       let f = B.get t.filled in
       t.items.(f) <- item;
+      t.keys.(f) <- key;
       B.set t.filled (f + 1)
     end
+
+  (* Append to a block under construction (private to the caller). *)
+  let append ~alive t item = append_keyed ~alive t item (Item.key item)
 
   (** [copy ~alive t lvl] copies the alive items of [t] into a fresh block
       of level [lvl] (capacity must suffice, which callers guarantee since
       filtering only shrinks). *)
-  let copy ~alive t lvl =
+  let copy ?pool ~alive t lvl =
     let f = filled t in
-    let nb = create_with_exemplar lvl t.items.(if f = 0 then 0 else f - 1) in
+    let nb =
+      create_with_exemplar ?pool lvl t.items.(if f = 0 then 0 else f - 1)
+    in
     nb.filter <- t.filter;
     for i = 0 to f - 1 do
-      append ~alive nb t.items.(i)
+      append_keyed ~alive nb t.items.(i) t.keys.(i)
     done;
     B.tick f;
     nb
 
   (** Two-way merge of [b1] and [b2] into a fresh block whose level always
       has room for both inputs; alive filtering happens on the way.  The
-      Bloom filters are united — the only point where filters change. *)
-  let merge ~alive b1 b2 =
+      Bloom filters are united — the only point where filters change.
+      When a [pool] is given, [Private] inputs are retired after their
+      contents are copied out: a private input to a pooled merge is by
+      construction a dead cascade intermediate (published inputs are left
+      untouched). *)
+  let merge ?pool ~alive b1 b2 =
     let f1 = filled b1 and f2 = filled b2 in
     let lvl = 1 + max b1.level b2.level in
     let exemplar =
@@ -134,36 +272,41 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       else if f2 > 0 then b2.items.(0)
       else invalid_arg "Block.merge: both blocks empty"
     in
-    let nb = create_with_exemplar lvl exemplar in
+    let nb = create_with_exemplar ?pool lvl exemplar in
     nb.filter <- Bloom.union b1.filter b2.filter;
-    (* Inputs are descending; emit descending. *)
+    (* Inputs are descending; emit descending.  Compares stream the flat
+       key arrays; the boxed item is only touched to append. *)
+    let k1 = b1.keys and k2 = b2.keys in
     let i = ref 0 and j = ref 0 in
     while !i < f1 && !j < f2 do
-      let x = b1.items.(!i) and y = b2.items.(!j) in
-      if Item.key x >= Item.key y then begin
-        append ~alive nb x;
+      let x = k1.(!i) and y = k2.(!j) in
+      if x >= y then begin
+        append_keyed ~alive nb b1.items.(!i) x;
         incr i
       end
       else begin
-        append ~alive nb y;
+        append_keyed ~alive nb b2.items.(!j) y;
         incr j
       end
     done;
     while !i < f1 do
-      append ~alive nb b1.items.(!i);
+      append_keyed ~alive nb b1.items.(!i) k1.(!i);
       incr i
     done;
     while !j < f2 do
-      append ~alive nb b2.items.(!j);
+      append_keyed ~alive nb b2.items.(!j) k2.(!j);
       incr j
     done;
     B.tick (f1 + f2);
+    retire ?pool b1;
+    retire ?pool b2;
     nb
 
   (** Listing 1's [shrink]: drop the dead tail, and if the block now fits a
       strictly smaller level, copy it down (recursively, because the copy
-      filters dead items out of the middle too). *)
-  let rec shrink ~alive t =
+      filters dead items out of the middle too).  A [Private] input that is
+      copied down is retired into [pool]. *)
+  let rec shrink ?pool ~alive t =
     let f = ref (filled t) in
     while !f > 0 && not (alive t.items.(!f - 1)) do
       B.tick 1;
@@ -173,20 +316,34 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     while !l > 0 && !f <= capacity_of_level (!l - 1) do
       decr l
     done;
-    if !l < t.level then shrink ~alive (copy ~alive t !l)
+    if !l < t.level then begin
+      let c = copy ?pool ~alive t !l in
+      retire ?pool t;
+      shrink ?pool ~alive c
+    end
     else begin
       (* Benign racy write: only ever decreases towards the true value. *)
       if !f < B.get t.filled then B.set t.filled !f;
       t
     end
 
-  (** Validate the block invariants (tests only): descending keys, filled
-      within capacity. *)
+  (** Validate the block invariants (tests and chaos oracles): descending
+      keys, filled within capacity, the SoA mirror
+      [keys.(i) = Item.key items.(i)], and — the pool-safety oracle — that
+      no [Retired] block is reachable from a live structure. *)
   let check_invariants t =
     let f = filled t in
     if f < 0 || f > capacity t then failwith "Block: filled out of range";
+    if Array.length t.keys <> Array.length t.items then
+      failwith "Block: keys/items capacity mismatch";
+    (match t.state with
+    | Retired -> failwith "Block: retired block reachable"
+    | Private | Published -> ());
     for i = 0 to f - 2 do
-      if Item.key t.items.(i) < Item.key t.items.(i + 1) then
-        failwith "Block: keys not descending"
+      if t.keys.(i) < t.keys.(i + 1) then failwith "Block: keys not descending"
+    done;
+    for i = 0 to f - 1 do
+      if t.keys.(i) <> Item.key t.items.(i) then
+        failwith "Block: keys mirror out of sync"
     done
 end

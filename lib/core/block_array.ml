@@ -11,7 +11,14 @@
     all pivot ranges contains at most [k + 1] items, all guaranteed to be
     among the [k + 1] smallest keys of the array.  [find_min] picks one of
     them uniformly at random (Listing 2) and additionally honours local
-    ordering semantics through the per-block Bloom filters. *)
+    ordering semantics through the per-block Bloom filters.
+
+    The hot kernels stream the blocks' flat [keys] arrays (see {!Block}),
+    and the mutating methods are allocation-free in steady state: a
+    {!Scratch} buffer owned by the calling thread replaces the old
+    sort-then-fold list pipeline, and [t.blocks] / [t.pivots] are reused in
+    place whenever the block count is unchanged (always safe — [t] is a
+    private snapshot whose arrays were freshly copied). *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Item = Item.Make (B)
@@ -23,6 +30,22 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     mutable blocks : 'v Block.t array;  (** dense, strictly decreasing levels *)
     mutable pivots : int array;  (** same length as [blocks] *)
   }
+
+  (** Reusable per-thread buffers for [normalize]/[calculate_pivots].
+      Single-owner (live in a {!Shared_klsm.handle}); grown on demand and
+      never shrunk.  The [stack] may pin a few stale block pointers between
+      calls — bounded by its own length and cleared to live blocks on every
+      use, so nothing accumulates. *)
+  module Scratch = struct
+    type 'v block = 'v Block.t
+
+    type 'v t = {
+      mutable stack : 'v block array;  (** merge-cascade stack *)
+      mutable cursor : int array;  (** multiway-merge cursors *)
+    }
+
+    let create () = { stack = [||]; cursor = [||] }
+  end
 
   let empty () = { blocks = [||]; pivots = [||] }
   let size t = Array.length t.blocks
@@ -37,68 +60,137 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Shallow copy: the snapshot shares the (immutable) blocks. *)
   let copy t = { blocks = Array.copy t.blocks; pivots = Array.copy t.pivots }
 
-  (* Rebuild [t.blocks] from an arbitrary list of blocks, re-establishing
-     strictly decreasing levels by merging collisions (exactly the
-     sequential LSM discipline of §3) and dropping empty blocks.  Shared
-     entry point of insert/consolidate.  Returns true if any merge
-     happened. *)
-  let normalize ~alive t block_list =
-    let merged = ref false in
-    (* Feed largest level first; the stack (head = smallest level so far)
-       then carries strictly decreasing levels bottom-to-top.  An incoming
-       block at least as large as the top merges with it, and the merged
-       block (one level up) re-checks against the new top. *)
-    let ordered =
-      List.stable_sort
-        (fun a b -> compare (Block.level b) (Block.level a))
-        block_list
-    in
-    let rec go stack b =
-      (* A merge can shrink to nothing when every input item was dead. *)
-      if Block.is_empty b then stack
-      else
-        match stack with
-        | top :: rest when Block.level top <= Block.level b ->
+  (* Rebuild [t.blocks] from its current blocks plus an optional [extra]
+     block, re-establishing strictly decreasing levels by merging collisions
+     (exactly the sequential LSM discipline of §3) and dropping empty
+     blocks.  Shared entry point of insert/consolidate.  Returns true if
+     any merge happened.
+
+     [t.blocks] already carries strictly decreasing levels, so no sort is
+     needed: blocks are fed largest-level first, with [extra] slotted in
+     before the first block of equal or smaller level (the position the old
+     stable sort gave it).  The cascade stack lives in [scratch] when
+     provided, making steady-state calls allocation-free. *)
+  let normalize ?pool ?scratch ~alive ?extra t =
+    let n = Array.length t.blocks in
+    if n = 0 && Option.is_none extra then begin
+      if Array.length t.blocks <> 0 then t.blocks <- [||];
+      if Array.length t.pivots <> 0 then t.pivots <- [||];
+      false
+    end
+    else begin
+      let filler =
+        if n > 0 then t.blocks.(0)
+        else match extra with Some e -> e | None -> assert false
+      in
+      let cap = n + 1 in
+      let stack =
+        match scratch with
+        | Some s ->
+            if Array.length s.Scratch.stack < cap then
+              s.Scratch.stack <- Array.make (max 8 cap) filler;
+            s.Scratch.stack
+        | None -> Array.make cap filler
+      in
+      let merged = ref false in
+      let sp = ref 0 in
+      (* Push one block through the cascade: the stack carries strictly
+         decreasing levels bottom-to-top; an incoming block at least as
+         large as the top merges with it, and the merged block (one level
+         up) re-checks against the new top.  A merge can shrink to nothing
+         when every input item was dead. *)
+      let push b =
+        let b = ref (Block.shrink ?pool ~alive b) in
+        let placed = ref false in
+        while not !placed do
+          if Block.is_empty !b then begin
+            Block.retire ?pool !b;
+            placed := true
+          end
+          else if !sp > 0 && Block.level stack.(!sp - 1) <= Block.level !b
+          then begin
             merged := true;
-            go rest (Block.shrink ~alive (Block.merge ~alive top b))
-        | _ -> b :: stack
-    in
-    let push stack b = go stack (Block.shrink ~alive b) in
-    let stack = List.fold_left push [] ordered in
-    (* [stack] is smallest-first; the array wants largest-first. *)
-    let arr = Array.of_list (List.rev stack) in
-    t.blocks <- arr;
-    t.pivots <- Array.make (Array.length arr) 0;
-    !merged
+            let m = Block.merge ?pool ~alive stack.(!sp - 1) !b in
+            decr sp;
+            b := Block.shrink ?pool ~alive m
+          end
+          else begin
+            stack.(!sp) <- !b;
+            incr sp;
+            placed := true
+          end
+        done
+      in
+      let extra_level =
+        match extra with Some e -> Block.level e | None -> min_int
+      in
+      let extra_pushed = ref (Option.is_none extra) in
+      for idx = 0 to n - 1 do
+        let b = t.blocks.(idx) in
+        if (not !extra_pushed) && extra_level >= Block.level b then begin
+          (match extra with Some e -> push e | None -> ());
+          extra_pushed := true
+        end;
+        push b
+      done;
+      if not !extra_pushed then (
+        match extra with Some e -> push e | None -> ());
+      (* The stack is largest-level first — exactly the array layout. *)
+      let m = !sp in
+      if Array.length t.blocks <> m then t.blocks <- Array.make m filler;
+      Array.blit stack 0 t.blocks 0 m;
+      if Array.length t.pivots <> m then t.pivots <- Array.make m 0
+      else Array.fill t.pivots 0 m 0;
+      (* Point the scratch tail at a live block so it pins nothing dead. *)
+      (match scratch with
+      | Some s when m > 0 ->
+          Array.fill s.Scratch.stack m (Array.length s.Scratch.stack - m)
+            stack.(0)
+      | _ -> ());
+      !merged
+    end
 
   let block_list t = Array.to_list t.blocks
 
   (** Insert a block, merging as needed to keep levels strictly
       decreasing. *)
-  let insert ~alive t block = ignore (normalize ~alive t (block :: block_list t))
+  let insert ?pool ?scratch ~alive t block =
+    ignore (normalize ?pool ?scratch ~alive ~extra:block t)
 
   (** Shrink every block and re-establish the level invariant; [true] iff a
       merge occurred (Listing 2's return value, used to decide whether the
       snapshot must be pushed). *)
-  let consolidate ~alive t =
+  let consolidate ?pool ?scratch ~alive t =
     B.fault_point "block_array.consolidate";
     let before = size t in
-    let merged = normalize ~alive t (block_list t) in
+    let merged = normalize ?pool ?scratch ~alive t in
     merged || size t <> before
 
   (** Recompute [pivots] so the candidate ranges hold the (at most) [k + 1]
       smallest keys: a bounded multiway merge pops the globally smallest
       remaining key [k + 1] times.  O((k+1) * size) with the tiny linear
       "heap" below — [size] is logarithmic, and the call is amortized over
-      the ~k items of the batched insert that triggered it. *)
-  let calculate_pivots t ~k =
+      the ~k items of the batched insert that triggered it.  The inner loop
+      reads only the flat [keys] arrays. *)
+  let calculate_pivots ?scratch t ~k =
     let n = size t in
-    let pivots = Array.make n 0 in
+    let pivots =
+      if Array.length t.pivots = n then t.pivots else Array.make n 0
+    in
+    let cursor =
+      match scratch with
+      | Some s ->
+          if Array.length s.Scratch.cursor < n then
+            s.Scratch.cursor <- Array.make (max 8 n) 0;
+          s.Scratch.cursor
+      | None -> Array.make (max n 1) 0
+    in
     (* cursor.(i): next candidate index in block i, moving upward from the
        minimum (filled - 1) towards 0. *)
-    let cursor = Array.init n (fun i -> Block.filled t.blocks.(i) - 1) in
     for i = 0 to n - 1 do
-      pivots.(i) <- Block.filled t.blocks.(i)
+      let f = Block.filled t.blocks.(i) in
+      cursor.(i) <- f - 1;
+      pivots.(i) <- f
     done;
     let remaining = ref (k + 1) in
     let exhausted = ref false in
@@ -108,7 +200,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       let best_key = ref max_int in
       for i = 0 to n - 1 do
         if cursor.(i) >= 0 then begin
-          let key = Item.key t.blocks.(i).Block.items.(cursor.(i)) in
+          let key = t.blocks.(i).Block.keys.(cursor.(i)) in
           if !best = -1 || key < !best_key then begin
             best := i;
             best_key := key
@@ -149,16 +241,23 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
          consolidate and retry — but returns [None] only when every block
          is structurally empty (filled = 0 everywhere), which implies every
          item was dead, because [filled] is only ever decremented past dead
-         items. *)
+         items.  Comparisons stream the flat [keys] arrays; the boxed item
+         is read once, at the end. *)
       let block_minima_fallback () =
         let best = ref None in
+        let best_key = ref max_int in
         for i = 0 to n - 1 do
-          match Block.last_item t.blocks.(i) with
-          | None -> ()
-          | Some it -> (
-              match !best with
-              | Some b when Item.key b <= Item.key it -> ()
-              | _ -> best := Some it)
+          let b = t.blocks.(i) in
+          let f = Block.filled b in
+          if f > 0 then begin
+            let key = b.Block.keys.(f - 1) in
+            if Option.is_none !best || key < !best_key then begin
+              (* [keys.(f-1)] and [items.(f-1)] are read at the same index,
+                 so the pair stays consistent even while [filled] shrinks. *)
+              best := Some b.Block.items.(f - 1);
+              best_key := key
+            end
+          end
         done;
         !best
       in
@@ -168,7 +267,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           let r = ref (Xoshiro.int rng !total) in
           let chosen = ref None in
           let i = ref 0 in
-          while !chosen = None && !i < n do
+          while Option.is_none !chosen && !i < n do
             let b = t.blocks.(!i) in
             let filled = Block.filled b in
             let range = filled - t.pivots.(!i) in
@@ -197,18 +296,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         end
       in
       (* Local ordering: consider the minimum of every block that may hold
-         one of my own items. *)
+         one of my own items.  The running best's key is tracked as a raw
+         int so the loop never compares options structurally. *)
       let best = ref random_choice in
+      let best_key =
+        ref (match random_choice with Some it -> Item.key it | None -> max_int)
+      in
       for i = 0 to n - 1 do
         let b = t.blocks.(i) in
         if local_ordering && Bloom.may_contain ~hasher (Block.filter b) my_tid
         then begin
           match Block.peek_min ~alive b with
           | None -> ()
-          | Some it -> (
-              match !best with
-              | Some cur when Item.key cur <= Item.key it -> ()
-              | _ -> best := Some it)
+          | Some it ->
+              let key = Item.key it in
+              if Option.is_none !best || key < !best_key then begin
+                best := Some it;
+                best_key := key
+              end
         end
       done;
       !best

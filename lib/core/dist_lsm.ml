@@ -52,9 +52,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     filter : Bloom.t;  (** singleton filter stamped on created blocks *)
     alive : 'v Item.t -> bool;
     obs : Obs.handle;  (** the owning thread's observability shard *)
+    pool : 'v Block.Pool.t;
+        (** the owning thread's block pool (§4.4 reuse); may be shared with
+            the same thread's other components ({!Klsm.register}) *)
   }
 
-  let create ?(obs = Obs.null_handle) ~tid ~hasher ~alive () =
+  let create ?(obs = Obs.null_handle) ?pool ~tid ~hasher ~alive () =
+    let pool =
+      match pool with Some p -> p | None -> Block.Pool.create ~obs ()
+    in
     {
       blocks = Array.init max_levels (fun _ -> B.make None);
       size = B.make 0;
@@ -62,6 +68,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       filter = Bloom.singleton ~hasher tid;
       alive;
       obs;
+      pool;
     }
 
   let tid t = t.tid
@@ -91,7 +98,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       until the merged block replaces them. *)
   let insert t item ~max_level ~spill =
     let alive = t.alive in
-    let b = ref (Block.singleton ~filter:t.filter item) in
+    let pool = t.pool in
+    let b = ref (Block.singleton ~pool ~filter:t.filter item) in
     let i = ref (B.get t.size) in
     let continue_merge = ref true in
     while !continue_merge && !i > 0 do
@@ -100,20 +108,26 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | Some prev ->
           if Block.level prev <= Block.level !b then begin
             Obs.incr t.obs c_merge;
-            b := Block.shrink ~alive (Block.merge ~alive prev !b);
+            (* [merge] retires the private cascade intermediate [!b] into
+               the pool; [prev] is published and stays untouched. *)
+            b := Block.shrink ~pool ~alive (Block.merge ~pool ~alive prev !b);
             decr i
           end
           else continue_merge := false
     done;
-    if Block.is_empty !b then
+    if Block.is_empty !b then begin
       (* Everything merged away (all items dead): just drop the blocks we
-         consumed. *)
+         consumed.  The never-published merge result goes back to the
+         pool. *)
+      Block.retire ~pool !b;
       B.set t.size !i
+    end
     else if Block.level !b > max_level then begin
       (* Spill: hand the merged block to the shared component FIRST so its
          items never become unreachable, then forget the consumed blocks. *)
       Obs.incr t.obs c_spill;
       Obs.add t.obs c_spill_items (Block.filled !b);
+      Block.publish !b;
       spill !b;
       B.fault_point "dist.insert.spill";
       B.set t.size !i
@@ -122,6 +136,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       (* Deliberately wrong order (teeth check, see the flag above): a crash
          at the fault point strands the consumed blocks' items in slots the
          shrunken [size] no longer covers. *)
+      Block.publish !b;
       B.set t.size (!i + 1);
       B.fault_point "dist.insert.pre_size";
       B.set t.blocks.(!i) (Some !b)
@@ -129,6 +144,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     else begin
       (* Publish the merged block, then shrink [size]: redundant old blocks
          only become unreachable after the replacement is visible. *)
+      Block.publish !b;
       B.set t.blocks.(!i) (Some !b);
       B.fault_point "dist.insert.pre_size";
       B.set t.size (!i + 1)
@@ -140,17 +156,23 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let find_min t =
     let alive = t.alive in
     let n = B.get t.size in
+    (* Track the running best's key as a raw int: the loop never compares
+       options structurally (polymorphic compare was the old hot-loop
+       cost). *)
     let best = ref None in
+    let best_key = ref max_int in
     for i = 0 to n - 1 do
       match B.get t.blocks.(i) with
       | None -> ()
       | Some b -> (
           match Block.peek_min ~alive b with
           | None -> ()
-          | Some it -> (
-              match !best with
-              | Some cur when Item.key cur <= Item.key it -> ()
-              | _ -> best := Some it))
+          | Some it ->
+              let key = Item.key it in
+              if Option.is_none !best || key < !best_key then begin
+                best := Some it;
+                best_key := key
+              end)
     done;
     !best
 
@@ -163,6 +185,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     Obs.incr t.obs c_consolidate;
     let t0 = Obs.span_begin t.obs in
     let alive = t.alive in
+    let pool = t.pool in
     let n = B.get t.size in
     let survivors = ref [] in
     for i = n - 1 downto 0 do
@@ -171,13 +194,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | Some b -> survivors := b :: !survivors
     done;
     (* [survivors] is largest level first; fold with a stack whose head is
-       the smallest level so far, merging level collisions upward. *)
+       the smallest level so far, merging level collisions upward.  All
+       stack blocks are private rebuilt copies, so the cascade's merges
+       recycle their inputs through the pool. *)
     let rec go stack b =
-      if Block.is_empty b then stack
+      if Block.is_empty b then begin
+        Block.retire ~pool b;
+        stack
+      end
       else
         match stack with
         | top :: rest when Block.level top <= Block.level b ->
-            go rest (Block.shrink ~alive (Block.merge ~alive top b))
+            go rest (Block.shrink ~pool ~alive (Block.merge ~pool ~alive top b))
         | _ -> b :: stack
     in
     let stack =
@@ -185,14 +213,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (fun stack b ->
           (* Copy first: unlike [shrink], a copy filters dead items out of
              the middle of the block too, so consolidate is a full
-             cleanup. *)
-          let b = Block.shrink ~alive (Block.copy ~alive b (Block.level b)) in
+             cleanup.  The published original is never recycled. *)
+          let b =
+            Block.shrink ~pool ~alive
+              (Block.copy ~pool ~alive b (Block.level b))
+          in
           go stack b)
         [] !survivors
     in
     let arr = Array.of_list (List.rev stack) in
     let m = Array.length arr in
     for i = 0 to m - 1 do
+      Block.publish arr.(i);
       B.set t.blocks.(i) (Some arr.(i))
     done;
     B.fault_point "dist.consolidate.pre_size";
@@ -240,9 +272,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             | None -> false
           in
           if ok then begin
-            let copy = Block.copy ~alive b lvl in
-            let copy = Block.shrink ~alive copy in
-            if not (Block.is_empty copy) then begin
+            (* Copies draw from the spying thread's own pool ([t] is ours;
+               [victim] is only read). *)
+            let copy = Block.copy ~pool:t.pool ~alive b lvl in
+            let copy = Block.shrink ~pool:t.pool ~alive copy in
+            if Block.is_empty copy then Block.retire ~pool:t.pool copy
+            else begin
+              Block.publish copy;
               B.set t.blocks.(!n) (Some copy);
               incr n;
               B.set t.size !n;

@@ -54,6 +54,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     shared_h : 'v Shared_klsm.handle;
     rng : Xoshiro.t;
     obs : Obs.handle;
+    pool : 'v Block.Pool.t;
+        (** this thread's block pool, shared by [dist] and [shared_h] so
+            blocks retired on either path feed both (§4.4 reuse) *)
   }
 
   let create_with ?(seed = 1) ?(k = 256) ?should_delete ?on_lazy_delete
@@ -102,16 +105,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if tid < 0 || tid >= t.num_threads then invalid_arg "Klsm.register: tid";
     let rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) in
     let obs = Obs.handle t.obs ~tid in
-    let dist = Dist_lsm.create ~obs ~tid ~hasher:t.hasher ~alive:t.alive () in
+    let pool = Block.Pool.create ~obs () in
+    let dist =
+      Dist_lsm.create ~obs ~pool ~tid ~hasher:t.hasher ~alive:t.alive ()
+    in
     B.set t.dists.(tid) (Some dist);
     {
       t;
       tid;
       dist;
       shared_h =
-        Shared_klsm.register ~obs t.shared ~tid ~rng:(Xoshiro.split rng);
+        Shared_klsm.register ~obs ~pool t.shared ~tid ~rng:(Xoshiro.split rng);
       rng;
       obs;
+      pool;
     }
 
   (** Insert a key (§4.3): a fresh item goes into the thread-local LSM; if
@@ -151,7 +158,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (* Blocks store keys in descending order. *)
         Array.sort (fun a b -> compare (Item.key b) (Item.key a)) items;
         let level = Klsm_primitives.Bits.ceil_log2 n in
-        let block = Block.create_with_exemplar level items.(0) in
+        let block = Block.create_with_exemplar ~pool:h.pool level items.(0) in
         block.Block.filter <-
           Klsm_primitives.Bloom.singleton ~hasher:h.t.hasher h.tid;
         Array.iter (fun it -> Block.append ~alive:h.t.alive block it) items;

@@ -40,7 +40,12 @@ module type S = sig
       the k-LSM does) linearize the whole batch as one shared-component
       update, which is how batching layers above the queue (the submitter
       in [lib/sched]) amortize the shared hot spot.  Queues without a bulk
-      path fall back to an element-by-element loop. *)
+      path fall back to an element-by-element loop.
+
+      [pairs] is {e borrowed} for the duration of the call: implementations
+      must not retain a reference to it after returning (they may read it
+      freely while the call runs).  This lets callers flush a reusable
+      thread-local buffer without copying it per batch. *)
 
   val stats : 'v t -> Klsm_obs.Obs.snapshot
   (** Type-erased snapshot of the queue's internal event counters and span

@@ -107,7 +107,17 @@ let normalize blocks =
 
 let insert t key value =
   if key < 0 then invalid_arg "Seq_lsm.insert: negative key";
-  t.blocks <- normalize (singleton_block key value :: t.blocks);
+  (* [t.blocks] already satisfies the level invariant, so the general
+     filter/fit/sort pipeline of [normalize] is overkill for one level-0
+     arrival: cascade the new block directly up the (reversed,
+     smallest-level-first) list, merging while levels collide — §3's merge
+     cascade with no sorting and no per-block re-fitting. *)
+  let rec cascade b = function
+    | top :: rest when top.level <= b.level ->
+        cascade (fit_level (merge_blocks top b)) rest
+    | rest -> b :: rest
+  in
+  t.blocks <- List.rev (cascade (singleton_block key value) (List.rev t.blocks));
   t.size <- t.size + 1
 
 (** Minimal key and its value, without removal; O(#blocks). *)

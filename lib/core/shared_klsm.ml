@@ -47,6 +47,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     tid : int;
     rng : Xoshiro.t;
     obs : Obs.handle;
+    pool : 'v Block.Pool.t;
+        (** this thread's block pool (§4.4 reuse); recycles the private
+            merge intermediates built inside snapshots *)
+    scratch : 'v Block_array.Scratch.t;
+        (** this thread's normalize/pivot scratch buffers *)
     mutable observed : 'v Block_array.t option;
     mutable snapshot : 'v Block_array.t option;
   }
@@ -63,8 +68,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     if k < 0 then invalid_arg "Shared_klsm.set_k: k < 0";
     B.set t.k k
 
-  let register ?(obs = Obs.null_handle) q ~tid ~rng =
-    { q; tid; rng; obs; observed = None; snapshot = None }
+  let register ?(obs = Obs.null_handle) ?pool q ~tid ~rng =
+    let pool =
+      match pool with Some p -> p | None -> Block.Pool.create ~obs ()
+    in
+    {
+      q;
+      tid;
+      rng;
+      obs;
+      pool;
+      scratch = Block_array.Scratch.create ();
+      observed = None;
+      snapshot = None;
+    }
 
   (* Take a fresh consistent snapshot of the shared array. *)
   let refresh_snapshot h =
@@ -73,8 +90,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     h.snapshot <- Option.map Block_array.copy observed
 
   (* Install the (modified) snapshot; fails iff [shared] moved since the
-     snapshot was taken — i.e. iff someone else made progress. *)
+     snapshot was taken — i.e. iff someone else made progress.  Every block
+     of the candidate is marked published BEFORE the CAS: the moment the
+     CAS may succeed, another thread can reach them, so they must already
+     be barred from recycling.  On failure they stay published — a missed
+     recycle, never an aliased one. *)
   let push_snapshot h next =
+    (match next with
+    | Some arr -> Array.iter Block.publish (Block_array.blocks arr)
+    | None -> ());
     Obs.incr h.obs c_cas;
     B.fault_point "shared.push_snapshot.before";
     let ok = B.compare_and_set h.q.shared h.observed next in
@@ -88,6 +112,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let insert h block =
     let alive = h.q.alive in
     let t0 = Obs.span_begin h.obs in
+    (* Pin the incoming block: the retry loop feeds it into [normalize]
+       once per attempt, so it must survive every attempt — publishing it
+       up front bars the merge cascade from retiring it. *)
+    Block.publish block;
     let rec attempt retry =
       if retry then Obs.incr h.obs c_insert_retry;
       refresh_snapshot h;
@@ -96,9 +124,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         | Some s -> s
         | None -> Block_array.empty ()
       in
-      Block_array.insert ~alive snap block;
+      Block_array.insert ~pool:h.pool ~scratch:h.scratch ~alive snap block;
       Obs.incr h.obs c_pivots;
-      Block_array.calculate_pivots snap ~k:(B.get h.q.k);
+      Block_array.calculate_pivots ~scratch:h.scratch snap ~k:(B.get h.q.k);
       (* On success [observed] is left stale on purpose: the pushed array is
          now shared and immutable, so the next operation must take a fresh
          private copy (the [shared != observed] check forces it). *)
@@ -131,7 +159,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                  structurally empty.  Re-verify before publishing emptiness:
                  racing [filled] updates must never cause live items to be
                  disconnected by an over-eager [None] push. *)
-              if h.observed <> None then begin
+              if Option.is_some h.observed then begin
                 if Block_array.total_filled snap = 0 then begin
                   Obs.incr h.obs c_empty_publish;
                   ignore (push_snapshot h None);
@@ -140,18 +168,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 else begin
                   (* Stale view: rebuild and retry. *)
                   Obs.incr h.obs c_consolidate;
-                  ignore (Block_array.consolidate ~alive snap);
+                  ignore
+                    (Block_array.consolidate ~pool:h.pool ~scratch:h.scratch
+                       ~alive snap);
                   Obs.incr h.obs c_pivots;
-                  Block_array.calculate_pivots snap ~k:(B.get h.q.k)
+                  Block_array.calculate_pivots ~scratch:h.scratch snap
+                    ~k:(B.get h.q.k)
                 end
               end;
-              if h.snapshot = None then None else loop ()
+              if Option.is_none h.snapshot then None else loop ()
           | Some item ->
               if alive item then Some item
               else begin
                 (* Deleted minimum: clean up, publish if we restructured. *)
                 Obs.incr h.obs c_consolidate;
-                let push = Block_array.consolidate ~alive snap in
+                let push =
+                  Block_array.consolidate ~pool:h.pool ~scratch:h.scratch
+                    ~alive snap
+                in
                 if Block_array.is_empty snap then begin
                   (* Whether or not our CAS wins, someone published a newer
                      state; re-snapshot either way. *)
@@ -161,7 +195,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 end
                 else begin
                   Obs.incr h.obs c_pivots;
-                  Block_array.calculate_pivots snap ~k:(B.get h.q.k);
+                  Block_array.calculate_pivots ~scratch:h.scratch snap
+                    ~k:(B.get h.q.k);
                   if push then begin
                     (* As in [insert]: a successfully pushed snapshot is
                        shared from now on, so leave [observed] stale and let

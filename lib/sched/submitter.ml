@@ -67,10 +67,16 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let pending t = t.len
   let inflight t = B.get t.inflight
 
-  (** Publish the buffered tasks to the queue as one batch. *)
+  (** Publish the buffered tasks to the queue as one batch.  A full buffer
+      — the steady-state flush — is passed to [enqueue_batch] directly
+      instead of being copied: {!Klsm_core.Pq_intf.S.insert_batch} borrows
+      the array only for the duration of the call, and this thread (the
+      buffer's single owner) does not refill it until the call returns. *)
   let flush t =
     if t.len > 0 then begin
-      let pairs = Array.sub t.buf 0 t.len in
+      let pairs =
+        if t.len = Array.length t.buf then t.buf else Array.sub t.buf 0 t.len
+      in
       t.len <- 0;
       t.buf_min <- max_int;
       t.flushes <- t.flushes + 1;

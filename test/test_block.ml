@@ -202,6 +202,98 @@ let test_shrink_empty () =
   let s = Block.shrink ~alive b in
   check_bool "empty" true (Block.is_empty s)
 
+(* ---------------- SoA keys mirror ---------------- *)
+
+(* [keys.(i) = Item.key items.(i)] for every i < filled, across every
+   constructor and mutator.  check_invariants asserts this too; here the
+   property is spelled out directly so a mirror regression fails with a
+   named test rather than only inside other tests' invariant calls. *)
+let mirror_in_sync b =
+  let f = Block.filled b in
+  let ok = ref true in
+  for i = 0 to f - 1 do
+    if b.Block.keys.(i) <> Item.key b.Block.items.(i) then ok := false
+  done;
+  !ok
+
+let prop_soa_mirror =
+  qtest "keys array mirrors item keys through append/merge/shrink"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 120) (int_bound 1000))
+        (list_size (int_range 1 120) (int_bound 1000))
+        (list_size (int_bound 240) bool))
+    (fun (k1, k2, kill_mask) ->
+      let b1 = block_of_keys k1 and b2 = block_of_keys k2 in
+      let m = Block.merge ~alive b1 b2 in
+      let i = ref 0 in
+      Block.iter m ~f:(fun it ->
+          if List.nth_opt kill_mask !i = Some true then ignore (Item.take it);
+          incr i);
+      let s = Block.shrink ~alive m in
+      mirror_in_sync b1 && mirror_in_sync b2 && mirror_in_sync m
+      && mirror_in_sync s)
+
+let test_mirror_checked_by_invariants () =
+  let b = block_of_keys [ 9; 4; 1 ] in
+  b.Block.keys.(1) <- 777 (* corrupt the mirror *);
+  check_bool "check_invariants catches desync" true
+    (try
+       Block.check_invariants b;
+       false
+     with _ -> true)
+
+(* ---------------- block pool ---------------- *)
+
+let test_pool_merge_retires_private_inputs () =
+  let pool = Block.Pool.create () in
+  let b1 = block_of_keys [ 1; 3 ] and b2 = block_of_keys [ 2; 4 ] in
+  let m = Block.merge ~pool ~alive b1 b2 in
+  check_bool "input 1 retired" true (Block.state b1 = Block.Retired);
+  check_bool "input 2 retired" true (Block.state b2 = Block.Retired);
+  check_bool "result private" true (Block.state m = Block.Private);
+  check_list_int "merge content intact" [ 4; 3; 2; 1 ] (keys_of_block m)
+
+let test_pool_physically_reuses_retired_block () =
+  let pool = Block.Pool.create () in
+  let b = Block.singleton ~filter:Bloom.empty (Item.make 7 ()) in
+  Block.retire ~pool b;
+  let c = Block.singleton ~pool ~filter:Bloom.empty (Item.make 42 ()) in
+  check_bool "same record recycled" true (b == c);
+  check_bool "reacquired as private" true (Block.state c = Block.Private);
+  check_int "reset and refilled" 1 (Block.filled c);
+  check_list_int "new content" [ 42 ] (keys_of_block c);
+  check_bool "mirror in sync after reuse" true (mirror_in_sync c)
+
+let test_pool_never_recycles_published () =
+  let pool = Block.Pool.create () in
+  let b = Block.singleton ~filter:Bloom.empty (Item.make 7 ()) in
+  Block.publish b;
+  Block.retire ~pool b (* must be a no-op *);
+  check_bool "still published" true (Block.state b = Block.Published);
+  let c = Block.singleton ~pool ~filter:Bloom.empty (Item.make 8 ()) in
+  check_bool "fresh allocation, not the published block" true (not (b == c))
+
+let test_pool_retired_block_fails_invariants () =
+  let pool = Block.Pool.create () in
+  let b = block_of_keys [ 5; 2 ] in
+  Block.retire ~pool b;
+  check_bool "retired block unreachable from live structures" true
+    (try
+       Block.check_invariants b;
+       false
+     with _ -> true)
+
+let test_pool_publish_after_retire_fails () =
+  let pool = Block.Pool.create () in
+  let b = block_of_keys [ 5; 2 ] in
+  Block.retire ~pool b;
+  check_bool "resurfacing a retired block fails loudly" true
+    (try
+       Block.publish b;
+       false
+     with Failure _ -> true)
+
 (* ---------------- lazy-deletion alive predicates ---------------- *)
 
 let test_custom_alive_predicate () =
@@ -243,6 +335,25 @@ let () =
           Alcotest.test_case "mid-block filtering" `Quick test_shrink_filters_mid_block;
           prop_shrink_preserves_alive;
           Alcotest.test_case "to empty" `Quick test_shrink_empty;
+        ] );
+      ( "soa-mirror",
+        [
+          prop_soa_mirror;
+          Alcotest.test_case "invariants catch desync" `Quick
+            test_mirror_checked_by_invariants;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "merge retires private inputs" `Quick
+            test_pool_merge_retires_private_inputs;
+          Alcotest.test_case "physical reuse" `Quick
+            test_pool_physically_reuses_retired_block;
+          Alcotest.test_case "published never recycled" `Quick
+            test_pool_never_recycles_published;
+          Alcotest.test_case "retired fails invariants" `Quick
+            test_pool_retired_block_fails_invariants;
+          Alcotest.test_case "publish after retire fails" `Quick
+            test_pool_publish_after_retire_fails;
         ] );
       ( "lazy-deletion",
         [ Alcotest.test_case "custom alive" `Quick test_custom_alive_predicate ]

@@ -88,6 +88,54 @@ let test_copy_is_shallow_consistent () =
   check_bool "same blocks" true
     (Array.for_all2 ( == ) (Block_array.blocks t) (Block_array.blocks c))
 
+(* ---------------- pooled / scratch operation ---------------- *)
+
+(* Running the same inserts through a pool + scratch must be observationally
+   identical to the allocation-per-call path: same invariants, same key
+   multiset, and no recycled array aliased by a block still in the array. *)
+let prop_pooled_insert_equivalent =
+  qtest "pooled insert/consolidate = unpooled" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 15)
+        (list_size (int_range 1 40) (int_bound 1000)))
+    (fun lists ->
+      let plain = array_of_key_lists lists in
+      let pool = Block.Pool.create () in
+      let scratch = Block_array.Scratch.create () in
+      let pooled = Block_array.empty () in
+      List.iter
+        (fun keys ->
+          Block_array.insert ~pool ~scratch ~alive pooled (block_of_keys keys))
+        lists;
+      Block_array.check_invariants pooled;
+      (* No block reachable from the array may sit in the pool's freelists. *)
+      Array.iter
+        (fun live ->
+          Array.iter
+            (fun free ->
+              if List.exists (fun pb -> pb == live) free then
+                Alcotest.fail "pooled block aliased by the live array")
+            pool.Block.Pool.slots)
+        (Block_array.blocks pooled);
+      List.sort compare (all_keys pooled) = List.sort compare (all_keys plain))
+
+let test_pooled_consolidate_drops_taken () =
+  let pool = Block.Pool.create () in
+  let scratch = Block_array.Scratch.create () in
+  let t = Block_array.empty () in
+  List.iter
+    (fun keys ->
+      Block_array.insert ~pool ~scratch ~alive t (block_of_keys keys))
+    [ [ 1; 2; 3; 4 ]; [ 5; 6 ] ];
+  Array.iter
+    (fun b ->
+      Block.iter b ~f:(fun it ->
+          if Item.key it mod 2 = 0 then ignore (Item.take it)))
+    (Block_array.blocks t);
+  ignore (Block_array.consolidate ~pool ~scratch ~alive t);
+  Block_array.check_invariants t;
+  check_list_int "odds remain" [ 1; 3; 5 ] (List.sort compare (alive_keys t))
+
 (* ---------------- pivots ---------------- *)
 
 (* The candidate ranges [pivots.(i), filled) must (a) contain at most k+1
@@ -128,6 +176,16 @@ let test_pivots_exhausted_small_array () =
   Block_array.calculate_pivots t ~k:100;
   (* Everything is a candidate. *)
   check_int "pivot 0" 0 t.Block_array.pivots.(0)
+
+let test_pivots_array_reused_in_place () =
+  (* When the block count is unchanged, recomputing pivots must write into
+     the existing array instead of allocating a fresh one (the per-round
+     allocation the scratch refactor removes). *)
+  let t = array_of_key_lists [ [ 1; 2; 3; 4 ]; [ 5; 6 ] ] in
+  Block_array.calculate_pivots t ~k:2;
+  let p0 = t.Block_array.pivots in
+  Block_array.calculate_pivots t ~k:4;
+  check_bool "pivot array physically reused" true (t.Block_array.pivots == p0)
 
 (* ---------------- find_min ---------------- *)
 
@@ -250,10 +308,18 @@ let () =
           Alcotest.test_case "consolidate to empty" `Quick test_consolidate_empties;
           Alcotest.test_case "copy shallow" `Quick test_copy_is_shallow_consistent;
         ] );
+      ( "pool/scratch",
+        [
+          prop_pooled_insert_equivalent;
+          Alcotest.test_case "pooled consolidate drops taken" `Quick
+            test_pooled_consolidate_drops_taken;
+        ] );
       ( "pivots",
         [
           prop_pivots_select_k_smallest;
           Alcotest.test_case "small array" `Quick test_pivots_exhausted_small_array;
+          Alcotest.test_case "pivot array reuse" `Quick
+            test_pivots_array_reused_in_place;
         ] );
       ( "find_min",
         [
