@@ -4,8 +4,8 @@
    Run everything (scaled-down defaults, a few minutes):
        dune exec bench/main.exe
    Run one section:
-       dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality | sched |
-                                   stats | chaos |
+       dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality | sharded |
+                                   sched | stats | chaos |
                                    ablation-spill | ablation-bloom |
                                    ablation-cost | ablation-workload |
                                    bnb | micro
@@ -214,6 +214,7 @@ let quality () =
       R.Klsm 64;
       R.Klsm 256;
       R.Klsm 4096;
+      R.Klsm_sharded (256, 4);
       R.Dlsm;
       R.Wimmer_hybrid 256;
     ]
@@ -228,6 +229,9 @@ let quality () =
   let rho_of spec =
     match spec with
     | R.Klsm k | R.Wimmer_hybrid k -> Some (t * k)
+    | R.Klsm_sharded (k, s) ->
+        (* Partitioned bound, DESIGN.md §12. *)
+        Some ((t + s) * ((k + s - 1) / s))
     | R.Heap_lock | R.Linden | R.Wimmer_centralized -> Some 0
     | R.Multiq _ | R.Spraylist | R.Dlsm -> None
   in
@@ -277,6 +281,80 @@ let quality () =
                 measured) );
        ]);
   Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Sharded: the shard-dimension sweep (contention striping)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput and rank error of the contention-striped composition
+   (lib/core/sharded_klsm.ml) against the single-stripe k-LSM at the same
+   global relaxation budget k = 256: S = 1 is the baseline, S in {2, 4}
+   trades snapshot-CAS contention for the extra stripes consulted by
+   find_min.  The rank-error column checks the cost side of the trade:
+   the measured max must stay within the partitioned bound
+   rho <= (T+S) * ceil(k/S) (DESIGN.md §12). *)
+let sharded () =
+  let k = 256 in
+  let threads = [ 1; 2; 4; 8 ] in
+  let specs =
+    [ R.Klsm k; R.Klsm_sharded (k, 2); R.Klsm_sharded (k, 4) ]
+  in
+  let shards_of = function R.Klsm_sharded (_, s) -> s | _ -> 1 in
+  let measured =
+    List.map
+      (fun spec ->
+        ( spec,
+          List.map
+            (fun t ->
+              let config =
+                {
+                  T.default_config with
+                  num_threads = t;
+                  prefill = 8_000;
+                  ops_per_thread = max 500 (16_000 / t);
+                }
+              in
+              let r = T.run config spec in
+              (t, r.T.throughput_per_thread))
+            threads ))
+      specs
+  in
+  let rows =
+    List.map
+      (fun (spec, points) ->
+        R.spec_name spec
+        :: List.map (fun (_, thr) -> Report.human_float thr) points)
+      measured
+  in
+  Report.section
+    (Printf.sprintf
+       "Sharded: throughput/thread/s vs shard count, k=%d, 50-50 mix (sim)" k)
+    ;
+  Report.table
+    ~header:("impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads)
+    rows;
+  (* Rank error at T=8 for the same three configurations. *)
+  let t = 8 in
+  let qrows =
+    List.map
+      (fun spec ->
+        let r = Q.run { Q.default_config with num_threads = t } spec in
+        let s = shards_of spec in
+        let rho = (t + s) * ((k + s - 1) / s) in
+        [
+          R.spec_name spec;
+          string_of_int r.Q.deletes;
+          Printf.sprintf "%.2f" r.Q.mean_rank_error;
+          string_of_int r.Q.max_rank_error;
+          string_of_int rho;
+        ])
+      specs
+  in
+  Report.section
+    (Printf.sprintf "Sharded: rank error at T=%d (sim)" t);
+  Report.table
+    ~header:[ "impl"; "deletes"; "mean"; "max"; "rho = (T+S)*ceil(k/S)" ]
+    qrows
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler: queues as scheduling backbones (lib/sched)               *)
@@ -720,6 +798,7 @@ let stats_section () =
   let specs =
     R.figure3_specs
     @ List.filter (fun s -> not (List.mem s R.figure3_specs)) R.figure4_specs
+    @ [ R.Klsm_sharded (256, 4) ]
   in
   let measured = List.map (fun spec -> (spec, T.run config spec)) specs in
   Report.section
@@ -799,6 +878,7 @@ let sections =
     ("fig4a", fig4a);
     ("fig4b", fig4b);
     ("quality", quality);
+    ("sharded", sharded);
     ("sched", sched);
     ("stats", stats_section);
     ("chaos", chaos_section);

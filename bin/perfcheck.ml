@@ -27,6 +27,13 @@ module Obs = Klsm_obs.Obs
    merge/copy/pivot kernels are charging materially more work per op. *)
 let sim_tick_budget = 390_000
 
+(* Same workload through the contention-striped composition
+   (klsm-sharded:256:4), measured at 84_757 ticks when the gate was
+   introduced — well under the single-stripe figure because the hint
+   fast paths skip most snapshot copies and per-stripe arrays are a
+   quarter the size.  The budget again leaves ~20% headroom. *)
+let sharded_sim_tick_budget = 102_000
+
 let counter_total snapshot name =
   match List.assoc_opt name snapshot.Obs.counters with
   | Some per_thread -> Array.fold_left ( + ) 0 per_thread
@@ -66,7 +73,9 @@ let real_section () =
   Report.Obj
     [
       ("backend", Report.String "real");
+      ("impl", Report.String "klsm(256)");
       ("threads", Report.Int threads);
+      ("shards", Report.Int 1);
       ("prefill", Report.Int config.T.prefill);
       ("ops_per_thread", Report.Int config.T.ops_per_thread);
       ("ops_per_sec", Report.Float ops_per_sec);
@@ -75,6 +84,62 @@ let real_section () =
       ("pool_misses", Report.Int misses);
       ("pool_hit_rate", Report.Float hit_rate);
       ("pool_bytes_avoided", Report.Int bytes);
+    ]
+
+(* Sharded-vs-unsharded on the Real backend (ISSUE 5 acceptance bar): the
+   striped composition must not cost throughput — klsm-sharded:256:4 has
+   to land within 5% of klsm:256 on the same 8-thread workload.  Wall
+   clock on shared CI is noisy, so both sides take the best of [reps]
+   runs before comparing. *)
+let real_sharded_section () =
+  let module T = Klsm_harness.Throughput.Make (Real) in
+  let module R = Klsm_harness.Registry.Make (Real) in
+  let threads = 8 and shards = 4 in
+  let parse s =
+    match R.parse_spec s with Ok s -> s | Error m -> failwith m
+  in
+  let config =
+    {
+      T.default_config with
+      num_threads = threads;
+      prefill = 50_000;
+      ops_per_thread = 25_000;
+      seed = 42;
+    }
+  in
+  let reps = 3 in
+  let best spec =
+    let samples = T.run_reps ~reps config spec in
+    Array.fold_left
+      (fun acc per_thread -> Float.max acc (per_thread *. float_of_int threads))
+      0.0 samples
+  in
+  let unsharded = best (parse "klsm:256") in
+  let sharded = best (parse "klsm-sharded:256:4") in
+  let floor = 0.95 *. unsharded in
+  Printf.printf
+    "perf-check real sharded: %.0f ops/s best-of-%d (S=%d, %d threads) vs \
+     unsharded %.0f ops/s (floor %.0f)\n%!"
+    sharded reps shards threads unsharded floor;
+  if sharded < floor then begin
+    Printf.eprintf
+      "perf-check FAILED: sharded throughput %.0f ops/s fell more than 5%% \
+       below unsharded %.0f ops/s\n%!"
+      sharded unsharded;
+    exit 1
+  end;
+  Report.Obj
+    [
+      ("backend", Report.String "real");
+      ("impl", Report.String "klsm-sharded(256,4)");
+      ("threads", Report.Int threads);
+      ("shards", Report.Int shards);
+      ("prefill", Report.Int config.T.prefill);
+      ("ops_per_thread", Report.Int config.T.ops_per_thread);
+      ("reps", Report.Int reps);
+      ("ops_per_sec_best", Report.Float sharded);
+      ("unsharded_ops_per_sec", Report.Float unsharded);
+      ("floor_ops_per_sec", Report.Float floor);
     ]
 
 let sim_section () =
@@ -111,7 +176,9 @@ let sim_section () =
   Report.Obj
     [
       ("backend", Report.String "sim");
+      ("impl", Report.String "klsm(256)");
       ("threads", Report.Int config.T.num_threads);
+      ("shards", Report.Int 1);
       ("prefill", Report.Int config.T.prefill);
       ("ops_per_thread", Report.Int config.T.ops_per_thread);
       ("ticks", Report.Int ticks);
@@ -119,10 +186,59 @@ let sim_section () =
       ("makespan", Report.Float makespan);
     ]
 
+let sharded_sim_section () =
+  let module T = Klsm_harness.Throughput.Make (Sim) in
+  let module R = Klsm_harness.Registry.Make (Sim) in
+  Sim.configure ~seed:42 ~cost:Klsm_backend.Cost_model.default ();
+  let spec =
+    match R.parse_spec "klsm-sharded:256:4" with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let config =
+    {
+      T.default_config with
+      num_threads = 4;
+      prefill = 2_000;
+      ops_per_thread = 2_000;
+      seed = 42;
+    }
+  in
+  let r = T.run config spec in
+  let st = Sim.stats () in
+  let ticks = st.Sim.ticks in
+  let makespan = Sim.makespan () in
+  Printf.printf
+    "perf-check sim sharded: %d ticks (budget %d), makespan %.3f, %.0f \
+     ops/s-sim\n%!"
+    ticks sharded_sim_tick_budget makespan
+    (r.T.throughput_per_thread *. 4.0);
+  if ticks > sharded_sim_tick_budget then begin
+    Printf.eprintf
+      "perf-check FAILED: sharded sim tick count %d exceeds budget %d — the \
+       striped publish/race hot paths regressed\n%!"
+      ticks sharded_sim_tick_budget;
+    exit 1
+  end;
+  Report.Obj
+    [
+      ("backend", Report.String "sim");
+      ("impl", Report.String "klsm-sharded(256,4)");
+      ("threads", Report.Int config.T.num_threads);
+      ("shards", Report.Int 4);
+      ("prefill", Report.Int config.T.prefill);
+      ("ops_per_thread", Report.Int config.T.ops_per_thread);
+      ("ticks", Report.Int ticks);
+      ("tick_budget", Report.Int sharded_sim_tick_budget);
+      ("makespan", Report.Float makespan);
+    ]
+
 let () =
   Obs.set_enabled true;
   let real = real_section () in
+  let real_sharded = real_sharded_section () in
   let sim = sim_section () in
+  let sim_sharded = sharded_sim_section () in
   let path = "BENCH_throughput.json" in
   Report.write_json ~path
     (Report.Obj
@@ -130,6 +246,8 @@ let () =
          ("benchmark", Report.String "perf-check");
          ("metric", Report.String "ops_per_sec (real) / ticks (sim)");
          ("real", real);
+         ("real_sharded", real_sharded);
          ("sim", sim);
+         ("sim_sharded", sim_sharded);
        ]);
   Printf.printf "wrote %s\nperf-check OK\n%!" path

@@ -41,6 +41,9 @@ let run ~threads ~prefill ~ops ~impls ~seed ~csv =
         let rho =
           match spec with
           | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (threads * k)
+          | R.Klsm_sharded (k, s) ->
+              (* Partitioned bound, DESIGN.md §12: rho <= (T+S) * ceil(k/S). *)
+              string_of_int ((threads + s) * ((k + s - 1) / s))
           | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
           | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"
         in

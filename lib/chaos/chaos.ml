@@ -67,6 +67,8 @@ let sites =
     "dist.spy.block";
     "dist.consolidate.pre_size";
     "block_array.consolidate";
+    "sharded.spill.publish";
+    "sharded.migrate";
     "sched.execute.post_lease";
     "sched.execute.pre_complete";
   ]

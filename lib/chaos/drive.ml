@@ -31,11 +31,13 @@
 
 module Sim = Klsm_backend.Sim
 module K = Klsm_core.Klsm.Make (Sim)
+module SK = Klsm_core.Sharded_klsm.Make (Sim)
 module Dist_lsm = Klsm_core.Dist_lsm
 module Shared = K.Shared_klsm
 module Block_array = K.Block_array
 module CL = Klsm_sched.Closed_loop.Make (Sim)
 module Worker = CL.Worker
+module Obs = Klsm_obs.Obs
 module Oracle = Klsm_harness.Oracle
 module Report = Klsm_harness.Report
 module Xoshiro = Klsm_primitives.Xoshiro
@@ -213,6 +215,173 @@ let queue_case ~seed ~threads ~per_thread ~k plan =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Sharded queue case                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Conservation case for the contention-striped queue
+    ({!Klsm_core.Sharded_klsm}): same workload, oracle and acceptance bar
+    as {!queue_case}, but driving the S-stripe composition so the
+    stripe-publish and migration protocol steps sit under fault pressure —
+    crashes mid-stripe-publish ([sharded.spill.publish],
+    [shared.push_snapshot.before]) must not lose already-inserted items,
+    and CAS-failure storms on one stripe must only slow things down (and
+    trip the migration policy), never break conservation.  Structural
+    invariants are asserted per stripe. *)
+let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
+  Sim.configure ~seed ();
+  let plan_text = Chaos.plan_to_string plan in
+  (* Latch counters on for this queue's sheet so the report can show the
+     stripe-level fault response (CAS failures absorbed, migrations); the
+     sheet records without synchronization, so the schedule is unchanged. *)
+  let was_obs = Obs.enabled () in
+  Obs.set_enabled true;
+  let q = SK.create_with ~seed ~k ~shards ~num_threads:threads () in
+  Obs.set_enabled was_obs;
+  let handles = Array.make threads None in
+  let total = threads * per_thread in
+  let got = Array.make total 0 in
+  let submitted = Array.make total false in
+  let oracle = Oracle.create ~universe:key_range in
+  let oracle_violations = ref 0 in
+  let max_rank_error = ref 0 in
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Chaos.install plan;
+  (try
+     Sim.parallel_run ~num_threads:threads (fun tid ->
+         let h = SK.register q tid in
+         handles.(tid) <- Some h;
+         let rng = Xoshiro.create ~seed:(seed + (7919 * tid)) in
+         for i = 0 to per_thread - 1 do
+           let payload = (tid * per_thread) + i in
+           let key = Xoshiro.int rng key_range in
+           Oracle.insert oracle key;
+           SK.insert h key payload;
+           submitted.(payload) <- true;
+           if i land 1 = 1 then
+             match SK.try_delete_min h with
+             | None -> ()
+             | Some (dk, v) ->
+                 got.(v) <- got.(v) + 1;
+                 (match Oracle.delete oracle dk with
+                 | e -> if e > !max_rank_error then max_rank_error := e
+                 | exception Failure _ -> incr oracle_violations)
+         done)
+   with Sim.Thread_failure (tid, e) ->
+     violation "thread %d failed: %s" tid (Printexc.to_string e));
+  let faults = Chaos.stats () in
+  let crashed = Chaos.crashed_tids () in
+  Chaos.uninstall ();
+  let drained = ref 0 in
+  (match
+     Array.to_list handles
+     |> List.filteri (fun tid _ -> not (List.mem tid crashed))
+     |> List.find_map (fun h -> h)
+   with
+  | None -> violation "no surviving thread to drain with"
+  | Some h ->
+      let misses = ref 0 in
+      while !misses < 300 do
+        match SK.try_delete_min h with
+        | Some (dk, v) ->
+            incr drained;
+            got.(v) <- got.(v) + 1;
+            (match Oracle.delete oracle dk with
+            | e -> if e > !max_rank_error then max_rank_error := e
+            | exception Failure _ -> incr oracle_violations);
+            misses := 0
+        | None -> incr misses
+      done);
+  if !oracle_violations > 0 then
+    violation "oracle: %d deletes of absent keys" !oracle_violations;
+  let lost = ref 0 and dup = ref 0 in
+  for p = 0 to total - 1 do
+    if got.(p) > 1 then incr dup
+    else if got.(p) = 0 && submitted.(p) then incr lost
+  done;
+  if !lost > 0 then violation "%d payloads lost" !lost;
+  if !dup > 0 then violation "%d payloads delivered twice" !dup;
+  (* Structural invariants, per stripe. *)
+  Array.iteri
+    (fun i stripe ->
+      try
+        match SK.Shared_klsm.peek_shared stripe with
+        | None -> ()
+        | Some arr -> SK.Block_array.check_invariants arr
+      with Failure msg -> violation "stripe[%d] invariant: %s" i msg)
+    (SK.internal_stripes q);
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) -> (
+          try SK.Dist_lsm.check_invariants (SK.internal_dist h)
+          with Failure msg -> violation "dist[%d] invariant: %s" tid msg)
+      | _ -> ())
+    handles;
+  (* Pool-reuse safety across every stripe (DESIGN.md §11/§12). *)
+  let reachable = ref [] in
+  Array.iter
+    (fun stripe ->
+      match SK.Shared_klsm.peek_shared stripe with
+      | None -> ()
+      | Some arr ->
+          Array.iter (fun b -> reachable := b :: !reachable)
+            (SK.Block_array.blocks arr))
+    (SK.internal_stripes q);
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) ->
+          let d = SK.internal_dist h in
+          for i = 0 to SK.Dist_lsm.size d - 1 do
+            match SK.Dist_lsm.block_at d i with
+            | Some b -> reachable := b :: !reachable
+            | None -> ()
+          done
+      | _ -> ())
+    handles;
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when not (List.mem tid crashed) ->
+          Array.iteri
+            (fun lvl free ->
+              List.iter
+                (fun pb ->
+                  if List.exists (fun rb -> rb == pb) !reachable then
+                    violation
+                      "pool[%d] level-%d block aliased by a live structure"
+                      tid lvl)
+                free)
+            h.SK.pool.SK.Block.Pool.slots
+      | _ -> ())
+    handles;
+  let stats = SK.stats q in
+  let stat name =
+    match List.assoc_opt name stats.Obs.counters with
+    | Some per -> Array.fold_left ( + ) 0 per
+    | None -> 0
+  in
+  {
+    label = "shard";
+    seed;
+    plan_text;
+    cas_fails = faults.Chaos.cas_fails;
+    stalls = faults.Chaos.stalls;
+    crashes = faults.Chaos.crashes;
+    violations = List.rev !violations;
+    info =
+      [
+        ("items", total);
+        ("drained", !drained);
+        ("max_rank_error", !max_rank_error);
+        ("crashed_threads", List.length crashed);
+        ("stripe_cas_fail", stat "stripe.cas_fail");
+        ("stripe_migrate", stat "stripe.migrate");
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler-level case                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -323,28 +492,73 @@ let queue_sites =
     "block_array.consolidate";
   ]
 
+(* The sharded composition reaches every queue site plus its own two
+   (spill publish, home migration). *)
+let sharded_sites =
+  queue_sites @ [ "sharded.spill.publish"; "sharded.migrate" ]
+
 let sched_sites = Chaos.sites
 
 (** One deterministic plan per seed, alternating case kinds and cycling
     the primary fault kind (see {!Chaos.random_plan}); every third seed
-    adds a second rule so multi-fault runs are covered too. *)
+    adds a second rule so multi-fault runs are covered too.  Odd indices
+    stress the hardened scheduler; even indices alternate between the
+    plain combined queue and the contention-striped one. *)
 let case_for ~threads ~per_thread ~roots ~k i seed =
   let rng = Xoshiro.create ~seed:(seed * 31 + 17) in
   let sched = i mod 2 = 1 in
-  let sites = if sched then sched_sites else queue_sites in
+  let sharded = (not sched) && i mod 4 = 2 in
+  let sites =
+    if sched then sched_sites
+    else if sharded then sharded_sites
+    else queue_sites
+  in
   let rules = 1 + (if i mod 3 = 0 then 1 else 0) in
   let plan =
     Chaos.random_plan ~rng ~sites ~num_threads:threads ~rules i
   in
   if sched then sched_case ~seed ~threads ~roots plan
+  else if sharded then sharded_case ~seed ~threads ~per_thread ~k ~shards:2 plan
   else queue_case ~seed ~threads ~per_thread ~k plan
 
-(** Run [seeds] cases starting at [seed0]; the even cases stress the bare
-    queue, the odd ones the hardened scheduler. *)
+(** Fixed sharded-queue plans the ISSUE's acceptance bar names explicitly
+    (appended to every sweep so the gate always exercises them, whatever
+    the random site draw does):
+
+    - a crash in the middle of a stripe publish — after the blocks are
+      marked published, before/around the installing CAS;
+    - a CAS-failure storm concentrated on one stripe: [n] consecutive
+      arrivals at the home stripe's publish CAS are forced to fail, which
+      both stresses the retry loop and (past {!Klsm_core.Sharded_klsm}'s
+      migration threshold) forces a home-stripe migration under fire. *)
+let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
+  (* A storm aimed at one thread: its first [n] arrivals at the publish
+     CAS all fail, and (spills all target its home stripe) the home-stripe
+     failure streak crosses migrate_threshold = 8 with no intervening
+     success to reset it — a deterministic migration under fire. *)
+  let storm ?tid n site =
+    List.init n (fun i -> Chaos.rule ?tid ~hit:(i + 1) site Chaos.Cas_fail)
+  in
+  [
+    (* Crash a non-drainer thread mid-stripe-publish, both sides. *)
+    [ Chaos.rule ~tid:1 ~hit:2 "sharded.spill.publish" Chaos.Crash ];
+    [ Chaos.rule ~tid:2 ~hit:3 "shared.push_snapshot.before" Chaos.Crash ];
+    (* CAS storms: one concentrated on thread 1's stripe (must migrate),
+       one spread over everyone (must merely survive). *)
+    storm ~tid:1 12 "shared.push_snapshot.before";
+    storm 12 "shared.push_snapshot.before"
+    @ [ Chaos.rule ~tid:3 ~hit:1 "sharded.migrate" (Chaos.Stall 40) ];
+  ]
+  |> List.mapi (fun i plan ->
+         sharded_case ~seed:(seed0 + i) ~threads ~per_thread ~k ~shards plan)
+
+(** Run [seeds] random cases starting at [seed0] (queue / sharded-queue /
+    scheduler rotation), then the fixed sharded-queue plans. *)
 let sweep ?(seed0 = 0xC4A05) ?(threads = 4) ?(per_thread = 400) ?(roots = 60)
     ?(k = 8) ~seeds () =
   List.init seeds (fun i ->
       case_for ~threads ~per_thread ~roots ~k i (seed0 + i))
+  @ sharded_targeted ~threads ~per_thread ~k ~shards:2 ~seed0:(seed0 + seeds)
 
 (* ------------------------------------------------------------------ *)
 (* Teeth: the planted-bug check                                        *)

@@ -152,6 +152,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   let block_list t = Array.to_list t.blocks
 
+  (** Smallest stored key across all blocks, counting logically deleted
+      items ([max_int] when structurally empty).  Blocks keep keys in
+      decreasing order, so each block contributes [keys.(filled - 1)] in
+      O(1).  Because deletion is flag-based, this is a {e lower bound} on
+      the smallest alive key — the monotone-under-deletion property the
+      sharded component's per-stripe min hints rely on
+      ({!Sharded_klsm}). *)
+  let min_key t =
+    let n = size t in
+    let best = ref max_int in
+    for i = 0 to n - 1 do
+      let b = t.blocks.(i) in
+      let f = Block.filled b in
+      if f > 0 && b.Block.keys.(f - 1) < !best then
+        best := b.Block.keys.(f - 1)
+    done;
+    !best
+
   (** Insert a block, merging as needed to keep levels strictly
       decreasing. *)
   let insert ?pool ?scratch ~alive t block =

@@ -189,13 +189,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (* [from_shared] records which component supplied the winning
            candidate — the split the paper's §4.3 design argument is
            about (most deletes should be served locally). *)
+        let shared = Shared_klsm.find_min h.shared_h in
         let candidate, from_shared =
-          match local with
-          | None -> (Shared_klsm.find_min h.shared_h, true)
-          | Some it -> (
-              match Shared_klsm.find_min h.shared_h with
-              | Some sh when Item.key sh < Item.key it -> (Some sh, true)
-              | _ -> (local, false))
+          match (local, shared) with
+          | None, sh -> (sh, true)
+          | Some it, Some sh when Item.key sh < Item.key it -> (Some sh, true)
+          | Some _, _ -> (local, false)
         in
         match candidate with
         | None -> None
@@ -235,13 +234,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       queue. *)
   let try_find_min h =
     let local = Dist_lsm.find_min h.dist in
+    let shared = Shared_klsm.find_min h.shared_h in
     let candidate =
-      match local with
-      | None -> Shared_klsm.find_min h.shared_h
-      | Some it -> (
-          match Shared_klsm.find_min h.shared_h with
-          | Some sh when Item.key sh < Item.key it -> Some sh
-          | _ -> local)
+      match (local, shared) with
+      | None, sh -> sh
+      | Some it, Some sh when Item.key sh < Item.key it -> Some sh
+      | Some _, _ -> local
     in
     Option.map (fun it -> (Item.key it, Item.value it)) candidate
 

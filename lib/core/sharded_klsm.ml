@@ -1,0 +1,519 @@
+(** The contention-striped k-LSM: the combined queue of {!Klsm} with its
+    single shared component split into [S] independent {!Shared_klsm}
+    stripes (DESIGN.md §12).
+
+    The paper's shared k-LSM serializes every spill and consolidation
+    through one atomic [shared] pointer (§4.1, Listing 3); at high thread
+    counts that CAS convoy — not thread-local work — caps throughput
+    (Gruber/Träff/Wimmer, arXiv:1603.05047).  This module removes the
+    convoy the way MultiQueue-style designs do (arXiv:1509.07053), but
+    inside the k-LSM's bounded-relaxation contract:
+
+    - the global budget [k] is partitioned as [ceil(k / S)] per stripe, so
+      each stripe is an ordinary shared k-LSM with a smaller relaxation;
+    - every thread has a {e home} stripe its spills go to (preserving the
+      per-stripe publication ordering Listing 4 relies on);
+    - [find_min] races the thread-local DistLSM minimum against the home
+      stripe and — only when a stripe's {!Shared_klsm.min_hint} says it
+      might hold something smaller — the remaining stripes (scanned from
+      a rotating offset so ties don't starve), which is what keeps the
+      rank bound rho <= (T + S) * ceil(k / S) provable rather than
+      probabilistic (derivation in DESIGN.md §12); when every hint sits
+      at or above the local candidate the race is skipped outright — S
+      atomic loads serve the common local-delete path;
+    - a per-thread {e candidate cache} reuses the last raced winner until
+      its deletion flag is seen set or some stripe publishes state that
+      could beat it — amortizing the cross-stripe race across consecutive
+      delete-mins exactly as Listing 3's [observed] field amortizes
+      snapshot refreshes;
+    - failed snapshot CASes feed a per-stripe decorrelated-jitter
+      {!Klsm_primitives.Backoff}, and a burst of consecutive failures on
+      the home stripe triggers {e migration} to the next stripe.
+
+    With [S = 1] the structure degenerates to the paper's k-LSM (one
+    stripe, no second chance, no migration). *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Item.Make (B)
+  module Block = Block.Make (B)
+  module Block_array = Block_array.Make (B)
+  module Shared_klsm = Shared_klsm.Make (B)
+  module Dist_lsm = Dist_lsm.Make (B)
+  module Backoff = Klsm_primitives.Backoff
+  module Xoshiro = Klsm_primitives.Xoshiro
+  module Tabular_hash = Klsm_primitives.Tabular_hash
+  module Obs = Klsm_obs.Obs
+
+  let name = "klsm-sharded"
+
+  (* Observability (lib/obs; docs/METRICS.md).  The composition layer
+     reuses the klsm.* names of {!Klsm} (same Listing 5 roles); the
+     stripe.* family is specific to the sharded design. *)
+  let c_take_race = Obs.counter "klsm.take_race"
+  let c_delete_local = Obs.counter "klsm.delete_local"
+  let c_delete_shared = Obs.counter "klsm.delete_shared"
+  let c_delete_empty = Obs.counter "klsm.delete_empty"
+  let c_spy_attempt = Obs.counter "klsm.spy_attempt"
+  let c_spy_success = Obs.counter "klsm.spy_success"
+  let c_stripe_cas_fail = Obs.counter "stripe.cas_fail"
+  let c_migrate = Obs.counter "stripe.migrate"
+  let c_cache_hit = Obs.counter "stripe.cache_hit"
+  let c_cache_miss = Obs.counter "stripe.cache_miss"
+  let c_hint_consult = Obs.counter "stripe.hint_consult"
+  let c_hint_skip = Obs.counter "stripe.hint_skip"
+
+  (** Per-stripe relaxation: the global budget split evenly, rounded up so
+      S stripes never under-spend the contract ([S * ceil(k/S) >= k]). *)
+  let stripe_k ~k ~shards = (k + shards - 1) / shards
+
+  (** Consecutive home-stripe CAS failures that trigger migration.  Failures
+      within one publish attempt burst are the signature of a convoy; 8 of
+      them in a row mean at least 8 other threads hammered the same stripe
+      while we starved. *)
+  let migrate_threshold = 8
+
+  type 'v t = {
+    stripes : 'v Shared_klsm.t array;
+    dists : 'v Dist_lsm.t option B.atomic array;  (** victims, §4.3 *)
+    num_threads : int;
+    num_stripes : int;
+    k : int B.atomic;  (** global relaxation budget *)
+    seed : int;
+    hasher : Tabular_hash.t;
+    alive : 'v Item.t -> bool;
+    spill_max_level : int option;
+        (** ablation override of the §4.3 spill threshold *)
+    obs : Obs.sheet;
+  }
+
+  type 'v handle = {
+    t : 'v t;
+    tid : int;
+    dist : 'v Dist_lsm.t;
+    stripe_hs : 'v Shared_klsm.handle array;  (** one handle per stripe *)
+    mutable home : int;  (** current home stripe (spill target) *)
+    mutable rr : int;  (** second-chance rotation counter *)
+    mutable fail_streak : int;
+        (** consecutive snapshot-CAS failures on the home stripe *)
+    mutable migrate_pending : bool;
+        (** latched when [fail_streak] crossed {!migrate_threshold}; acted
+            on after the in-flight publish completes (a publish retries on
+            its stripe until it wins — migration applies to the next
+            spill) *)
+    backoffs : Backoff.t array;
+        (** per-stripe decorrelated-jitter backoff, driven by the
+            {!Shared_klsm} CAS hooks *)
+    mutable cached : 'v Item.t option;  (** delete-min candidate cache *)
+    mutable cached_key : int;
+    cached_ptrs : 'v Block_array.t option array;
+        (** per-stripe published-array tokens observed when the cache was
+            filled; physical inequality + a hint below [cached_key] is the
+            only thing that can invalidate a still-alive cached candidate *)
+    rng : Xoshiro.t;
+    obs : Obs.handle;
+    pool : 'v Block.Pool.t;
+  }
+
+  let create_with ?(seed = 1) ?(k = 256) ?(shards = 4) ?should_delete
+      ?on_lazy_delete ?spill_max_level ?(local_ordering = true) ~num_threads
+      () =
+    if num_threads < 1 then
+      invalid_arg "Sharded_klsm.create: num_threads < 1";
+    if shards < 1 then invalid_arg "Sharded_klsm.create: shards < 1";
+    if shards > k then
+      invalid_arg "Sharded_klsm.create: shards > k (a stripe needs a budget)";
+    let hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed) in
+    let alive =
+      match should_delete with
+      | None -> fun it -> not (Item.is_taken it)
+      | Some p ->
+          (* Identical to {!Klsm.create_with}: the [taken] flag claims a
+             condemned item before the hook runs, so [on_lazy_delete] fires
+             exactly once per item. *)
+          let hook =
+            match on_lazy_delete with Some f -> f | None -> fun _ _ -> ()
+          in
+          fun it ->
+            if Item.is_taken it then false
+            else if p (Item.key it) (Item.value it) then begin
+              if Item.take it then hook (Item.key it) (Item.value it);
+              false
+            end
+            else true
+    in
+    let kp = stripe_k ~k ~shards in
+    {
+      stripes =
+        Array.init shards (fun _ ->
+            Shared_klsm.create ~k:kp ~local_ordering ~maintain_hint:true
+              ~hasher ~alive ());
+      dists = Array.init num_threads (fun _ -> B.make None);
+      num_threads;
+      num_stripes = shards;
+      k = B.make k;
+      seed;
+      hasher;
+      alive;
+      spill_max_level;
+      obs = Obs.create_sheet ~now:B.time ~num_threads ();
+    }
+
+  let create ?seed ~num_threads () = create_with ?seed ~num_threads ()
+
+  let get_k t = B.get t.k
+  let num_stripes t = t.num_stripes
+
+  (** Reconfigure the global budget; re-partitioned across the stripes, it
+      takes effect on each stripe's next pivot recomputation. *)
+  let set_k t k =
+    if k < t.num_stripes then invalid_arg "Sharded_klsm.set_k: k < shards";
+    B.set t.k k;
+    let kp = stripe_k ~k ~shards:t.num_stripes in
+    Array.iter (fun s -> Shared_klsm.set_k s kp) t.stripes
+
+  (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
+  let stats (t : _ t) = Obs.snapshot t.obs
+
+  let register t tid =
+    if tid < 0 || tid >= t.num_threads then
+      invalid_arg "Sharded_klsm.register: tid";
+    let rng = Xoshiro.create ~seed:(t.seed + (1000003 * (tid + 1))) in
+    let obs = Obs.handle t.obs ~tid in
+    let pool = Block.Pool.create ~obs () in
+    let dist =
+      Dist_lsm.create ~obs ~pool ~tid ~hasher:t.hasher ~alive:t.alive ()
+    in
+    B.set t.dists.(tid) (Some dist);
+    let stripe_hs =
+      Array.map
+        (fun s -> Shared_klsm.register ~obs ~pool s ~tid ~rng:(Xoshiro.split rng))
+        t.stripes
+    in
+    let h =
+      {
+        t;
+        tid;
+        dist;
+        stripe_hs;
+        home = tid mod t.num_stripes;
+        rr = 0;
+        fail_streak = 0;
+        migrate_pending = false;
+        backoffs =
+          Array.init t.num_stripes (fun _ ->
+              Backoff.create ~jitter:(Xoshiro.split rng) ());
+        cached = None;
+        cached_key = max_int;
+        cached_ptrs = Array.make t.num_stripes None;
+        rng;
+        obs;
+        pool;
+      }
+    in
+    (* Contention hooks: every failed snapshot CAS on stripe [i] backs the
+       thread off (decorrelated jitter, so losers of the same race stop
+       retrying in lockstep); failures on the current home stripe also feed
+       the migration detector. *)
+    Array.iteri
+      (fun i sh ->
+        sh.Shared_klsm.on_cas_fail <-
+          (fun () ->
+            Obs.incr obs c_stripe_cas_fail;
+            if i = h.home then begin
+              h.fail_streak <- h.fail_streak + 1;
+              if h.fail_streak >= migrate_threshold then
+                h.migrate_pending <- true
+            end;
+            Backoff.once h.backoffs.(i) ~relax:B.relax_n);
+        sh.Shared_klsm.on_cas_success <-
+          (fun () ->
+            if i = h.home then h.fail_streak <- 0;
+            Backoff.reset h.backoffs.(i)))
+      stripe_hs;
+    h
+
+  (* Spill a block to the home stripe; act on a pending migration after the
+     publish completed (a {!Shared_klsm.insert} retries on its stripe until
+     it wins, so the decision applies to the next spill). *)
+  let spill_to_home h block =
+    B.fault_point "sharded.spill.publish";
+    Shared_klsm.insert h.stripe_hs.(h.home) block;
+    if h.migrate_pending && h.t.num_stripes > 1 then begin
+      B.fault_point "sharded.migrate";
+      h.migrate_pending <- false;
+      h.fail_streak <- 0;
+      h.home <- (h.home + 1) mod h.t.num_stripes;
+      Obs.incr h.obs c_migrate
+    end
+    else h.migrate_pending <- false
+
+  (** §4.3 [insert] with the partitioned spill rule: local blocks spill at
+      the level bound of the {e per-stripe} budget ceil(k/S), so each
+      thread-local LSM holds at most ceil(k/S) items — the per-term bound
+      the rho <= (T + S) * ceil(k/S) derivation charges for other threads'
+      local components (DESIGN.md §12). *)
+  let insert h key value =
+    if key < 0 then invalid_arg "Sharded_klsm.insert: negative key";
+    let item = Item.make key value in
+    let max_level =
+      match h.t.spill_max_level with
+      | Some l -> l
+      | None ->
+          Dist_lsm.max_level_for_k
+            (stripe_k ~k:(B.get h.t.k) ~shards:h.t.num_stripes)
+    in
+    Dist_lsm.insert h.dist item ~max_level ~spill:(fun b -> spill_to_home h b)
+
+  (** Bulk insertion (one sorted block, one stripe publish); see
+      {!Klsm.insert_batch}. *)
+  let insert_batch h pairs =
+    match Array.length pairs with
+    | 0 -> ()
+    | 1 ->
+        let key, value = pairs.(0) in
+        insert h key value
+    | n ->
+        Array.iter
+          (fun (key, _) ->
+            if key < 0 then
+              invalid_arg "Sharded_klsm.insert_batch: negative key")
+          pairs;
+        let items =
+          Array.map (fun (key, value) -> Item.make key value) pairs
+        in
+        Array.sort (fun a b -> compare (Item.key b) (Item.key a)) items;
+        let level = Klsm_primitives.Bits.ceil_log2 n in
+        let block = Block.create_with_exemplar ~pool:h.pool level items.(0) in
+        block.Block.filter <-
+          Klsm_primitives.Bloom.singleton ~hasher:h.t.hasher h.tid;
+        Array.iter (fun it -> Block.append ~alive:h.t.alive block it) items;
+        spill_to_home h block
+
+  (* ---- the striped find_min race ---- *)
+
+  (* Is the cached candidate still a valid answer?  It must be alive, and
+     every stripe must either be physically unchanged since the cache was
+     filled (its pointer token matches; logical deletions do not move the
+     pointer and only shrink the smaller-than set) or hint that it holds
+     nothing below the cached key.  S atomic loads replace two-plus full
+     snapshot consults. *)
+  let cache_valid h =
+    match h.cached with
+    | None -> false
+    | Some it ->
+        h.t.alive it
+        &&
+        let s = h.t.num_stripes in
+        let ok = ref true in
+        let j = ref 0 in
+        while !ok && !j < s do
+          let stripe = h.t.stripes.(!j) in
+          if
+            Shared_klsm.peek_shared stripe != h.cached_ptrs.(!j)
+            && Shared_klsm.min_hint stripe < h.cached_key
+          then ok := false;
+          incr j
+        done;
+        !ok
+
+  (* The full race: the home stripe, then every other stripe whose min
+     hint undercuts the best so far (scanned from a rotating offset).
+     Every stripe is thus either consulted (candidate within its
+     ceil(k/S) relaxation) or certified by its hint to hold nothing
+     smaller — the case split the DESIGN §12 rank bound sums over. *)
+  let race h =
+    let s = h.t.num_stripes in
+    (* Observation tokens first: a publish landing between the token read
+       and the consult can only make the cache conservatively stale. *)
+    for j = 0 to s - 1 do
+      h.cached_ptrs.(j) <- Shared_klsm.peek_shared h.t.stripes.(j)
+    done;
+    let best = ref None in
+    let best_key = ref max_int in
+    let consult i =
+      match Shared_klsm.find_min h.stripe_hs.(i) with
+      | None -> ()
+      | Some it ->
+          let key = Item.key it in
+          if Option.is_none !best || key < !best_key then begin
+            best := Some it;
+            best_key := key
+          end
+    in
+    consult h.home;
+    if s > 1 then begin
+      (* Rotating scan offset: when several stripes undercut the current
+         best they are consulted in a different order each race, so no
+         single stripe permanently wins the ties. *)
+      h.rr <- h.rr + 1;
+      let start = h.rr mod s in
+      for d = 0 to s - 1 do
+        let j = (start + d) mod s in
+        if j <> h.home && Shared_klsm.min_hint h.t.stripes.(j) < !best_key
+        then begin
+          Obs.incr h.obs c_hint_consult;
+          consult j
+        end
+      done
+    end;
+    h.cached <- !best;
+    h.cached_key <- !best_key;
+    !best
+
+  (** Relaxed minimum of the striped shared component (cache first, race on
+      a miss).  The returned item may be taken concurrently; the combined
+      delete-min loop handles that. *)
+  let stripes_find_min h =
+    if cache_valid h then begin
+      Obs.incr h.obs c_cache_hit;
+      h.cached
+    end
+    else begin
+      Obs.incr h.obs c_cache_miss;
+      race h
+    end
+
+  (* Do the hints certify that no stripe holds anything below [key]?  When
+     they do, a local candidate at [key] needs no stripe consult at all —
+     S atomic loads replace snapshot copies on the common
+     serve-locally path (the split §4.3's design argument is about). *)
+  let stripes_certified_above h key =
+    let s = h.t.num_stripes in
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < s do
+      if Shared_klsm.min_hint h.t.stripes.(!j) < key then ok := false;
+      incr j
+    done;
+    !ok
+
+  (* Spy on one random other thread (Listing 5's fallback). *)
+  let spy_once h =
+    if h.t.num_threads <= 1 then false
+    else begin
+      let victim_tid =
+        let r = Xoshiro.int h.rng (h.t.num_threads - 1) in
+        if r >= h.tid then r + 1 else r
+      in
+      match B.get h.t.dists.(victim_tid) with
+      | None -> false
+      | Some victim -> Dist_lsm.spy h.dist ~victim
+    end
+
+  (** Listing 5's [delete_min] over the striped shared component: race the
+      thread-local minimum against {!stripes_find_min}, test-and-set, retry
+      lost races, spy before reporting empty. *)
+  let try_delete_min h =
+    let rec outer () =
+      let rec take_loop () =
+        let local = Dist_lsm.find_min h.dist in
+        let shared =
+          match local with
+          | Some it when stripes_certified_above h (Item.key it) ->
+              Obs.incr h.obs c_hint_skip;
+              None
+          | _ -> stripes_find_min h
+        in
+        let candidate, from_shared =
+          match (local, shared) with
+          | None, sh -> (sh, true)
+          | Some it, Some sh when Item.key sh < Item.key it -> (Some sh, true)
+          | Some _, _ -> (local, false)
+        in
+        match candidate with
+        | None -> None
+        | Some item ->
+            if Item.take item then begin
+              Obs.incr h.obs
+                (if from_shared then c_delete_shared else c_delete_local);
+              Some (Item.key item, Item.value item)
+            end
+            else begin
+              Obs.incr h.obs c_take_race;
+              take_loop ()
+            end
+      in
+      match take_loop () with
+      | Some kv -> Some kv
+      | None ->
+          Dist_lsm.consolidate h.dist;
+          Obs.incr h.obs c_spy_attempt;
+          if spy_once h then begin
+            Obs.incr h.obs c_spy_success;
+            outer ()
+          end
+          else begin
+            Obs.incr h.obs c_delete_empty;
+            None
+          end
+    in
+    outer ()
+
+  (** Relaxed peek; advisory on a concurrent queue (see
+      {!Klsm.try_find_min}). *)
+  let try_find_min h =
+    let local = Dist_lsm.find_min h.dist in
+    let shared =
+      match local with
+      | Some it when stripes_certified_above h (Item.key it) ->
+          Obs.incr h.obs c_hint_skip;
+          None
+      | _ -> stripes_find_min h
+    in
+    let candidate =
+      match (local, shared) with
+      | None, sh -> sh
+      | Some it, Some sh when Item.key sh < Item.key it -> Some sh
+      | Some _, _ -> local
+    in
+    Option.map (fun it -> (Item.key it, Item.value it)) candidate
+
+  (** Meld (§4.5, non-linearizable; see {!Klsm.meld}): adopt every block of
+      [src] into the queue behind [h], through [h]'s home stripe. *)
+  let meld h ~src =
+    let adopt block =
+      if not (Block.is_empty block) then begin
+        let b = Block.copy ~alive:h.t.alive block (Block.level block) in
+        b.Block.filter <- Klsm_primitives.Bloom.full;
+        let b = Block.shrink ~alive:h.t.alive b in
+        if not (Block.is_empty b) then spill_to_home h b
+      end
+    in
+    Array.iter
+      (fun stripe -> List.iter adopt (Shared_klsm.steal_all stripe))
+      src.stripes;
+    Array.iter
+      (fun slot ->
+        match B.get slot with
+        | Some d -> List.iter adopt (Dist_lsm.steal_all d)
+        | None -> ())
+      src.dists
+
+  (** Force a cleanup of the thread-local component (lazy deletion can
+      strand condemned items). *)
+  let consolidate_local h = Dist_lsm.consolidate h.dist
+
+  (** Items currently held, counting not-yet-cleaned deleted ones. *)
+  let approximate_size t =
+    let acc = ref 0 in
+    Array.iter
+      (fun stripe -> acc := !acc + Shared_klsm.approximate_size stripe)
+      t.stripes;
+    Array.iter
+      (fun slot ->
+        match B.get slot with
+        | Some d -> acc := !acc + Dist_lsm.total_filled d
+        | None -> ())
+      t.dists;
+    !acc
+
+  (* Internal accessors for white-box tests and the chaos drive. *)
+  let internal_stripes t = t.stripes
+  let internal_dist h = h.dist
+end
+
+(** The deployment instantiation on OCaml domains. *)
+module Default = Make (Klsm_backend.Real)
+
+(* Static conformance: the sharded queue implements the common interface. *)
+module _ : Pq_intf.S = Default

@@ -40,6 +40,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     local_ordering : bool;
         (** honour per-thread exact semantics via the Bloom filters (§4.1);
             disabling is an ablation knob, not a paper configuration *)
+    maintain_hint : bool;
+        (** keep {!min_hint} current on every publish; off by default so the
+            standalone shared component's schedules are untouched — only the
+            sharded composition ({!Sharded_klsm}) opts in *)
+    hint : int B.atomic;
+        (** conservative lower bound on the smallest {e alive} key in the
+            published array ([max_int] = empty): the stored minimum counts
+            logically deleted items, and deletion only ever raises the true
+            minimum.  Lowered before a publish attempt, set exactly after a
+            successful one, so readers that skip this stripe on
+            [hint >= candidate] skip only stripes with nothing smaller
+            (DESIGN.md §12 discusses the write-race slack). *)
   }
 
   type 'v handle = {
@@ -54,11 +66,29 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (** this thread's normalize/pivot scratch buffers *)
     mutable observed : 'v Block_array.t option;
     mutable snapshot : 'v Block_array.t option;
+    mutable on_cas_fail : unit -> unit;
+        (** contention hook: runs after every failed snapshot CAS.  The
+            sharded composition installs per-stripe decorrelated backoff
+            here; defaults to a no-op so standalone behaviour (and the
+            simulator schedules the chaos replays depend on) is
+            unchanged. *)
+    mutable on_cas_success : unit -> unit;
+        (** contention hook: runs after every successful snapshot CAS
+            (backoff reset); no-op by default *)
   }
 
-  let create ?(k = 256) ?(local_ordering = true) ~hasher ~alive () =
+  let create ?(k = 256) ?(local_ordering = true) ?(maintain_hint = false)
+      ~hasher ~alive () =
     if k < 0 then invalid_arg "Shared_klsm.create: k < 0";
-    { shared = B.make None; k = B.make k; hasher; alive; local_ordering }
+    {
+      shared = B.make None;
+      k = B.make k;
+      hasher;
+      alive;
+      local_ordering;
+      maintain_hint;
+      hint = B.make max_int;
+    }
 
   let get_k t = B.get t.k
 
@@ -81,7 +111,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       scratch = Block_array.Scratch.create ();
       observed = None;
       snapshot = None;
+      on_cas_fail = ignore;
+      on_cas_success = ignore;
     }
+
+  (** Current lower bound on the smallest alive key ([max_int] = nothing
+      published); only meaningful when the queue was created with
+      [~maintain_hint:true]. *)
+  let min_hint t = B.get t.hint
 
   (* Take a fresh consistent snapshot of the shared array. *)
   let refresh_snapshot h =
@@ -99,11 +136,32 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     (match next with
     | Some arr -> Array.iter Block.publish (Block_array.blocks arr)
     | None -> ());
+    (* Hint maintenance (sharded stripes only): pre-lower the hint so the
+       window between a winning CAS and its exact hint write never shows a
+       too-high bound to concurrent readers; a failed attempt leaves the
+       hint conservatively low until the next publish fixes it. *)
+    let next_min =
+      if not h.q.maintain_hint then max_int
+      else
+        match next with
+        | None -> max_int
+        | Some arr ->
+            let m = Block_array.min_key arr in
+            if m < B.get h.q.hint then B.set h.q.hint m;
+            m
+    in
     Obs.incr h.obs c_cas;
     B.fault_point "shared.push_snapshot.before";
     let ok = B.compare_and_set h.q.shared h.observed next in
     B.fault_point "shared.push_snapshot.after";
-    if not ok then Obs.incr h.obs c_cas_fail;
+    if ok then begin
+      if h.q.maintain_hint then B.set h.q.hint next_min;
+      h.on_cas_success ()
+    end
+    else begin
+      Obs.incr h.obs c_cas_fail;
+      h.on_cas_fail ()
+    end;
     ok
 
   (** Insert a whole sorted block (the spill path of the distributed LSM and
@@ -225,6 +283,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       NOT linearizable — callers must have exclusive access to [t] (used by
       {!Klsm.meld}, which the paper's §4.5 leaves non-linearizable). *)
   let steal_all t =
+    if t.maintain_hint then B.set t.hint max_int;
     match B.exchange t.shared None with
     | None -> []
     | Some arr -> Array.to_list (Block_array.blocks arr)

@@ -12,6 +12,7 @@
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Klsm = Klsm_core.Klsm.Make (B)
+  module Sharded = Klsm_core.Sharded_klsm.Make (B)
   module Dlsm = Klsm_core.Dlsm.Make (B)
   module Locked_heap = Klsm_baselines.Locked_heap.Make (B)
   module Linden = Klsm_baselines.Linden_pq.Make (B)
@@ -26,6 +27,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Spraylist
     | Multiq of int  (** c: queues per thread *)
     | Klsm of int  (** k *)
+    | Klsm_sharded of int * int  (** k, shards (contention stripes) *)
     | Dlsm
     | Wimmer_centralized
     | Wimmer_hybrid of int  (** k *)
@@ -36,6 +38,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Spraylist -> "spraylist"
     | Multiq c -> Printf.sprintf "multiq(%d)" c
     | Klsm k -> Printf.sprintf "klsm(%d)" k
+    | Klsm_sharded (k, s) -> Printf.sprintf "klsm-sharded(%d,%d)" k s
     | Dlsm -> "dlsm"
     | Wimmer_centralized -> "centralized-k"
     | Wimmer_hybrid k -> Printf.sprintf "hybrid-k(%d)" k
@@ -80,6 +83,55 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | "spray" | "spraylist" -> no_arg Spraylist
     | "multiq" -> with_arg ~what:"c, queues per thread" ~default:2 (fun c -> Multiq c)
     | "klsm" -> with_arg ~what:"the relaxation k" ~default:256 (fun k -> Klsm k)
+    | "klsm-sharded" | "sharded" -> (
+        (* Two parameters, colon-separated: "klsm-sharded:<k>:<shards>".
+           Either may be omitted (defaults k = 256, shards = 4); the shard
+           count must satisfy 1 <= shards <= k so every stripe gets a
+           non-empty slice of the relaxation budget. *)
+        let parse_int ~what a =
+          match int_of_string_opt a with
+          | Some v when v >= 0 -> Ok v
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "%S: parameter %S is not a non-negative integer (%s)" s a
+                   what)
+        in
+        let parsed =
+          match arg with
+          | None -> Ok (256, 4)
+          | Some a -> (
+              match String.index_opt a ':' with
+              | None -> (
+                  match parse_int ~what:"the relaxation k" a with
+                  | Ok k -> Ok (k, 4)
+                  | Error e -> Error e)
+              | Some i -> (
+                  let ks = String.sub a 0 i in
+                  let ss = String.sub a (i + 1) (String.length a - i - 1) in
+                  match parse_int ~what:"the relaxation k" ks with
+                  | Error e -> Error e
+                  | Ok k -> (
+                      match
+                        parse_int ~what:"the shard count S, stripes" ss
+                      with
+                      | Error e -> Error e
+                      | Ok sh -> Ok (k, sh))))
+        in
+        match parsed with
+        | Error e -> Error e
+        | Ok (k, sh) ->
+            if sh < 1 then
+              Error
+                (Printf.sprintf
+                   "%S: shard count %d < 1 (need at least one stripe)" s sh)
+            else if sh > k then
+              Error
+                (Printf.sprintf
+                   "%S: shard count %d exceeds the relaxation k = %d (every \
+                    stripe needs a budget of at least 1)"
+                   s sh k)
+            else Ok (Klsm_sharded (k, sh)))
     | "dlsm" -> no_arg Dlsm
     | "centralized" | "centralized-k" -> no_arg Wimmer_centralized
     | "hybrid" | "hybrid-k" ->
@@ -88,7 +140,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         Error
           (Printf.sprintf
              "unknown implementation %S; known: heap, linden, spray, \
-              multiq[:C], klsm[:K], dlsm, centralized, hybrid[:K]"
+              multiq[:C], klsm[:K], klsm-sharded[:K[:S]], dlsm, centralized, \
+              hybrid[:K]"
              s)
 
   (** [parse_spec_opt] is {!parse_spec} with errors collapsed to [None]. *)
@@ -98,7 +151,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       predicate of §4.5 (the paper's SSSP figure only includes such
       queues). *)
   let supports_lazy_deletion = function
-    | Klsm _ | Dlsm | Wimmer_centralized | Wimmer_hybrid _ -> true
+    | Klsm _ | Klsm_sharded _ | Dlsm | Wimmer_centralized | Wimmer_hybrid _ ->
+        true
     | Heap_lock | Linden | Spraylist | Multiq _ -> false
 
   type handle = {
@@ -196,6 +250,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               });
           approximate_size = (fun () -> Klsm.approximate_size q);
           stats = (fun () -> Klsm.stats q);
+        }
+    | Klsm_sharded (k, shards) ->
+        let q =
+          Sharded.create_with ~seed ~k ~shards ?should_delete ?on_lazy_delete
+            ~num_threads ()
+        in
+        {
+          name = spec_name spec;
+          register =
+            (fun tid ->
+              let h = Sharded.register q tid in
+              {
+                insert = Sharded.insert h;
+                insert_batch = Sharded.insert_batch h;
+                try_delete_min = (fun () -> Sharded.try_delete_min h);
+              });
+          approximate_size = (fun () -> Sharded.approximate_size q);
+          stats = (fun () -> Sharded.stats q);
         }
     | Dlsm ->
         let q = Dlsm.create_with ~seed ?should_delete ?on_lazy_delete ~num_threads () in

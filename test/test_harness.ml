@@ -90,6 +90,10 @@ let test_parse_spec () =
       ("multiq:4", Some (R.Multiq 4));
       ("centralized", Some R.Wimmer_centralized);
       ("hybrid:4096", Some (R.Wimmer_hybrid 4096));
+      ("klsm-sharded", Some (R.Klsm_sharded (256, 4)));
+      ("klsm-sharded:64", Some (R.Klsm_sharded (64, 4)));
+      ("klsm-sharded:64:8", Some (R.Klsm_sharded (64, 8)));
+      ("sharded:32:2", Some (R.Klsm_sharded (32, 2)));
       ("nonsense", None);
     ]
   in
@@ -100,7 +104,15 @@ let test_parse_spec () =
 let test_parse_spec_rejects_bad_args () =
   (* Specs that used to be silently mis-accepted must now produce an
      error message mentioning the offending spec. *)
-  let bad = [ "linden:4"; "dlsm:8"; "heap:1"; "klsm:abc"; "klsm:-3"; "multiq:2x"; "spraylist:0" ] in
+  let bad =
+    [
+      "linden:4"; "dlsm:8"; "heap:1"; "klsm:abc"; "klsm:-3"; "multiq:2x";
+      "spraylist:0";
+      (* sharded: malformed params, zero stripes, more stripes than k *)
+      "klsm-sharded:abc"; "klsm-sharded:64:x"; "klsm-sharded:64:0";
+      "klsm-sharded:4:8";
+    ]
+  in
   List.iter
     (fun s ->
       match R.parse_spec s with

@@ -312,13 +312,16 @@ let test_registry_stats_plumbing () =
       R.Spraylist;
       R.Multiq 2;
       R.Klsm 16;
+      R.Klsm_sharded (16, 2);
       R.Dlsm;
       R.Wimmer_centralized;
       R.Wimmer_hybrid 16;
     ]
   in
   let must_count = function
-    | R.Klsm _ | R.Dlsm | R.Wimmer_hybrid _ | R.Linden | R.Spraylist -> true
+    | R.Klsm _ | R.Klsm_sharded _ | R.Dlsm | R.Wimmer_hybrid _ | R.Linden
+    | R.Spraylist ->
+        true
     | R.Heap_lock | R.Multiq _ | R.Wimmer_centralized ->
         (* lock-contention counters need real parallelism to fire *)
         false

@@ -1,0 +1,207 @@
+(* Tests for the contention-striped k-LSM (lib/core/sharded_klsm.ml):
+   exact single-thread semantics, conservation across handles (spy paths),
+   the ceil(k/S) relaxation-budget partition, spec validation, the
+   delete-min candidate cache, migration under a CAS-failure storm, and
+   the DESIGN.md §12 rank-error bound rho <= (T+S) * ceil(k/S) measured
+   empirically on the simulator. *)
+
+open Helpers
+module SK = Klsm_core.Sharded_klsm.Default
+module Shared = SK.Shared_klsm
+module Obs = Klsm_obs.Obs
+module Sim = Klsm_backend.Sim
+module RS = Klsm_harness.Registry.Make (Sim)
+module QS = Klsm_harness.Quality.Make (Sim)
+module Drive = Klsm_chaos.Drive
+
+(* Drain with retry: try_delete_min may fail spuriously (spy misses). *)
+let drain_all try_delete_min =
+  let rec go acc misses =
+    if misses > 200 then List.rev acc
+    else begin
+      match try_delete_min () with
+      | Some (k, _) -> go (k :: acc) 0
+      | None -> go acc (misses + 1)
+    end
+  in
+  go [] 0
+
+(* ---------------- single-thread exactness ---------------- *)
+
+let prop_single_thread_exact =
+  qtest "sharded single thread = exact PQ (any k, S)" ~count:100
+    QCheck2.Gen.(triple ops_gen (int_bound 300) (int_range 1 4))
+    (fun (ops, k, shards) ->
+      let k = max k shards in
+      let q = SK.create_with ~k ~shards ~num_threads:1 () in
+      let h = SK.register q 0 in
+      matches_oracle
+        ~insert:(fun key -> SK.insert h key ())
+        ~delete_min:(fun () -> Option.map fst (SK.try_delete_min h))
+        ops)
+
+(* ---------------- conservation across handles ---------------- *)
+
+let prop_multi_handle_conservation =
+  qtest "two-handle conservation (S = 2)" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 300) (int_bound 5_000))
+    (fun keys ->
+      let q = SK.create_with ~k:16 ~shards:2 ~num_threads:2 () in
+      let h0 = SK.register q 0 and h1 = SK.register q 1 in
+      List.iteri
+        (fun i k -> SK.insert (if i land 1 = 0 then h0 else h1) k ())
+        keys;
+      (* h0 drains everything: other stripes via the race, h1's local LSM
+         via spy. *)
+      let got = drain_all (fun () -> SK.try_delete_min h0) in
+      List.sort compare got = List.sort compare keys)
+
+let prop_batch_conservation =
+  qtest "insert_batch conservation" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 200) (int_bound 5_000))
+    (fun keys ->
+      let q = SK.create_with ~k:8 ~shards:4 ~num_threads:1 () in
+      let h = SK.register q 0 in
+      SK.insert_batch h (Array.of_list (List.map (fun k -> (k, ())) keys));
+      let got = drain_all (fun () -> SK.try_delete_min h) in
+      List.sort compare got = List.sort compare keys)
+
+(* ---------------- budget partition and validation ---------------- *)
+
+let stripe_ks q =
+  Array.to_list (Array.map Shared.get_k (SK.internal_stripes q))
+
+let test_budget_partition () =
+  (* k = 64, S = 4: every stripe runs at ceil(64/4) = 16. *)
+  let q = SK.create_with ~k:64 ~shards:4 ~num_threads:1 () in
+  check_int "global k" 64 (SK.get_k q);
+  check_int "stripes" 4 (SK.num_stripes q);
+  check_list_int "per-stripe k" [ 16; 16; 16; 16 ] (stripe_ks q);
+  (* Non-divisible budget rounds up: ceil(10/4) = 3. *)
+  let q = SK.create_with ~k:10 ~shards:4 ~num_threads:1 () in
+  check_list_int "ceil partition" [ 3; 3; 3; 3 ] (stripe_ks q)
+
+let test_set_k_repartitions () =
+  let q = SK.create_with ~k:64 ~shards:4 ~num_threads:1 () in
+  SK.set_k q 128;
+  check_int "new global k" 128 (SK.get_k q);
+  check_list_int "new per-stripe k" [ 32; 32; 32; 32 ] (stripe_ks q);
+  (match SK.set_k q 2 with
+  | () -> Alcotest.fail "k < S accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_create_validation () =
+  (match SK.create_with ~shards:0 ~num_threads:1 () with
+  | _ -> Alcotest.fail "shards = 0 accepted"
+  | exception Invalid_argument _ -> ());
+  match SK.create_with ~k:4 ~shards:8 ~num_threads:1 () with
+  | _ -> Alcotest.fail "shards > k accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- candidate cache ---------------- *)
+
+let test_candidate_cache_hits () =
+  (* Two consecutive peeks with no publish in between: the second must be
+     served from the candidate cache (stripe.cache_hit), not a re-race. *)
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let q = SK.create_with ~k:4 ~shards:2 ~num_threads:1 () in
+      let h = SK.register q 0 in
+      for i = 0 to 99 do
+        SK.insert h ((i * 7919) land 0xFFFF) ()
+      done;
+      let a = SK.try_find_min h and b = SK.try_find_min h in
+      check_bool "peek found something" true (a <> None);
+      check_bool "stable peek" true (a = b);
+      let stat name =
+        match List.assoc_opt name (SK.stats q).Obs.counters with
+        | Some per -> Array.fold_left ( + ) 0 per
+        | None -> 0
+      in
+      check_bool "cache missed at least once" true (stat "stripe.cache_miss" >= 1);
+      check_bool "cache hit on the re-peek" true (stat "stripe.cache_hit" >= 1))
+
+(* ---------------- migration under a CAS storm (Sim + chaos) ---------------- *)
+
+let test_storm_migrates_and_conserves () =
+  let cases =
+    Drive.sharded_targeted ~threads:4 ~per_thread:400 ~k:8 ~shards:2
+      ~seed0:0x51A2D
+  in
+  List.iter
+    (fun (c : Drive.case_result) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "no violations under %s" c.Drive.plan_text)
+        [] c.Drive.violations)
+    cases;
+  (* The storm concentrated on one thread must push its home-stripe fail
+     streak past the threshold and trigger at least one migration. *)
+  let concentrated = List.nth cases 2 in
+  let migrations =
+    match List.assoc_opt "stripe_migrate" concentrated.Drive.info with
+    | Some n -> n
+    | None -> 0
+  in
+  check_bool "storm forced a migration" true (migrations >= 1)
+
+(* ---------------- rank-error bound (Sim) ---------------- *)
+
+let test_rank_bound_partitioned () =
+  (* DESIGN.md §12: rho <= (T+S) * ceil(k/S); + T slack for in-flight
+     inserts the oracle has already counted (same slack as the unsharded
+     quality test). *)
+  Sim.configure ~seed:5 ~policy:Sim.Fair ();
+  let threads = 4 and k = 32 and shards = 4 in
+  let config =
+    {
+      QS.default_config with
+      num_threads = threads;
+      prefill = 2_000;
+      ops_per_thread = 1_000;
+      seed = 5;
+    }
+  in
+  let r = QS.run config (RS.Klsm_sharded (k, shards)) in
+  let bound = ((threads + shards) * ((k + shards - 1) / shards)) + threads in
+  check_bool "some deletes measured" true (r.QS.deletes > 0);
+  check_bool
+    (Printf.sprintf "max rank error %d within partitioned bound %d"
+       r.QS.max_rank_error bound)
+    true
+    (r.QS.max_rank_error <= bound)
+
+let () =
+  Alcotest.run "sharded"
+    [
+      ( "semantics",
+        [
+          prop_single_thread_exact;
+          prop_multi_handle_conservation;
+          prop_batch_conservation;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "budget partition" `Quick test_budget_partition;
+          Alcotest.test_case "set_k repartitions" `Quick
+            test_set_k_repartitions;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "candidate cache hits" `Quick
+            test_candidate_cache_hits;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "storm migrates, conserves" `Slow
+            test_storm_migrates_and_conserves;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "partitioned rank bound" `Slow
+            test_rank_bound_partitioned;
+        ] );
+    ]
