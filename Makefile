@@ -2,7 +2,7 @@
 # full build, full test suite, odoc build, and the BENCH_stats.json schema
 # check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix doc stats-check chaos-check perf-check check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check chaos-check perf-check store-check check bench clean
 
 all: build
 
@@ -48,10 +48,19 @@ chaos-check:
 perf-check:
 	dune exec bin/perfcheck.exe
 
-check: fmt build test doc stats-check chaos-check perf-check
+# Spill-tier gate (bin/storecheck.ml; docs/STORAGE.md): with block
+# spillage enabled the descending-key workload must hold >= 90% of in-RAM
+# throughput (and must actually spill — a vacuous pass fails), and a
+# planted mid-spill-kill store must recover byte-identically with an
+# idempotent second pass.  Writes BENCH_store.json.
+store-check:
+	dune exec bin/storecheck.exe
+
+check: fmt build test doc stats-check chaos-check perf-check store-check
 
 bench:
 	dune exec bench/main.exe
 
 clean:
 	dune clean
+	rm -rf _store

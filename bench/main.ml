@@ -5,7 +5,7 @@
        dune exec bench/main.exe
    Run one section:
        dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality | sharded |
-                                   sched | stats | chaos |
+                                   sched | stats | chaos | store |
                                    ablation-spill | ablation-bloom |
                                    ablation-cost | ablation-workload |
                                    bnb | micro
@@ -226,7 +226,7 @@ let quality () =
         (spec, Q.run config spec))
       specs
   in
-  let rho_of spec =
+  let rec rho_of spec =
     match spec with
     | R.Klsm k | R.Wimmer_hybrid k -> Some (t * k)
     | R.Klsm_sharded (k, s) ->
@@ -234,6 +234,7 @@ let quality () =
         Some ((t + s) * ((k + s - 1) / s))
     | R.Heap_lock | R.Linden | R.Wimmer_centralized -> Some 0
     | R.Multiq _ | R.Spraylist | R.Dlsm -> None
+    | R.Stored (inner, _) -> rho_of inner
   in
   let rows =
     List.map
@@ -871,6 +872,238 @@ let chaos_section () =
   Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
+(* Store: the spill tier measured honestly (lib/store; docs/STORAGE.md) *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the figures, this section runs on the {e Real} backend:
+   spill/rehydrate latency is SHA-256 + disk time, which the simulator's
+   cost model deliberately does not model.  Absolute numbers are
+   per-host; the shapes — cost per spill cycle vs threshold, the memo hit
+   rate, recovery time scaling linearly in recovered items — are the
+   reproduction target.  Gating lives in `make store-check`
+   (bin/storecheck.ml); this section only reports. *)
+let store_section () =
+  let module Real = Klsm_backend.Real in
+  let module RR = Klsm_harness.Registry.Make (Real) in
+  let module RT = Klsm_harness.Throughput.Make (Real) in
+  let module Spill = Klsm_store.Spill.Make (Real) in
+  let module K = Klsm_core.Klsm.Make (Real) in
+  let module Bloom = Klsm_primitives.Bloom in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  let tmp = Filename.temp_dir "klsm-bench-store" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      rm_rf tmp;
+      Obs.set_enabled was_enabled)
+    (fun () ->
+      let k = 4096 in
+      let config =
+        {
+          RT.default_config with
+          num_threads = 1;
+          prefill = 50_000;
+          ops_per_thread = 200_000;
+          seed = 42;
+          workload = Klsm_harness.Workload.Descending (1 lsl 30);
+        }
+      in
+      let counter stats name =
+        match List.assoc_opt name stats.Obs.counters with
+        | Some a -> Array.fold_left ( + ) 0 a
+        | None -> 0
+      in
+      let span_mean_us stats name =
+        match List.assoc_opt name stats.Obs.spans with
+        | Some (d : Obs.span_data) ->
+            let n = Array.fold_left ( + ) 0 d.Obs.count in
+            if n = 0 then Float.nan
+            else Array.fold_left ( +. ) 0.0 d.Obs.ns /. float_of_int n /. 1e3
+        | None -> Float.nan
+      in
+      (* Threshold sweep: from "spill every publish" up to "spill nothing"
+         (in-RAM baseline).  The memo hit rate counts selections answered
+         by an already-rehydrated block: rehydrate_memo /
+         (rehydrate + rehydrate_memo). *)
+      let thresholds = [ Some 16384; Some 32768; Some 131072; None ] in
+      let sweep =
+        List.mapi
+          (fun i threshold ->
+            let spec_s =
+              match threshold with
+              | Some b ->
+                  Printf.sprintf "klsm:%d+spill:%d+store:%s" k b
+                    (Filename.concat tmp (Printf.sprintf "sweep%d" i))
+              | None -> Printf.sprintf "klsm:%d" k
+            in
+            let spec =
+              match RR.parse_spec spec_s with
+              | Ok s -> s
+              | Error m -> failwith m
+            in
+            let r = RT.run config spec in
+            let spills = counter r.RT.stats "store.spill" in
+            let cold = counter r.RT.stats "store.rehydrate" in
+            let memo = counter r.RT.stats "store.rehydrate_memo" in
+            let hit_rate =
+              if cold + memo = 0 then Float.nan
+              else float_of_int memo /. float_of_int (cold + memo)
+            in
+            (threshold, r, spills, cold, memo, hit_rate))
+          thresholds
+      in
+      Report.section
+        (Printf.sprintf
+           "Store: spill-threshold sweep, klsm:%d, descending 50-50 mix, \
+            T=1 (real)"
+           k);
+      Report.table
+        ~header:
+          [
+            "threshold";
+            "ops/s";
+            "spills";
+            "cold fetches";
+            "memo hits";
+            "hit rate";
+            "spill us";
+            "rehydrate us";
+          ]
+        (List.map
+           (fun (threshold, (r : RT.result), spills, cold, memo, hit_rate) ->
+             [
+               (match threshold with
+               | Some b -> Printf.sprintf "%dB" b
+               | None -> "off (in-RAM)");
+               Report.human_float r.RT.throughput_per_thread;
+               string_of_int spills;
+               string_of_int cold;
+               string_of_int memo;
+               (if Float.is_nan hit_rate then "-"
+                else Printf.sprintf "%.2f" hit_rate);
+               (let v = span_mean_us r.RT.stats "store.spill" in
+                if Float.is_nan v then "-" else Printf.sprintf "%.0f" v);
+               (let v = span_mean_us r.RT.stats "store.rehydrate" in
+                if Float.is_nan v then "-" else Printf.sprintf "%.0f" v);
+             ])
+           sweep);
+      (* Recovery time vs recovered queue size: plant blocks whose cold
+         twins were dropped (the mid-spill-kill state), reopen, and time
+         [Spill.recover] rebuilding a 1-thread queue. *)
+      let alive _ = true in
+      let recovery =
+        List.map
+          (fun n ->
+            let root = Filename.concat tmp (Printf.sprintf "rec%d" n) in
+            let spill = Spill.create ~threshold:0 ~num_threads:1 ~root () in
+            let block_items = 256 in
+            let blocks = (n + block_items - 1) / block_items in
+            for b = 0 to blocks - 1 do
+              let base = b * block_items in
+              let count = min block_items (n - base) in
+              let pairs =
+                Array.init count (fun i ->
+                    let v = base + i in
+                    (7919 * ((v * 31) mod 997), v))
+              in
+              Array.sort (fun (a, _) (b, _) -> compare b a) pairs;
+              let blk =
+                Spill.Block.of_sorted_array ~filter:Bloom.empty
+                  (Array.map (fun (key, v) -> Spill.Item.make key v) pairs)
+              in
+              ignore (Spill.maybe_spill spill ~alive ~tid:0 blk)
+            done;
+            Spill.close spill;
+            let spill2 = Spill.create ~threshold:0 ~num_threads:1 ~root () in
+            let q = K.create_with ~k:256 ~num_threads:1 () in
+            let h = K.register q 0 in
+            let t0 = Real.time () in
+            let r = Spill.recover spill2 ~link:(fun b -> K.adopt_block h b) in
+            let dt = Real.time () -. t0 in
+            Spill.close spill2;
+            if r.Spill.items <> n then
+              failwith
+                (Printf.sprintf "bench store: recovered %d of %d items"
+                   r.Spill.items n);
+            (n, r.Spill.blocks, dt))
+          [ 1_000; 10_000; 50_000 ]
+      in
+      Report.section "Store: recovery time vs queue size (real)";
+      Report.table
+        ~header:[ "items"; "blocks"; "recover ms"; "items/s" ]
+        (List.map
+           (fun (n, blocks, dt) ->
+             [
+               string_of_int n;
+               string_of_int blocks;
+               Printf.sprintf "%.1f" (dt *. 1e3);
+               Report.human_float (float_of_int n /. dt);
+             ])
+           recovery);
+      let path = "BENCH_store.json" in
+      Report.write_json ~path
+        (Report.Obj
+           [
+             ("benchmark", Report.String "store");
+             ("backend", Report.String "real");
+             ( "sweep",
+               Report.List
+                 (List.map
+                    (fun ( threshold,
+                           (r : RT.result),
+                           spills,
+                           cold,
+                           memo,
+                           hit_rate ) ->
+                      Report.Obj
+                        [
+                          ( "threshold_bytes",
+                            match threshold with
+                            | Some b -> Report.Int b
+                            | None -> Report.Null );
+                          ( "ops_per_sec",
+                            Report.Float r.RT.throughput_per_thread );
+                          ("spills", Report.Int spills);
+                          ("cold_fetches", Report.Int cold);
+                          ("memo_hits", Report.Int memo);
+                          ( "memo_hit_rate",
+                            if Float.is_nan hit_rate then Report.Null
+                            else Report.Float hit_rate );
+                          ( "spill_mean_us",
+                            let v = span_mean_us r.RT.stats "store.spill" in
+                            if Float.is_nan v then Report.Null
+                            else Report.Float v );
+                          ( "rehydrate_mean_us",
+                            let v =
+                              span_mean_us r.RT.stats "store.rehydrate"
+                            in
+                            if Float.is_nan v then Report.Null
+                            else Report.Float v );
+                        ])
+                    sweep) );
+             ( "recovery",
+               Report.List
+                 (List.map
+                    (fun (n, blocks, dt) ->
+                      Report.Obj
+                        [
+                          ("items", Report.Int n);
+                          ("blocks", Report.Int blocks);
+                          ("seconds", Report.Float dt);
+                        ])
+                    recovery) );
+           ]);
+      Printf.printf "wrote %s\n%!" path)
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -882,6 +1115,7 @@ let sections =
     ("sched", sched);
     ("stats", stats_section);
     ("chaos", chaos_section);
+    ("store", store_section);
     ("ablation-spill", ablation_spill);
     ("ablation-bloom", ablation_bloom);
     ("ablation-cost", ablation_cost);

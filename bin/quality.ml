@@ -38,15 +38,18 @@ let run ~threads ~prefill ~ops ~impls ~seed ~csv =
           { Q.default_config with num_threads = threads; prefill; ops_per_thread = ops / threads; seed }
         in
         let r = Q.run config spec in
-        let rho =
-          match spec with
+        let rec rho_of = function
           | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (threads * k)
           | R.Klsm_sharded (k, s) ->
               (* Partitioned bound, DESIGN.md §12: rho <= (T+S) * ceil(k/S). *)
               string_of_int ((threads + s) * ((k + s - 1) / s))
           | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
           | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"
+          | R.Stored (inner, _) ->
+              (* Spilling moves payloads, not ordering: same bound. *)
+              rho_of inner
         in
+        let rho = rho_of spec in
         Printf.eprintf "done %s\n%!" (R.spec_name spec);
         [
           R.spec_name spec;

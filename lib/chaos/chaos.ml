@@ -69,6 +69,9 @@ let sites =
     "block_array.consolidate";
     "sharded.spill.publish";
     "sharded.migrate";
+    "store.spill";
+    "store.rehydrate";
+    "store.recover";
     "sched.execute.post_lease";
     "sched.execute.pre_complete";
   ]

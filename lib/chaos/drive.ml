@@ -32,6 +32,7 @@
 module Sim = Klsm_backend.Sim
 module K = Klsm_core.Klsm.Make (Sim)
 module SK = Klsm_core.Sharded_klsm.Make (Sim)
+module Spill = Klsm_store.Spill.Make (Sim)
 module Dist_lsm = Klsm_core.Dist_lsm
 module Shared = K.Shared_klsm
 module Block_array = K.Block_array
@@ -382,6 +383,146 @@ let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Store kill-and-restart case                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rm_rf root =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> go (Filename.concat p n)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists root then go root
+
+(** Kill-and-restart recovery case for the spill tier (docs/STORAGE.md):
+    run a spill-enabled combined queue (threshold low enough that most
+    shared publications hit the store) under a fault plan aimed at the
+    store's own protocol windows — mid-spill, mid-rehydrate, mid-publish —
+    then simulate whole-process death: discard every in-RAM structure,
+    reopen the same store root, [Spill.recover] into a {e fresh} queue,
+    and drain it.  The conservation oracle across the crash boundary:
+
+    - {e no invention}: every recovered payload was actually submitted,
+      and comes back under its original key (spill → recover → rehydrate
+      is byte-identical);
+    - {e no duplication}: no payload is recovered twice, and the recovery
+      drain delivers exactly the items the journal called live;
+    - {e no resurrection}: a payload delivered {e before} the kill never
+      comes back after it (the [R]-before-delivery journal rule);
+    - the journal replays clean (no torn lines, no corrupt objects).
+
+    Payloads that were RAM-resident and undelivered at the kill are
+    legitimately lost — the crash model loses in-RAM state — so plain
+    conservation is {e not} asserted across the boundary; that is exactly
+    what distinguishes this case from {!queue_case}. *)
+let store_case ~seed ~threads ~per_thread ~k ~threshold plan =
+  Sim.configure ~seed ();
+  let plan_text = Chaos.plan_to_string plan in
+  let root = Filename.temp_dir "klsm-chaos-store" "" in
+  Fun.protect ~finally:(fun () -> rm_rf root) @@ fun () ->
+  let spill = Spill.create ~threshold ~num_threads:threads ~root () in
+  let q =
+    K.create_with ~seed ~k ~num_threads:threads
+      ~spill_policy:(Spill.policy spill) ()
+  in
+  let handles = Array.make threads None in
+  let total = threads * per_thread in
+  let got = Array.make total 0 in
+  (* [key_of.(p) >= 0] means insert [p] was at least {e entered}: a thread
+     killed inside its own insert (e.g. mid-spill) can leave that one
+     in-flight payload durable, so "known to the store" is gated on entry,
+     not on the insert returning. *)
+  let key_of = Array.make total (-1) in
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  Chaos.install plan;
+  (try
+     Sim.parallel_run ~num_threads:threads (fun tid ->
+         let h = K.register q tid in
+         handles.(tid) <- Some h;
+         let rng = Xoshiro.create ~seed:(seed + (7919 * tid)) in
+         for i = 0 to per_thread - 1 do
+           let payload = (tid * per_thread) + i in
+           let key = Xoshiro.int rng key_range in
+           key_of.(payload) <- key;
+           K.insert h key payload;
+           if i land 1 = 1 then
+             match K.try_delete_min h with
+             | None -> ()
+             | Some (_, v) -> got.(v) <- got.(v) + 1
+         done)
+   with Sim.Thread_failure (tid, e) ->
+     violation "thread %d failed: %s" tid (Printexc.to_string e));
+  let faults = Chaos.stats () in
+  let crashed = Chaos.crashed_tids () in
+  Chaos.uninstall ();
+  for p = 0 to total - 1 do
+    if got.(p) > 1 then violation "payload %d delivered twice pre-kill" p
+  done;
+  (* The kill: every in-RAM structure is dead.  The journal's appends are
+     flushed per record, so closing the channels models a process whose
+     fds are reaped mid-run. *)
+  Spill.close spill;
+  (* Restart: reopen the same root, recover into a fresh single-thread
+     queue, and drain it dry. *)
+  let spill2 = Spill.create ~threshold ~num_threads:threads ~root () in
+  let q2 = K.create_with ~seed ~k ~num_threads:1 () in
+  let h2 = K.register q2 0 in
+  let rec_result = Spill.recover spill2 ~link:(fun b -> K.adopt_block h2 b) in
+  if rec_result.Spill.skipped_lines > 0 then
+    violation "journal replay skipped %d lines" rec_result.Spill.skipped_lines;
+  List.iter
+    (fun (digest, msg) -> violation "corrupt object %s: %s" digest msg)
+    rec_result.Spill.corrupt;
+  let got2 = Array.make total 0 in
+  let drained2 = ref 0 in
+  let misses = ref 0 in
+  while !misses < 300 do
+    match K.try_delete_min h2 with
+    | Some (dk, v) ->
+        incr drained2;
+        misses := 0;
+        if v < 0 || v >= total || key_of.(v) < 0 then
+          violation "recovered unknown payload %d" v
+        else begin
+          got2.(v) <- got2.(v) + 1;
+          if dk <> key_of.(v) then
+            violation "payload %d recovered under key %d, inserted as %d" v dk
+              key_of.(v)
+        end
+    | None -> incr misses
+  done;
+  Spill.close spill2;
+  for p = 0 to total - 1 do
+    if got2.(p) > 1 then violation "payload %d recovered twice" p;
+    if got.(p) > 0 && got2.(p) > 0 then
+      violation "payload %d resurrected (delivered pre-kill and recovered)" p
+  done;
+  if !drained2 <> rec_result.Spill.items then
+    violation "recovery drain: %d delivered, journal promised %d" !drained2
+      rec_result.Spill.items;
+  let pre_delivered = Array.fold_left ( + ) 0 got in
+  {
+    label = "store";
+    seed;
+    plan_text;
+    cas_fails = faults.Chaos.cas_fails;
+    stalls = faults.Chaos.stalls;
+    crashes = faults.Chaos.crashes;
+    violations = List.rev !violations;
+    info =
+      [
+        ("items", total);
+        ("pre_delivered", pre_delivered);
+        ("recovered_blocks", rec_result.Spill.blocks);
+        ("recovered_items", rec_result.Spill.items);
+        ("crashed_threads", List.length crashed);
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler-level case                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -497,7 +638,12 @@ let queue_sites =
 let sharded_sites =
   queue_sites @ [ "sharded.spill.publish"; "sharded.migrate" ]
 
-let sched_sites = Chaos.sites
+(* Scheduler runs have no spill tier, so the store.* fault points never
+   fire there; drawing them would only dilute the sched sweep. *)
+let sched_sites =
+  List.filter
+    (fun s -> not (String.length s > 6 && String.sub s 0 6 = "store."))
+    Chaos.sites
 
 (** One deterministic plan per seed, alternating case kinds and cycling
     the primary fault kind (see {!Chaos.random_plan}); every third seed
@@ -552,13 +698,37 @@ let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
   |> List.mapi (fun i plan ->
          sharded_case ~seed:(seed0 + i) ~threads ~per_thread ~k ~shards plan)
 
+(** Fixed spill-tier plans (the ISSUE's kill-and-restart acceptance bar),
+    every one followed by a full process-death + {!Spill.recover} cycle:
+
+    - a kill {e mid-spill}, after the object file and [S] record are
+      durable but before the cold twin links — the items have no live RAM
+      pointer (claim-first protocol) and {e must} come back via recovery;
+    - a kill {e mid-rehydrate}, before the [R] record — the instance must
+      stay live and recover intact;
+    - a kill {e mid-publish} with spilled blocks in flight;
+    - a stall mid-spill, letting every other thread run against the
+      half-spilled state (items claimed, cold twin unpublished). *)
+let store_targeted ~threads ~per_thread ~k ~seed0 =
+  [
+    [ Chaos.rule ~tid:1 ~hit:1 "store.spill" Chaos.Crash ];
+    [ Chaos.rule ~tid:2 ~hit:1 "store.rehydrate" Chaos.Crash ];
+    [ Chaos.rule ~tid:1 ~hit:2 "shared.push_snapshot.before" Chaos.Crash ];
+    [ Chaos.rule ~hit:3 "store.spill" (Chaos.Stall 20_000) ];
+  ]
+  |> List.mapi (fun i plan ->
+         store_case ~seed:(seed0 + i) ~threads ~per_thread ~k ~threshold:64
+           plan)
+
 (** Run [seeds] random cases starting at [seed0] (queue / sharded-queue /
-    scheduler rotation), then the fixed sharded-queue plans. *)
+    scheduler rotation), then the fixed sharded-queue plans, then the
+    fixed store kill-and-restart plans. *)
 let sweep ?(seed0 = 0xC4A05) ?(threads = 4) ?(per_thread = 400) ?(roots = 60)
     ?(k = 8) ~seeds () =
   List.init seeds (fun i ->
       case_for ~threads ~per_thread ~roots ~k i (seed0 + i))
   @ sharded_targeted ~threads ~per_thread ~k ~shards:2 ~seed0:(seed0 + seeds)
+  @ store_targeted ~threads ~per_thread ~k ~seed0:(seed0 + seeds + 16)
 
 (* ------------------------------------------------------------------ *)
 (* Teeth: the planted-bug check                                        *)

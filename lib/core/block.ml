@@ -32,7 +32,14 @@
 
     The [filter] is the Bloom filter of contributing thread ids used for
     local ordering semantics (§4.1); it is only ever updated before a block
-    is published, so it needs no synchronization. *)
+    is published, so it needs no synchronization.
+
+    {b Payload residency} (lib/store; docs/STORAGE.md): a block's boxed
+    items are either [Resident] (an in-RAM array, the default) or [Spilled]
+    (on disk in the content-addressed store, rehydrated on first selection
+    and memoized).  The [keys] mirror is {e always} resident, which is what
+    lets every decision path — pivots, min hints, merge ordering — run
+    identically on spilled blocks; see {!items}. *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Item = Item.Make (B)
@@ -49,9 +56,32 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Published  (** possibly reachable by other threads; never recycled *)
     | Retired  (** arrays handed back to the owner's pool; must be dead *)
 
+  (** Where a block's boxed items live (lib/store; docs/STORAGE.md).  A
+      [Resident] block is the classic in-RAM block.  A [Spilled] block's
+      items sit in the content-addressed store under [ident]; only the
+      [keys] mirror stays resident, so every find-min/pivot/merge {e
+      decision} runs without touching the payload, and only item {e
+      selection} faults it back in through {!items}.  [memo] caches the
+      rehydrated array forever after (a block never flips back to
+      [Resident]: an atomic [memo] read is the publication fence that makes
+      cross-thread rehydration safe, and it is only paid on spilled
+      blocks). *)
+  type 'v cold = {
+    fetch : unit -> 'v Item.t array;
+        (** load + verify + journal; provided by the store layer *)
+    note_memo : unit -> unit;  (** observability hook for memo hits *)
+    claim : bool B.atomic;  (** rehydration mutual exclusion *)
+    memo : 'v Item.t array option B.atomic;
+    ident : string;  (** content digest, for tests and GC *)
+  }
+
+  and 'v payload = Resident of 'v Item.t array | Spilled of 'v cold
+
   type 'v t = {
     level : int;
-    items : 'v Item.t array;  (** capacity [2^level]; descending keys *)
+    payload : 'v payload;
+        (** [Resident]: capacity [2^level], descending keys.  [Spilled]:
+            items on disk; [keys] holds exactly the serialized keys. *)
     keys : int array;  (** [keys.(i) = Item.key items.(i)] for [i < filled] *)
     filled : int B.atomic;
     mutable filter : Bloom.t;
@@ -62,10 +92,84 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   let level t = t.level
   let filled t = B.get t.filled
-  let capacity t = Array.length t.items
+
+  let capacity t =
+    match t.payload with
+    | Resident items -> Array.length items
+    | Spilled _ -> Array.length t.keys
+
   let filter t = t.filter
   let state t = t.state
   let is_empty t = filled t = 0
+
+  (** Is any part of this block's payload on disk (even if memoized back)? *)
+  let is_spilled t =
+    match t.payload with Resident _ -> false | Spilled _ -> true
+
+  (** Is the payload {e only} on disk?  Cold blocks hold no dead items (the
+      spiller claims items before serializing, so everything serialized is
+      alive, and taking an item requires its in-RAM pointer): [shrink] and
+      [count_alive] exploit this to stay off the disk.  One atomic read on
+      spilled blocks; a plain pattern match on resident ones. *)
+  let is_cold t =
+    match t.payload with
+    | Resident _ -> false
+    | Spilled c -> Option.is_none (B.get c.memo)
+
+  (** Content digest of a spilled block ([None] for resident ones). *)
+  let ident t =
+    match t.payload with Resident _ -> None | Spilled c -> Some c.ident
+
+  (** The boxed items without waiting.  Resident blocks: one pattern
+      match, no atomics — the hot paths are unperturbed.  Spilled blocks:
+      first access wins the [claim] CAS and runs [fetch] (disk read,
+      digest verification, journal append); while that fetch is in flight
+      every other caller gets [None] — selection paths treat such a block
+      as transiently unavailable and pick elsewhere (the same transient
+      the spill window itself already imposes, and well inside the
+      relaxed semantics).  The memo is never demoted, so every item
+      pointer ever handed out aliases the single canonical array —
+      [Item.take] visibility works exactly as for resident blocks.  If
+      [fetch] dies (corruption, chaos kill) the claim is released so
+      another thread can retry. *)
+  let try_items t =
+    match t.payload with
+    | Resident a -> Some a
+    | Spilled c -> (
+        match B.get c.memo with
+        | Some a ->
+            c.note_memo ();
+            Some a
+        | None ->
+            if B.compare_and_set c.claim false true then begin
+              match c.fetch () with
+              | a ->
+                  B.set c.memo (Some a);
+                  Some a
+              | exception e ->
+                  B.set c.claim false;
+                  raise e
+            end
+            else None)
+
+  (** The boxed items, waiting out a concurrent fetch if there is one.
+      For paths that cannot pick elsewhere (merges materialize the union
+      whatever it costs). *)
+  let rec items t =
+    match try_items t with
+    | Some a -> a
+    | None ->
+        (* A genuine yield, not cpu_relax: the claim holder is doing
+           milliseconds of disk + digest work, and on oversubscribed
+           cores a pause-loop waiter would starve it for timeslices. *)
+        B.yield ();
+        items t
+
+  (* Writes under construction only ever target resident blocks. *)
+  let resident_exn t =
+    match t.payload with
+    | Resident a -> a
+    | Spilled _ -> invalid_arg "Block: write into a spilled block"
 
   (** Per-thread freelist of retired blocks, binned by level (paper §4.4's
       reuse scheme).  Strictly single-owner: only the owning thread ever
@@ -122,21 +226,28 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Hand a block's arrays back to the owning thread's pool.  A no-op on
       [Published] blocks (spies/snapshots may still hold them — §4.4's GC
       fallback) and without a pool; callers therefore never need to track
-      ownership at the call site. *)
+      ownership at the call site.  Spilled blocks are marked dead but never
+      pooled: their [keys] array has payload length, not [2^level], and
+      their payload state must not leak into a recycled block. *)
   let retire ?pool t =
     match pool with
     | None -> ()
     | Some p -> (
         match t.state with
         | Published | Retired -> ()
-        | Private ->
+        | Private -> (
             t.state <- Retired;
-            let l = t.level in
-            if l <= Pool.max_level && p.Pool.counts.(l) < Pool.max_per_level
-            then begin
-              p.Pool.slots.(l) <- t :: p.Pool.slots.(l);
-              p.Pool.counts.(l) <- p.Pool.counts.(l) + 1
-            end)
+            match t.payload with
+            | Spilled _ -> ()
+            | Resident _ ->
+                let l = t.level in
+                if
+                  l <= Pool.max_level
+                  && p.Pool.counts.(l) < Pool.max_per_level
+                then begin
+                  p.Pool.slots.(l) <- t :: p.Pool.slots.(l);
+                  p.Pool.counts.(l) <- p.Pool.counts.(l) + 1
+                end))
 
   (** Mark a block reachable by other threads.  Must run before the
       publishing write (slot store / snapshot CAS): from then on the block
@@ -157,7 +268,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       let cap = capacity_of_level level in
       {
         level;
-        items = Array.make cap exemplar;
+        payload = Resident (Array.make cap exemplar);
         keys = Array.make cap 0;
         filled = B.make 0;
         filter = Bloom.empty;
@@ -168,12 +279,60 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | None -> fresh ()
     | Some p -> ( match pool_acquire p level with Some b -> b | None -> fresh ())
 
+  (** [spilled ~level ~keys ~ident ...] is a cold block over a store object:
+      [keys] (descending, exactly the serialized keys) is the resident
+      mirror, [fetch] loads the items on first selection.  Built by the
+      spill policy and by recovery (lib/store), never by the queue
+      itself. *)
+  let spilled ~level ~keys ~ident ~note_memo ~fetch =
+    {
+      level;
+      payload =
+        Spilled { fetch; note_memo; claim = B.make false; memo = B.make None; ident };
+      keys;
+      filled = B.make (Array.length keys);
+      (* Cold blocks opt out of local-ordering peeks: an empty filter keeps
+         find_min's Bloom loop from faulting the payload in. *)
+      filter = Bloom.empty;
+      state = Private;
+    }
+
   (** [singleton ~filter item] is the level-0 block of one item. *)
   let singleton ?pool ~filter item =
     let b = create_with_exemplar ?pool 0 item in
-    b.items.(0) <- item;
+    (resident_exn b).(0) <- item;
     b.keys.(0) <- Item.key item;
     B.set b.filled 1;
+    b.filter <- filter;
+    b
+
+  (** [of_sorted_array ~filter items] is a block holding exactly [items],
+      whose keys must already be descending (checked); the level is the
+      smallest whose capacity fits.  This is the bulk constructor for
+      tests, benchmarks, and recovery planting — folding {!merge} over
+      singletons is not equivalent: each merge allocates at
+      [1 + max level], so an n-item fold transiently demands a
+      [2^n]-capacity block. *)
+  let of_sorted_array ?pool ~filter items =
+    let n = Array.length items in
+    if n = 0 then invalid_arg "Block.of_sorted_array: empty";
+    let lvl = ref 0 in
+    while capacity_of_level !lvl < n do
+      incr lvl
+    done;
+    let b = create_with_exemplar ?pool !lvl items.(0) in
+    let dst = resident_exn b in
+    let prev = ref max_int in
+    Array.iteri
+      (fun i it ->
+        let k = Item.key it in
+        if k > !prev then
+          invalid_arg "Block.of_sorted_array: keys not descending";
+        prev := k;
+        dst.(i) <- it;
+        b.keys.(i) <- k)
+      items;
+    B.set b.filled n;
     b.filter <- filter;
     b
 
@@ -182,7 +341,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       retries after consolidation). *)
   let last_item t =
     let f = filled t in
-    if f = 0 then None else Some t.items.(f - 1)
+    if f = 0 then None else Some (items t).(f - 1)
 
   (** First alive item scanning from the minimum upward; [None] if the whole
       block is dead.  Opportunistically publishes the shortened [filled] so
@@ -192,6 +351,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       (paper §4.1). *)
   let peek_min ~alive t =
     let f = filled t in
+    let its = if f = 0 then [||] else items t in
     let rec scan i =
       if i < 0 then begin
         if f > 0 then B.set t.filled 0;
@@ -199,7 +359,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       end
       else begin
         B.tick 1;
-        let it = t.items.(i) in
+        let it = its.(i) in
         if alive it then begin
           if i < f - 1 then B.set t.filled (i + 1);
           Some it
@@ -209,32 +369,47 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     in
     scan (f - 1)
 
-  (** Count of alive items; O(filled), for tests and spill decisions. *)
+  (** Count of alive items; O(filled), for tests and spill decisions.  Cold
+      blocks hold only alive items (see {!is_cold}), counted without
+      faulting the payload in. *)
   let count_alive ~alive t =
-    let n = ref 0 in
-    for i = 0 to filled t - 1 do
-      if alive t.items.(i) then incr n
-    done;
-    !n
+    if is_cold t then filled t
+    else begin
+      let its = items t in
+      let n = ref 0 in
+      for i = 0 to filled t - 1 do
+        if alive its.(i) then incr n
+      done;
+      !n
+    end
 
   let iter ~f t =
-    for i = 0 to filled t - 1 do
-      f t.items.(i)
-    done
+    let fl = filled t in
+    if fl > 0 then begin
+      let its = items t in
+      for i = 0 to fl - 1 do
+        f its.(i)
+      done
+    end
 
   let to_list t =
-    let acc = ref [] in
-    for i = 0 to filled t - 1 do
-      acc := t.items.(i) :: !acc
-    done;
-    List.rev !acc
+    let fl = filled t in
+    if fl = 0 then []
+    else begin
+      let its = items t in
+      let acc = ref [] in
+      for i = 0 to fl - 1 do
+        acc := its.(i) :: !acc
+      done;
+      List.rev !acc
+    end
 
   (* Append with a precomputed key (hot paths stream keys from the flat
      array instead of re-reading the boxed item). *)
   let append_keyed ~alive t item key =
     if alive item then begin
       let f = B.get t.filled in
-      t.items.(f) <- item;
+      (resident_exn t).(f) <- item;
       t.keys.(f) <- key;
       B.set t.filled (f + 1)
     end
@@ -247,12 +422,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       filtering only shrinks). *)
   let copy ?pool ~alive t lvl =
     let f = filled t in
+    let its = items t in
     let nb =
-      create_with_exemplar ?pool lvl t.items.(if f = 0 then 0 else f - 1)
+      create_with_exemplar ?pool lvl its.(if f = 0 then 0 else f - 1)
     in
     nb.filter <- t.filter;
     for i = 0 to f - 1 do
-      append_keyed ~alive nb t.items.(i) t.keys.(i)
+      append_keyed ~alive nb its.(i) t.keys.(i)
     done;
     B.tick f;
     nb
@@ -266,10 +442,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       untouched). *)
   let merge ?pool ~alive b1 b2 =
     let f1 = filled b1 and f2 = filled b2 in
+    (* A spilled input rehydrates here: merging materializes the union, so
+       the cold payload is needed in RAM anyway (its journal entry retires
+       on fetch; the merged output is an ordinary resident block). *)
+    let i1 = if f1 > 0 then items b1 else [||] in
+    let i2 = if f2 > 0 then items b2 else [||] in
     let lvl = 1 + max b1.level b2.level in
     let exemplar =
-      if f1 > 0 then b1.items.(0)
-      else if f2 > 0 then b2.items.(0)
+      if f1 > 0 then i1.(0)
+      else if f2 > 0 then i2.(0)
       else invalid_arg "Block.merge: both blocks empty"
     in
     let nb = create_with_exemplar ?pool lvl exemplar in
@@ -281,20 +462,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     while !i < f1 && !j < f2 do
       let x = k1.(!i) and y = k2.(!j) in
       if x >= y then begin
-        append_keyed ~alive nb b1.items.(!i) x;
+        append_keyed ~alive nb i1.(!i) x;
         incr i
       end
       else begin
-        append_keyed ~alive nb b2.items.(!j) y;
+        append_keyed ~alive nb i2.(!j) y;
         incr j
       end
     done;
     while !i < f1 do
-      append_keyed ~alive nb b1.items.(!i) k1.(!i);
+      append_keyed ~alive nb i1.(!i) k1.(!i);
       incr i
     done;
     while !j < f2 do
-      append_keyed ~alive nb b2.items.(!j) k2.(!j);
+      append_keyed ~alive nb i2.(!j) k2.(!j);
       incr j
     done;
     B.tick (f1 + f2);
@@ -307,8 +488,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       filters dead items out of the middle too).  A [Private] input that is
       copied down is retired into [pool]. *)
   let rec shrink ?pool ~alive t =
+    if is_cold t then t
+      (* Cold blocks carry no dead items and no unfilled tail — there is
+         nothing to shrink, and staying out of [items] is what keeps routine
+         consolidations from faulting the whole cold tier back in. *)
+    else begin
+    let its = items t in
     let f = ref (filled t) in
-    while !f > 0 && not (alive t.items.(!f - 1)) do
+    while !f > 0 && not (alive its.(!f - 1)) do
       B.tick 1;
       decr f
     done;
@@ -326,24 +513,39 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       if !f < B.get t.filled then B.set t.filled !f;
       t
     end
+    end
 
   (** Validate the block invariants (tests and chaos oracles): descending
       keys, filled within capacity, the SoA mirror
       [keys.(i) = Item.key items.(i)], and — the pool-safety oracle — that
-      no [Retired] block is reachable from a live structure. *)
+      no [Retired] block is reachable from a live structure.  On cold
+      blocks the mirror check is skipped (checking it would fault the
+      payload in; the store layer verifies the digest and the key mirror on
+      every rehydration instead). *)
   let check_invariants t =
     let f = filled t in
     if f < 0 || f > capacity t then failwith "Block: filled out of range";
-    if Array.length t.keys <> Array.length t.items then
-      failwith "Block: keys/items capacity mismatch";
+    (match t.payload with
+    | Resident items ->
+        if Array.length t.keys <> Array.length items then
+          failwith "Block: keys/items capacity mismatch"
+    | Spilled c -> (
+        match B.get c.memo with
+        | None -> ()
+        | Some items ->
+            if Array.length t.keys <> Array.length items then
+              failwith "Block: keys/items capacity mismatch"));
     (match t.state with
     | Retired -> failwith "Block: retired block reachable"
     | Private | Published -> ());
     for i = 0 to f - 2 do
       if t.keys.(i) < t.keys.(i + 1) then failwith "Block: keys not descending"
     done;
-    for i = 0 to f - 1 do
-      if t.keys.(i) <> Item.key t.items.(i) then
-        failwith "Block: keys mirror out of sync"
-    done
+    if not (is_cold t) then begin
+      let its = items t in
+      for i = 0 to f - 1 do
+        if t.keys.(i) <> Item.key its.(i) then
+          failwith "Block: keys mirror out of sync"
+      done
+    end
 end

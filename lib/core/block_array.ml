@@ -260,10 +260,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
          is structurally empty (filled = 0 everywhere), which implies every
          item was dead, because [filled] is only ever decremented past dead
          items.  Comparisons stream the flat [keys] arrays; the boxed item
-         is read once, at the end. *)
-      let block_minima_fallback () =
+         is read once, at the end.
+
+         A block whose payload is mid-fetch on another thread
+         ([Block.try_items] = [None]) is skipped on the first pass —
+         relaxation lets us answer from elsewhere instead of waiting on
+         its disk read.  Only if {e every} candidate is mid-fetch does the
+         [~wait] pass block on {!Block.items}: a false "empty" answer is
+         not among the liberties the relaxed contract grants. *)
+      let rec block_minima_fallback ~wait () =
         let best = ref None in
         let best_key = ref max_int in
+        let in_flight = ref false in
         for i = 0 to n - 1 do
           let b = t.blocks.(i) in
           let f = Block.filled b in
@@ -271,14 +279,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             let key = b.Block.keys.(f - 1) in
             if Option.is_none !best || key < !best_key then begin
               (* [keys.(f-1)] and [items.(f-1)] are read at the same index,
-                 so the pair stays consistent even while [filled] shrinks. *)
-              best := Some b.Block.items.(f - 1);
-              best_key := key
+                 so the pair stays consistent even while [filled] shrinks.
+                 [Block.items] is the selection point: this is where a
+                 spilled block's payload rehydrates. *)
+              match
+                if wait then Some (Block.items b) else Block.try_items b
+              with
+              | Some its ->
+                  best := Some its.(f - 1);
+                  best_key := key
+              | None -> in_flight := true
             end
           end
         done;
-        !best
+        match !best with
+        | None when !in_flight -> block_minima_fallback ~wait:true ()
+        | r -> r
       in
+      let block_minima_fallback () = block_minima_fallback ~wait:false () in
       let random_choice =
         if !total <= 0 then block_minima_fallback ()
         else begin
@@ -290,17 +308,52 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             let filled = Block.filled b in
             let range = filled - t.pivots.(!i) in
             if range > 0 && !r < range then begin
-              let item =
-                if !r <> range - 1 then begin
-                  let it = b.Block.items.(t.pivots.(!i) + !r) in
-                  if alive it then it
-                  else
-                    (* Fall back to the minimal element in this block. *)
-                    b.Block.items.(filled - 1)
-                end
-                else b.Block.items.(filled - 1)
-              in
-              chosen := Some item
+              (* Selection reads the boxed items — the one place the random
+                 candidate path faults a spilled payload in.  A payload
+                 mid-fetch on another thread is skipped (relaxation:
+                 answer from the next candidate instead of waiting on a
+                 disk read); the fallback below waits only if every block
+                 is in that state. *)
+              match Block.try_items b with
+              | Some its ->
+                  let direct =
+                    if !r <> range - 1 then its.(t.pivots.(!i) + !r)
+                    else its.(filled - 1)
+                  in
+                  let item =
+                    if alive direct then direct
+                    else begin
+                      (* Fall back to the minimal {e alive} item within the
+                         candidate range, truncating the dead tail on the
+                         way (the same benign [filled] shrink [peek_min]
+                         performs for the local-ordering path).  This
+                         matters most for rehydrated spilled blocks, whose
+                         empty Bloom filter keeps them off that path:
+                         without the shrink every delete-min against such a
+                         block re-selects its taken minimum and pays a full
+                         consolidation.  The scan must not leave
+                         [pivots.(i)..filled-1]: the pivots bound the
+                         candidate set to the globally k-smallest tail, and
+                         selecting an item above the cutoff would break the
+                         rank guarantee.  A range with no alive item
+                         returns the dead item so the caller's
+                         consolidation still fires. *)
+                      let lo = t.pivots.(!i) in
+                      let rec scan j =
+                        if j < lo then direct
+                        else if alive its.(j) then begin
+                          if j < filled - 1 then B.set b.Block.filled (j + 1);
+                          its.(j)
+                        end
+                        else scan (j - 1)
+                      in
+                      scan (filled - 1)
+                    end
+                  in
+                  chosen := Some item
+              | None ->
+                  r := 0;
+                  incr i
             end
             else begin
               if range > 0 then r := !r - range;

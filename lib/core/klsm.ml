@@ -35,6 +35,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_spy_attempt = Obs.counter "klsm.spy_attempt"
   let c_spy_success = Obs.counter "klsm.spy_success"
 
+  (** A durability hook (lib/store): applied to every block headed for the
+      shared component; may replace it with a cold, store-backed twin
+      ([Spill.policy]).  [alive] lets the policy skip condemned items;
+      [tid] routes its journal appends to the calling thread's log. *)
+  type 'v spill_policy =
+    alive:('v Item.t -> bool) -> tid:int -> 'v Block.t -> 'v Block.t
+
   type 'v t = {
     shared : 'v Shared_klsm.t;
     dists : 'v Dist_lsm.t option B.atomic array;  (** victims, §4.3 *)
@@ -44,6 +51,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     alive : 'v Item.t -> bool;
     spill_max_level : int option;
         (** ablation override of the §4.3 spill threshold *)
+    spill_policy : 'v spill_policy option;
     obs : Obs.sheet;  (** per-thread internal event counters (lib/obs) *)
   }
 
@@ -52,6 +60,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     tid : int;
     dist : 'v Dist_lsm.t;
     shared_h : 'v Shared_klsm.handle;
+    spill_tx : 'v Block.t -> 'v Block.t;
+        (** the spill policy pre-applied to this thread ([Fun.id] when the
+            queue has no durability tier) *)
     rng : Xoshiro.t;
     obs : Obs.handle;
     pool : 'v Block.Pool.t;
@@ -60,7 +71,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   }
 
   let create_with ?(seed = 1) ?(k = 256) ?should_delete ?on_lazy_delete
-      ?spill_max_level ?(local_ordering = true) ~num_threads () =
+      ?spill_max_level ?spill_policy ?(local_ordering = true) ~num_threads () =
     if num_threads < 1 then invalid_arg "Klsm.create: num_threads < 1";
     let hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed) in
     let alive =
@@ -90,6 +101,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       hasher;
       alive;
       spill_max_level;
+      spill_policy;
       obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
@@ -116,10 +128,22 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       dist;
       shared_h =
         Shared_klsm.register ~obs ~pool t.shared ~tid ~rng:(Xoshiro.split rng);
+      spill_tx =
+        (match t.spill_policy with
+        | None -> Fun.id
+        | Some p -> fun block -> p ~alive:t.alive ~tid block);
       rng;
       obs;
       pool;
     }
+
+  (* Publish a block into the shared component, through the durability
+     policy.  Every path a block takes into [t.shared] funnels here. *)
+  let share h block = Shared_klsm.insert h.shared_h (h.spill_tx block)
+
+  (** Insert a block directly into the shared component (recovery path:
+      [Spill.recover] links rebuilt cold blocks through this). *)
+  let adopt_block h block = share h block
 
   (** Insert a key (§4.3): a fresh item goes into the thread-local LSM; if
       the merge cascade produces a block too large to stay local (level
@@ -133,8 +157,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | Some l -> l
       | None -> Dist_lsm.max_level_for_k (Shared_klsm.get_k h.t.shared)
     in
-    Dist_lsm.insert h.dist item ~max_level
-      ~spill:(fun block -> Shared_klsm.insert h.shared_h block)
+    Dist_lsm.insert h.dist item ~max_level ~spill:(fun block -> share h block)
 
   (** Bulk insertion: a whole batch becomes one sorted block inserted into
       the shared component with a single CAS — the LSM's natural strength
@@ -162,7 +185,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         block.Block.filter <-
           Klsm_primitives.Bloom.singleton ~hasher:h.t.hasher h.tid;
         Array.iter (fun it -> Block.append ~alive:h.t.alive block it) items;
-        Shared_klsm.insert h.shared_h block
+        share h block
 
   (* Spy on one random other thread (Listing 5's fallback when both
      components look empty). *)
@@ -256,7 +279,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         let b = Block.copy ~alive:h.t.alive block (Block.level block) in
         b.Block.filter <- Klsm_primitives.Bloom.full;
         let b = Block.shrink ~alive:h.t.alive b in
-        if not (Block.is_empty b) then Shared_klsm.insert h.shared_h b
+        if not (Block.is_empty b) then share h b
       end
     in
     List.iter adopt (Shared_klsm.steal_all src.shared);

@@ -72,6 +72,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       while we starved. *)
   let migrate_threshold = 8
 
+  (** Durability hook; same shape as {!Klsm.Make.spill_policy} (the types
+      are equal through the applicative functor). *)
+  type 'v spill_policy =
+    alive:('v Item.t -> bool) -> tid:int -> 'v Block.t -> 'v Block.t
+
   type 'v t = {
     stripes : 'v Shared_klsm.t array;
     dists : 'v Dist_lsm.t option B.atomic array;  (** victims, §4.3 *)
@@ -83,6 +88,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     alive : 'v Item.t -> bool;
     spill_max_level : int option;
         (** ablation override of the §4.3 spill threshold *)
+    spill_policy : 'v spill_policy option;
+        (** durability hook (lib/store); see {!Klsm.Make.spill_policy} *)
     obs : Obs.sheet;
   }
 
@@ -90,6 +97,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     t : 'v t;
     tid : int;
     dist : 'v Dist_lsm.t;
+    spill_tx : 'v Block.t -> 'v Block.t;
+        (** the spill policy pre-applied to this thread *)
     stripe_hs : 'v Shared_klsm.handle array;  (** one handle per stripe *)
     mutable home : int;  (** current home stripe (spill target) *)
     mutable rr : int;  (** second-chance rotation counter *)
@@ -115,8 +124,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   }
 
   let create_with ?(seed = 1) ?(k = 256) ?(shards = 4) ?should_delete
-      ?on_lazy_delete ?spill_max_level ?(local_ordering = true) ~num_threads
-      () =
+      ?on_lazy_delete ?spill_max_level ?spill_policy
+      ?(local_ordering = true) ~num_threads () =
     if num_threads < 1 then
       invalid_arg "Sharded_klsm.create: num_threads < 1";
     if shards < 1 then invalid_arg "Sharded_klsm.create: shards < 1";
@@ -155,6 +164,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       hasher;
       alive;
       spill_max_level;
+      spill_policy;
       obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
@@ -194,6 +204,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         t;
         tid;
         dist;
+        spill_tx =
+          (match t.spill_policy with
+          | None -> Fun.id
+          | Some p -> fun block -> p ~alive:t.alive ~tid block);
         stripe_hs;
         home = tid mod t.num_stripes;
         rr = 0;
@@ -236,6 +250,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
      publish completed (a {!Shared_klsm.insert} retries on its stripe until
      it wins, so the decision applies to the next spill). *)
   let spill_to_home h block =
+    let block = h.spill_tx block in
     B.fault_point "sharded.spill.publish";
     Shared_klsm.insert h.stripe_hs.(h.home) block;
     if h.migrate_pending && h.t.num_stripes > 1 then begin
@@ -506,6 +521,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         | None -> ())
       t.dists;
     !acc
+
+  (** Insert a block directly into the home stripe (recovery path:
+      [Spill.recover] links rebuilt cold blocks through this; the policy
+      passes already-spilled blocks through untouched). *)
+  let adopt_block h block = spill_to_home h block
 
   (* Internal accessors for white-box tests and the chaos drive. *)
   let internal_stripes t = t.stripes

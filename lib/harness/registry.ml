@@ -13,6 +13,7 @@
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Klsm = Klsm_core.Klsm.Make (B)
   module Sharded = Klsm_core.Sharded_klsm.Make (B)
+  module Spill = Klsm_store.Spill.Make (B)
   module Dlsm = Klsm_core.Dlsm.Make (B)
   module Locked_heap = Klsm_baselines.Locked_heap.Make (B)
   module Linden = Klsm_baselines.Linden_pq.Make (B)
@@ -20,6 +21,16 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Multiq = Klsm_baselines.Multiq.Make (B)
   module Wimmer_centralized = Klsm_baselines.Wimmer_centralized.Make (B)
   module Wimmer_hybrid = Klsm_baselines.Wimmer_hybrid.Make (B)
+
+  (** Durability-tier parameters parsed from the [+spill:<bytes>] /
+      [+store:<dir>] spec suffixes (lib/store; docs/STORAGE.md). *)
+  type store_cfg = {
+    spill_bytes : int;  (** eviction threshold: serialized block size *)
+    store_dir : string;  (** store root (objects + journal) *)
+  }
+
+  let default_store_dir = Filename.concat "_store" "default"
+  let default_spill_bytes = 1 lsl 20
 
   type spec =
     | Heap_lock
@@ -31,8 +42,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Dlsm
     | Wimmer_centralized
     | Wimmer_hybrid of int  (** k *)
+    | Stored of spec * store_cfg
+        (** a klsm/klsm-sharded with the lib/store durability tier *)
 
-  let spec_name = function
+  let rec spec_name = function
     | Heap_lock -> "heap+lock"
     | Linden -> "linden"
     | Spraylist -> "spraylist"
@@ -42,13 +55,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Dlsm -> "dlsm"
     | Wimmer_centralized -> "centralized-k"
     | Wimmer_hybrid k -> Printf.sprintf "hybrid-k(%d)" k
+    | Stored (inner, cfg) ->
+        (* The store dir is deployment detail, not figure-legend identity. *)
+        Printf.sprintf "%s+spill:%d" (spec_name inner) cfg.spill_bytes
 
-  (** Parse ["klsm:256"], ["multiq:2"], ["hybrid:4096"], ["linden"], ...
-      Returns [Error msg] (not an option) so CLI typos are diagnosable: an
-      unknown name, a malformed parameter, or a parameter given to an
-      implementation that takes none (["linden:4"]) are all rejected with a
-      message naming the offending part. *)
-  let parse_spec s =
+  (* Parse a base spec (no [+spill]/[+store] suffixes; those are split off
+     by {!parse_spec} below).  Error messages quote [s], the base part. *)
+  let parse_base s =
     let base, arg =
       match String.index_opt s ':' with
       | None -> (s, None)
@@ -141,8 +154,135 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           (Printf.sprintf
              "unknown implementation %S; known: heap, linden, spray, \
               multiq[:C], klsm[:K], klsm-sharded[:K[:S]], dlsm, centralized, \
-              hybrid[:K]"
+              hybrid[:K]; klsm and klsm-sharded accept +spill:<bytes> and \
+              +store:<dir> suffixes"
              s)
+
+  (* "+spill:<bytes>": a non-negative size, optionally suffixed k/m/g
+     (binary multiples — 64k = 65536). *)
+  let parse_byte_size s a =
+    let fail () =
+      Error
+        (Printf.sprintf
+           "%S: %S is not a byte size (want a non-negative integer with an \
+            optional k/m/g suffix, e.g. 4096, 64k, 1m)"
+           s a)
+    in
+    let n = String.length a in
+    if n = 0 then fail ()
+    else begin
+      let num, mult =
+        match Char.lowercase_ascii a.[n - 1] with
+        | 'k' -> (String.sub a 0 (n - 1), 1 lsl 10)
+        | 'm' -> (String.sub a 0 (n - 1), 1 lsl 20)
+        | 'g' -> (String.sub a 0 (n - 1), 1 lsl 30)
+        | _ -> (a, 1)
+      in
+      match int_of_string_opt num with
+      | Some v when v >= 0 -> Ok (v * mult)
+      | _ -> fail ()
+    end
+
+  (* "+store:<dir>": existence is optional (created at [make] time), but a
+     path that exists and is not a writable directory is a config error
+     worth rejecting at parse time, before a benchmark spends its warmup. *)
+  let parse_store_dir s a =
+    if String.length a = 0 then
+      Error (Printf.sprintf "%S: +store needs a directory, got an empty path" s)
+    else if Sys.file_exists a then begin
+      if not (Sys.is_directory a) then
+        Error
+          (Printf.sprintf "%S: store path %S exists and is not a directory" s a)
+      else begin
+        match Unix.access a [ Unix.W_OK; Unix.X_OK ] with
+        | () -> Ok a
+        | exception Unix.Unix_error _ ->
+            Error
+              (Printf.sprintf "%S: store directory %S is not writable" s a)
+      end
+    end
+    else Ok a
+
+  (** Parse ["klsm:256"], ["multiq:2"], ["hybrid:4096"], ["linden"], ...
+      plus the durability suffixes ["klsm:256+spill:4096+store:/tmp/q"].
+      Returns [Error msg] (not an option) so CLI typos are diagnosable: an
+      unknown name, a malformed parameter, a parameter given to an
+      implementation that takes none (["linden:4"]), a malformed byte size,
+      or an unusable store directory are all rejected with a message naming
+      the offending part. *)
+  let parse_spec s =
+    (* Split off +spill:/+store: suffixes; other '+'-joined tokens are part
+       of the base name ("heap+lock"). *)
+    let is_store_tok tok =
+      let pre p =
+        String.length tok >= String.length p
+        && String.equal (String.sub tok 0 (String.length p)) p
+      in
+      pre "spill" || pre "store"
+    in
+    let toks = String.split_on_char '+' s in
+    let base_toks, store_toks = List.partition (fun t -> not (is_store_tok t)) toks in
+    let base = String.concat "+" base_toks in
+    match parse_base base with
+    | Error e -> Error e
+    | Ok inner when store_toks = [] -> Ok inner
+    | Ok inner -> (
+        let cfg =
+          List.fold_left
+            (fun acc tok ->
+              match acc with
+              | Error _ -> acc
+              | Ok (bytes, dir) -> (
+                  match String.index_opt tok ':' with
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "%S: suffix %S needs a parameter (+spill:<bytes> \
+                            or +store:<dir>)"
+                           s tok)
+                  | Some i -> (
+                      let key = String.sub tok 0 i in
+                      let v =
+                        String.sub tok (i + 1) (String.length tok - i - 1)
+                      in
+                      match key with
+                      | "spill" -> (
+                          match parse_byte_size s v with
+                          | Ok b -> Ok (Some b, dir)
+                          | Error e -> Error e)
+                      | "store" -> (
+                          match parse_store_dir s v with
+                          | Ok d -> Ok (bytes, Some d)
+                          | Error e -> Error e)
+                      | _ ->
+                          Error
+                            (Printf.sprintf
+                               "%S: unknown suffix %S (want +spill:<bytes> \
+                                or +store:<dir>)"
+                               s key))))
+            (Ok (None, None))
+            store_toks
+        in
+        match cfg with
+        | Error e -> Error e
+        | Ok (bytes, dir) -> (
+            match inner with
+            | Klsm _ | Klsm_sharded _ ->
+                Ok
+                  (Stored
+                     ( inner,
+                       {
+                         spill_bytes =
+                           Option.value ~default:default_spill_bytes bytes;
+                         store_dir =
+                           Option.value ~default:default_store_dir dir;
+                       } ))
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "%S: +spill/+store apply only to klsm and klsm-sharded \
+                      (%s keeps every item in RAM)"
+                     s (spec_name inner))))
 
   (** [parse_spec_opt] is {!parse_spec} with errors collapsed to [None]. *)
   let parse_spec_opt s = Result.to_option (parse_spec s)
@@ -150,10 +290,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Whether the implementation honours the queue-side lazy-deletion
       predicate of §4.5 (the paper's SSSP figure only includes such
       queues). *)
-  let supports_lazy_deletion = function
+  let rec supports_lazy_deletion = function
     | Klsm _ | Klsm_sharded _ | Dlsm | Wimmer_centralized | Wimmer_hybrid _ ->
         true
     | Heap_lock | Linden | Spraylist | Multiq _ -> false
+    | Stored (inner, _) -> supports_lazy_deletion inner
 
   type handle = {
     insert : int -> int -> unit;  (** key, payload *)
@@ -321,6 +462,67 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           approximate_size = (fun () -> Wimmer_hybrid.approximate_size q);
           stats = (fun () -> Wimmer_hybrid.stats q);
         }
+    | Stored (inner, cfg) -> (
+        (* The durability tier (lib/store): a spill policy over a store
+           rooted at [cfg.store_dir], threaded into the queue's publish
+           paths.  Queue counters and store.* counters merge into one
+           snapshot. *)
+        let spill =
+          Spill.create ~threshold:cfg.spill_bytes ~num_threads
+            ~root:cfg.store_dir ()
+        in
+        let policy ~alive ~tid block = Spill.policy spill ~alive ~tid block in
+        let merge_stats qstats () =
+          let a = qstats () in
+          let b = Spill.stats spill in
+          {
+            a with
+            Klsm_obs.Obs.counters = a.Klsm_obs.Obs.counters @ b.Klsm_obs.Obs.counters;
+            spans = a.Klsm_obs.Obs.spans @ b.Klsm_obs.Obs.spans;
+          }
+        in
+        match inner with
+        | Klsm k ->
+            let q =
+              Klsm.create_with ~seed ~k ?should_delete ?on_lazy_delete
+                ~spill_policy:policy ~num_threads ()
+            in
+            {
+              name = spec_name spec;
+              register =
+                (fun tid ->
+                  let h = Klsm.register q tid in
+                  {
+                    insert = Klsm.insert h;
+                    insert_batch = Klsm.insert_batch h;
+                    try_delete_min = (fun () -> Klsm.try_delete_min h);
+                  });
+              approximate_size = (fun () -> Klsm.approximate_size q);
+              stats = merge_stats (fun () -> Klsm.stats q);
+            }
+        | Klsm_sharded (k, shards) ->
+            let q =
+              Sharded.create_with ~seed ~k ~shards ?should_delete
+                ?on_lazy_delete ~spill_policy:policy ~num_threads ()
+            in
+            {
+              name = spec_name spec;
+              register =
+                (fun tid ->
+                  let h = Sharded.register q tid in
+                  {
+                    insert = Sharded.insert h;
+                    insert_batch = Sharded.insert_batch h;
+                    try_delete_min = (fun () -> Sharded.try_delete_min h);
+                  });
+              approximate_size = (fun () -> Sharded.approximate_size q);
+              stats = merge_stats (fun () -> Sharded.stats q);
+            }
+        | _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Registry.make: %s does not support the durability tier"
+                 (spec_name inner)))
 
   (** The full Figure 3 line-up, with the paper's parameters. *)
   let figure3_specs =

@@ -1,0 +1,312 @@
+(** The crash-recovery journal (docs/STORAGE.md).
+
+    The durable state of a spill-enabled queue is a {e multiset of live
+    spilled-block instances}, and the journal is its event log.  Every
+    spilled block gets a fresh {b instance id} [t<tid>.<seq>] (unique per
+    journal lifetime), and three record kinds move an instance through its
+    life cycle:
+
+    - [S <iid> <digest> <level> <count>] — block instance [iid] with the
+      given content digest became durable and live (appended {e after} the
+      object file is on disk, {e before} the in-RAM queue links the spilled
+      block);
+    - [R <iid> <digest>] — instance [iid] was rehydrated: its items are
+      back in RAM and may be delivered from there (appended {e before} any
+      rehydrated item can be returned by a delete-min);
+    - [L <iid> <digest>] — instance [iid] was released without rehydration
+      (e.g. every item was logically deleted cold).
+
+    An instance is live iff its [S] has no matching [R]/[L].  [Store.recover]
+    replays the log and reinserts exactly the live instances — the ordering
+    of appends above is what makes "no lost, no duplicated, no resurrected"
+    hold across a kill at {e any} point (failure matrix in docs/STORAGE.md).
+
+    {b Layout}: each thread appends its [S] records to its own
+    [spill-<tid>.log] (single-writer, no locking); [R]/[L] can fire on any
+    thread and go to a shared [events.log] under a mutex; checkpoints write
+    [epoch.log].  Replay order across files is irrelevant — liveness is a
+    per-instance predicate.
+
+    {b Torn tails}: every line carries an 8-hex-char SHA-256 checksum over
+    its payload.  A crash mid-append leaves a torn last line, which replay
+    detects and skips; records are self-contained so nothing else is lost.
+
+    {b Checkpoints} ([epoch.log], written by recovery when the queue is
+    quiescent) compact the log: the live instances are rewritten — with
+    their {e original} instance ids — under a new epoch header, then the
+    per-thread and event logs are deleted.  Keeping original ids makes the
+    checkpoint idempotent under crashes: if the process dies between the
+    epoch rename and the log deletions, replay sees some instances twice
+    (epoch + old log) and deduplicates by id.  Fresh writers scan existing
+    records at open time and continue above the largest sequence number
+    seen, so ids never recycle. *)
+
+type record =
+  | Spill of { iid : string; digest : string; level : int; count : int }
+  | Rehydrate of { iid : string; digest : string }
+  | Release of { iid : string; digest : string }
+  | Epoch of int  (** checkpoint generation header *)
+
+type t = {
+  dir : string;
+  num_threads : int;
+  fsync : bool;
+  writers : out_channel option array;  (** per-tid spill log, lazily opened *)
+  next_seq : int array;
+  mutable events : out_channel option;  (** shared rehydrate/release log *)
+  ev_mutex : Mutex.t;
+}
+
+let dir j = j.dir
+
+let spill_log dir tid = Filename.concat dir (Printf.sprintf "spill-%d.log" tid)
+let events_log dir = Filename.concat dir "events.log"
+let epoch_log dir = Filename.concat dir "epoch.log"
+
+(* ---- line format ---- *)
+
+let payload_of_record = function
+  | Spill { iid; digest; level; count } ->
+      Printf.sprintf "S %s %s %d %d" iid digest level count
+  | Rehydrate { iid; digest } -> Printf.sprintf "R %s %s" iid digest
+  | Release { iid; digest } -> Printf.sprintf "L %s %s" iid digest
+  | Epoch gen -> Printf.sprintf "E %d" gen
+
+let line_of_record r =
+  let p = payload_of_record r in
+  Printf.sprintf "%s %s\n" p (Sha256.line_checksum p)
+
+(** Parse one line; [None] for torn, corrupt, or foreign lines. *)
+let record_of_line line =
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+      let payload = String.sub line 0 i in
+      let crc = String.sub line (i + 1) (String.length line - i - 1) in
+      if not (String.equal crc (Sha256.line_checksum payload)) then None
+      else begin
+        match String.split_on_char ' ' payload with
+        | [ "S"; iid; digest; level; count ] -> (
+            match (int_of_string_opt level, int_of_string_opt count) with
+            | Some level, Some count when count >= 0 ->
+                Some (Spill { iid; digest; level; count })
+            | _ -> None)
+        | [ "R"; iid; digest ] -> Some (Rehydrate { iid; digest })
+        | [ "L"; iid; digest ] -> Some (Release { iid; digest })
+        | [ "E"; gen ] ->
+            Option.map (fun g -> Epoch g) (int_of_string_opt gen)
+        | _ -> None
+      end
+
+(* ---- replay ---- *)
+
+let read_records_of_file path acc bad =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.length line > 0 then begin
+              match record_of_line line with
+              | Some r -> acc := r :: !acc
+              | None -> incr bad
+            end
+          done
+        with End_of_file -> ())
+  end
+
+(** Every record under [dir] (epoch first, then per-thread spill logs, then
+    events), plus the count of unparseable lines skipped (torn tails). *)
+let read_all ~dir =
+  let acc = ref [] and bad = ref 0 in
+  read_records_of_file (epoch_log dir) acc bad;
+  if Sys.file_exists dir then
+    Array.iter
+      (fun name ->
+        if
+          String.length name > 6
+          && String.sub name 0 6 = "spill-"
+          && Filename.check_suffix name ".log"
+        then read_records_of_file (Filename.concat dir name) acc bad)
+      (Sys.readdir dir);
+  read_records_of_file (events_log dir) acc bad;
+  (List.rev !acc, !bad)
+
+type live = { iid : string; digest : string; level : int; count : int }
+
+(** The live instance multiset: spilled, deduplicated by instance id (a
+    checkpoint interrupted before log deletion replays some [S] twice), and
+    not rehydrated or released.  Order follows first [S] appearance. *)
+let live_instances records =
+  let spilled = Hashtbl.create 64 in
+  let dead = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Spill { iid; digest; level; count } ->
+          if not (Hashtbl.mem spilled iid) then begin
+            Hashtbl.replace spilled iid { iid; digest; level; count };
+            order := iid :: !order
+          end
+      | Rehydrate { iid; _ } | Release { iid; _ } ->
+          Hashtbl.replace dead iid ()
+      | Epoch _ -> ())
+    records;
+  List.filter_map
+    (fun iid ->
+      if Hashtbl.mem dead iid then None else Hashtbl.find_opt spilled iid)
+    (List.rev !order)
+
+let max_epoch records =
+  List.fold_left (fun acc r -> match r with Epoch g -> max acc g | _ -> acc) 0
+    records
+
+(* ---- writers ---- *)
+
+let iid_seq iid =
+  (* "t<tid>.<seq>" -> (tid, seq); None for ids we didn't mint. *)
+  match String.index_opt iid '.' with
+  | Some i when String.length iid > 1 && iid.[0] = 't' -> (
+      match
+        ( int_of_string_opt (String.sub iid 1 (i - 1)),
+          int_of_string_opt
+            (String.sub iid (i + 1) (String.length iid - i - 1)) )
+      with
+      | Some tid, Some seq -> Some (tid, seq)
+      | _ -> None)
+  | _ -> None
+
+(** Open the journal under [dir] for [num_threads] writer slots.  Existing
+    records (a prior run's epoch or logs) are scanned so new instance ids
+    start above anything already on disk.  [fsync] forces an fsync per
+    append — the strict durability mode; the default flushes to the OS,
+    which the crash model of the chaos tests (process kill, not power
+    loss) makes sufficient and keeps the spill path off the fsync cliff. *)
+let open_journal ?(fsync = false) ~dir ~num_threads () =
+  Store.mkdir_p dir;
+  let next_seq = Array.make num_threads 0 in
+  let records, _ = read_all ~dir in
+  List.iter
+    (fun r ->
+      match r with
+      | Spill { iid; _ } | Rehydrate { iid; _ } | Release { iid; _ } -> (
+          match iid_seq iid with
+          | Some (tid, seq) when tid >= 0 && tid < num_threads ->
+              if seq >= next_seq.(tid) then next_seq.(tid) <- seq + 1
+          | _ -> ())
+      | Epoch _ -> ())
+    records;
+  {
+    dir;
+    num_threads;
+    fsync;
+    writers = Array.make num_threads None;
+    next_seq;
+    events = None;
+    ev_mutex = Mutex.create ();
+  }
+
+let append_channel j ch r =
+  output_string ch (line_of_record r);
+  flush ch;
+  if j.fsync then Unix.fsync (Unix.descr_of_out_channel ch)
+
+let open_append path =
+  open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+
+(** Record a spill on [tid]'s private log; returns the fresh instance id.
+    Single-writer per log: no locking, no cross-thread coherence. *)
+let append_spill j ~tid ~digest ~level ~count =
+  if tid < 0 || tid >= j.num_threads then invalid_arg "Journal: tid";
+  let ch =
+    match j.writers.(tid) with
+    | Some ch -> ch
+    | None ->
+        let ch = open_append (spill_log j.dir tid) in
+        j.writers.(tid) <- Some ch;
+        ch
+  in
+  let iid = Printf.sprintf "t%d.%d" tid j.next_seq.(tid) in
+  j.next_seq.(tid) <- j.next_seq.(tid) + 1;
+  append_channel j ch (Spill { iid; digest; level; count });
+  iid
+
+let append_event j r =
+  Mutex.lock j.ev_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock j.ev_mutex)
+    (fun () ->
+      let ch =
+        match j.events with
+        | Some ch -> ch
+        | None ->
+            let ch = open_append (events_log j.dir) in
+            j.events <- Some ch;
+            ch
+      in
+      append_channel j ch r)
+
+(** Record a rehydration.  Must land on disk {e before} any item decoded
+    from the object is observable by a delete-min — the no-resurrection
+    half of the recovery argument. *)
+let append_rehydrate j ~iid ~digest = append_event j (Rehydrate { iid; digest })
+
+(** Record a no-rehydration release (dead-cold block dropped). *)
+let append_release j ~iid ~digest = append_event j (Release { iid; digest })
+
+let close_writers j =
+  Array.iteri
+    (fun i ch ->
+      match ch with
+      | Some ch ->
+          close_out_noerr ch;
+          j.writers.(i) <- None
+      | None -> ())
+    j.writers;
+  (match j.events with
+  | Some ch ->
+      close_out_noerr ch;
+      j.events <- None
+  | None -> ())
+
+let close j = close_writers j
+
+(** Compact the journal to exactly [live] (original instance ids kept; see
+    the module header for why that makes an interrupted checkpoint safe):
+    write [epoch.log] via temp + rename, then delete the per-thread and
+    event logs.  Caller must be quiescent (recovery is). *)
+let checkpoint j ~live =
+  let records, _ = read_all ~dir:j.dir in
+  let gen = 1 + max_epoch records in
+  let tmp = epoch_log j.dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (line_of_record (Epoch gen));
+     List.iter
+       (fun { iid; digest; level; count } ->
+         output_string oc (line_of_record (Spill { iid; digest; level; count })))
+       live;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp (epoch_log j.dir);
+  close_writers j;
+  Array.iter
+    (fun name ->
+      let stale =
+        (String.length name > 6 && String.sub name 0 6 = "spill-"
+        && Filename.check_suffix name ".log")
+        || String.equal name "events.log"
+      in
+      if stale then
+        try Sys.remove (Filename.concat j.dir name) with Sys_error _ -> ())
+    (Sys.readdir j.dir);
+  gen

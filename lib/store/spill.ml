@@ -1,0 +1,315 @@
+(** The spill policy and crash recovery glue (docs/STORAGE.md).
+
+    [Spill.Make (B)] sits between a queue's distributed LSMs and its shared
+    component(s): the queue applies {!maybe_spill} to every block it is
+    about to publish into a shared component, and blocks whose serialized
+    size reaches the configured threshold are evicted to the
+    content-addressed {!Store} — the in-RAM block is replaced by a cold
+    {!Block.spilled} twin whose [keys] mirror stays resident, so every
+    shared-component decision path is unchanged and only item selection on
+    delete-min rehydrates (see {!Block.items}).
+
+    {b The claim-first protocol.}  Items in a block can be aliased from
+    other blocks (spies copy item {e pointers}, paper §4.2), so a spill
+    cannot just serialize and drop: a RAM alias could deliver an item that
+    recovery would later restore (resurrection).  Instead the spiller first
+    {e claims} every alive item with the same test-and-set a delete-min
+    uses.  From that point no RAM alias can deliver them; the claimed
+    (key, value) pairs are then serialized, made durable, journaled, and
+    reborn inside the cold block.  Between the claim and the cold block's
+    publication the items are transiently invisible — the same transient
+    the paper accepts between a DistLSM spill's two linearization points —
+    and a kill inside that window is exactly the journal's department:
+    after the [S] record the items are recoverable even though no RAM
+    pointer survives; before it, they were never durable and the crash
+    model permits losing them (in-RAM state dies with the process).
+
+    {b Ordering obligations} (the failure matrix in docs/STORAGE.md):
+    object file before [S] record; [S] record before the cold block links;
+    [R] record before any rehydrated item is observable.  Each is a
+    one-line invariant here and one row of the recovery proof. *)
+
+module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Item = Klsm_core.Item.Make (B)
+  module Block = Klsm_core.Block.Make (B)
+  module Obs = Klsm_obs.Obs
+
+  (* Observability (lib/obs; docs/METRICS.md).  Rehydration can run on any
+     thread but is attributed to the shard of the thread that spilled the
+     block; the lost-update race on those plain counters is benign (counts
+     may undercount under concurrent rehydrates, never corrupt). *)
+  let c_spill = Obs.counter "store.spill"
+  let c_spill_items = Obs.counter "store.spill_items"
+  let c_spill_bytes = Obs.counter "store.spill_bytes"
+  let c_spill_skip = Obs.counter "store.spill_skip"
+  let c_rehydrate = Obs.counter "store.rehydrate"
+  let c_rehydrate_memo = Obs.counter "store.rehydrate_memo"
+  let c_recover_blocks = Obs.counter "store.recover_blocks"
+  let c_recover_items = Obs.counter "store.recover_items"
+  let sp_spill = Obs.span "store.spill"
+  let sp_rehydrate = Obs.span "store.rehydrate"
+  let sp_recover = Obs.span "store.recover"
+
+  type t = {
+    store : Store.t;
+    journal : Journal.t;
+    threshold : int;  (** spill blocks whose encoding is at least this *)
+    obs : Obs.sheet;
+  }
+
+  (** Open (creating if needed) a spill tier rooted at [root].  A prior
+      run's journal under the same root is preserved — {!recover} replays
+      it; fresh instance ids continue above it either way.  [fsync]
+      selects strict (media) durability for both objects and journal
+      appends; the default flushes to the OS, sufficient for the
+      process-kill crash model. *)
+  let create ?(threshold = 1 lsl 20) ?fsync ~num_threads ~root () =
+    if threshold < 0 then invalid_arg "Spill.create: negative threshold";
+    let store = Store.open_store ?fsync ~root () in
+    let journal =
+      Journal.open_journal ?fsync ~dir:(Store.journal_dir root) ~num_threads ()
+    in
+    { store; journal; threshold; obs = Obs.create_sheet ~now:B.time ~num_threads () }
+
+  let store t = t.store
+  let journal t = t.journal
+  let threshold t = t.threshold
+
+  (** Internal-counter snapshot; merged into the owning queue's stats by
+      the harness registry. *)
+  let stats t = Obs.snapshot t.obs
+
+  let close t = Journal.close t.journal
+
+  (* ---- block codec ---- *)
+
+  let magic = "KLSMBLK1"
+  let header_bytes = 24
+  let bytes_per_item = 16
+
+  (** Size {!maybe_spill} compares against the threshold. *)
+  let encoded_size ~count = header_bytes + (bytes_per_item * count)
+
+  (** Serialize claimed (key, value) pairs (descending keys, [int]
+      payloads): magic, level, count, then fixed-width little-endian
+      pairs.  The encoding is canonical — same pairs, same bytes — which
+      is what makes content addressing dedup equal blocks. *)
+  let encode ~level pairs =
+    let n = Array.length pairs in
+    let b = Bytes.create (encoded_size ~count:n) in
+    Bytes.blit_string magic 0 b 0 8;
+    Bytes.set_int64_le b 8 (Int64.of_int level);
+    Bytes.set_int64_le b 16 (Int64.of_int n);
+    Array.iteri
+      (fun i (k, v) ->
+        Bytes.set_int64_le b (header_bytes + (bytes_per_item * i)) (Int64.of_int k);
+        Bytes.set_int64_le b (header_bytes + (bytes_per_item * i) + 8) (Int64.of_int v))
+      pairs;
+    Bytes.unsafe_to_string b
+
+  (** Decode a serialized block; raises {!Store.Corrupt} on any structural
+      mismatch (bad magic, impossible count, wrong length, ascending
+      keys).  Callers have already digest-verified the bytes, so a failure
+      here means an encoder/decoder bug, not disk rot — it is still a
+      checked failure, never a wrong answer. *)
+  let decode bytes =
+    let len = String.length bytes in
+    if len < header_bytes || not (String.equal (String.sub bytes 0 8) magic) then
+      raise (Store.Corrupt "block: bad magic");
+    let level = Int64.to_int (String.get_int64_le bytes 8) in
+    let n = Int64.to_int (String.get_int64_le bytes 16) in
+    if n < 0 || len <> encoded_size ~count:n then
+      raise (Store.Corrupt "block: bad length");
+    let pairs =
+      Array.init n (fun i ->
+          ( Int64.to_int
+              (String.get_int64_le bytes (header_bytes + (bytes_per_item * i))),
+            Int64.to_int
+              (String.get_int64_le bytes (header_bytes + (bytes_per_item * i) + 8))
+          ))
+    in
+    for i = 0 to n - 2 do
+      if fst pairs.(i) < fst pairs.(i + 1) then
+        raise (Store.Corrupt "block: keys not descending")
+    done;
+    (level, pairs)
+
+  (* ---- cold blocks ---- *)
+
+  (* Build the in-RAM twin of a durable block instance.  [fetch] runs at
+     most once per instance (Block's claim CAS), on whichever thread's
+     delete-min selects into the block first. *)
+  let cold_block p ~obs ~iid ~digest ~level ~keys =
+    let n = Array.length keys in
+    let fetch () =
+      B.fault_point "store.rehydrate";
+      let t0 = Obs.span_begin obs in
+      (* No digest re-verification here: every linked instance's object was
+         either written by this process (temp-write + rename) or verified
+         by [recover] before linking, and the key-mirror cross-check below
+         still catches a wrong or truncated decode. *)
+      let bytes = Store.get ~verify:false p.store digest in
+      let level', pairs = decode bytes in
+      ignore level';
+      if Array.length pairs <> n then
+        raise
+          (Store.Corrupt
+             (Printf.sprintf "block %s: %d items serialized, %d expected"
+                digest (Array.length pairs) n));
+      Array.iteri
+        (fun i (k, _) ->
+          if k <> keys.(i) then
+            raise
+              (Store.Corrupt
+                 (Printf.sprintf "block %s: resident key mirror diverges at %d"
+                    digest i)))
+        pairs;
+      (* Journal the rehydration BEFORE any decoded item can escape: once
+         an item is deliverable from RAM, this instance must never be
+         recovered again (no resurrection). *)
+      Journal.append_rehydrate p.journal ~iid ~digest;
+      Store.decr_ref p.store digest;
+      let items = Array.map (fun (k, v) -> Item.make k v) pairs in
+      Obs.incr obs c_rehydrate;
+      Obs.span_end obs sp_rehydrate t0;
+      items
+    in
+    Block.spilled ~level ~keys ~ident:digest
+      ~note_memo:(fun () -> Obs.incr obs c_rehydrate_memo)
+      ~fetch
+
+  (* ---- the policy ---- *)
+
+  (** The eviction policy, applied by the queue wherever a block is about
+      to enter a shared component.  Returns the block unchanged when it is
+      below the threshold (or already spilled); otherwise claims its alive
+      items, persists them, and returns the cold twin to publish in its
+      place. *)
+  let maybe_spill p ~alive ~tid block =
+    if Block.is_spilled block then block
+    else begin
+      let f = Block.filled block in
+      if encoded_size ~count:f < p.threshold || f = 0 then block
+      else begin
+        let obs = Obs.handle p.obs ~tid in
+        let t0 = Obs.span_begin obs in
+        let items = Block.items block in
+        (* Claim pass: from here on no RAM alias (spy copies, snapshot
+           readers) can deliver these items. *)
+        let ks = Array.make f 0 and vs = Array.make f 0 in
+        let n = ref 0 in
+        for i = 0 to f - 1 do
+          let it = items.(i) in
+          if alive it && Item.take it then begin
+            ks.(!n) <- Item.key it;
+            vs.(!n) <- Item.value it;
+            incr n
+          end
+        done;
+        if !n = 0 then begin
+          (* Everything died under us — nothing durable to create; hand the
+             (now fully dead) block back to be merged away. *)
+          Obs.incr obs c_spill_skip;
+          block
+        end
+        else begin
+          let pairs = Array.init !n (fun i -> (ks.(i), vs.(i))) in
+          let bytes = encode ~level:(Block.level block) pairs in
+          let digest = Store.put p.store bytes in
+          Store.incr_ref p.store digest;
+          (* Durability point: object on disk, then the S record.  A kill
+             after this line loses no items (recovery replays the S); a
+             kill before it loses only items that were never durable. *)
+          let iid =
+            Journal.append_spill p.journal ~tid ~digest
+              ~level:(Block.level block) ~count:!n
+          in
+          B.fault_point "store.spill";
+          Obs.incr obs c_spill;
+          Obs.add obs c_spill_items !n;
+          Obs.add obs c_spill_bytes (String.length bytes);
+          let cold =
+            cold_block p ~obs ~iid ~digest ~level:(Block.level block)
+              ~keys:(Array.sub ks 0 !n)
+          in
+          Obs.span_end obs sp_spill t0;
+          cold
+        end
+      end
+    end
+
+  (** The queue-facing policy closure ({!Klsm_core.Klsm.create_with}'s
+      [?spill_policy] shape). *)
+  let policy p ~alive ~tid block = maybe_spill p ~alive ~tid block
+
+  (* ---- recovery ---- *)
+
+  type recovery = {
+    blocks : int;  (** live block instances reinserted *)
+    items : int;  (** items they hold *)
+    skipped_lines : int;  (** torn/corrupt journal lines ignored *)
+    corrupt : (string * string) list;  (** (digest, reason) of unreadable objects *)
+  }
+
+  (** Rebuild the durable state after a crash: replay the journal, reload
+      every live block instance as a {e cold} block (items stay on disk
+      until selected), hand each to [link] (typically
+      [Klsm.adopt_block]), seed the store's refcounts, checkpoint the
+      journal, and GC unreferenced objects.  Idempotent: recovering twice
+      from the same root rebuilds the same queue.  Unreadable or corrupt
+      objects are reported, not silently dropped — and their journal
+      entries are kept live so a later recovery (after, say, restoring the
+      object from a replica) can still see them. *)
+  let recover p ~link =
+    let obs = Obs.handle p.obs ~tid:0 in
+    let t0 = Obs.span_begin obs in
+    B.fault_point "store.recover";
+    let records, skipped_lines = Journal.read_all ~dir:(Journal.dir p.journal) in
+    let live = Journal.live_instances records in
+    let corrupt = ref [] in
+    let loaded = ref [] in
+    List.iter
+      (fun (li : Journal.live) ->
+        match
+          let bytes = Store.get p.store li.Journal.digest in
+          decode bytes
+        with
+        | exception Store.Corrupt msg ->
+            corrupt := (li.Journal.digest, msg) :: !corrupt
+        | exception Sys_error msg ->
+            corrupt := (li.Journal.digest, msg) :: !corrupt
+        | level, pairs ->
+            Store.incr_ref p.store li.Journal.digest;
+            loaded := (li, level, Array.map fst pairs) :: !loaded)
+      live;
+    let loaded = List.rev !loaded in
+    (* Checkpoint BEFORE linking, and with the full live set (unreadable
+       objects keep their entries for a later retry).  Linking can itself
+       rehydrate a cold block — adoption may merge it into an existing
+       level — and the [R] record that emits must land in a log the
+       checkpoint does not delete: an epoch written after such a
+       rehydration would resurrect an instance whose items already
+       escaped into RAM. *)
+    Journal.checkpoint p.journal ~live |> ignore;
+    let blocks = ref 0 and items = ref 0 in
+    List.iter
+      (fun ((li : Journal.live), level, keys) ->
+        let b =
+          cold_block p ~obs ~iid:li.Journal.iid ~digest:li.Journal.digest
+            ~level ~keys
+        in
+        link b;
+        incr blocks;
+        items := !items + Array.length keys)
+      loaded;
+    if !corrupt = [] then ignore (Store.gc p.store);
+    Obs.add obs c_recover_blocks !blocks;
+    Obs.add obs c_recover_items !items;
+    Obs.span_end obs sp_recover t0;
+    {
+      blocks = !blocks;
+      items = !items;
+      skipped_lines;
+      corrupt = List.rev !corrupt;
+    }
+end

@@ -1,0 +1,205 @@
+(** The content-addressed object store (docs/STORAGE.md).
+
+    Objects are immutable byte strings named by their SHA-256:
+
+    {v <root>/objects/<d[0..1]>/<d>   where d = hex_digest(bytes) v}
+
+    Content addressing buys three properties the spill tier leans on:
+
+    - {b write-once}: an object file, once present, never changes — the
+      durable mirror of the k-LSM's blocks-are-immutable-once-published
+      invariant (paper §4), and the reason concurrent spills of identical
+      content dedup to one file with no coordination;
+    - {b self-verifying reads}: {!get} re-hashes what it read and raises
+      {!Corrupt} on mismatch, so disk corruption is a checked failure, never
+      a silently wrong queue;
+    - {b idempotent recovery}: replaying a journal can only re-reference
+      objects, never conflict on names.
+
+    Writes go through a temp file in the same directory followed by
+    [Unix.rename], so a crash mid-{!put} leaves either no object or a whole
+    one — a torn tail can only exist under a name that doesn't match its
+    digest, and {!get}/{!gc} treat such files as garbage.
+
+    Liveness is {e reference counts} held in memory and derived from the
+    journal (lib/store [Journal]): one reference per live spilled block
+    instance.  {!gc} removes object files whose count is zero or absent.
+    The table is only meaningful when it was populated by this process —
+    either because it performed the spills, or because [Spill.recover]
+    seeded it from the journal; calling {!gc} on a freshly opened store
+    without recovery would reclaim everything. *)
+
+exception Corrupt of string
+
+type t = {
+  root : string;
+  fsync : bool;  (** fsync objects before rename (strict durability mode) *)
+  mutex : Mutex.t;  (** serializes puts and refcount updates across domains *)
+  refs : (string, int) Hashtbl.t;  (** digest -> live block instances *)
+  mutable tmp_seq : int;  (** unique temp-file names under [mutex] *)
+}
+
+let objects_dir root = Filename.concat root "objects"
+let journal_dir root = Filename.concat root "journal"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Store: %S exists and is not a directory" dir)
+
+(** [fsync] forces objects to media before the rename publishes them —
+    the strict durability mode.  The default flushes to the OS only,
+    which the crash model (process kill, not power loss; see [Journal])
+    makes sufficient and keeps {!put} off the fsync cliff. *)
+let open_store ?(fsync = false) ~root () =
+  mkdir_p (objects_dir root);
+  mkdir_p (journal_dir root);
+  {
+    root;
+    fsync;
+    mutex = Mutex.create ();
+    refs = Hashtbl.create 64;
+    tmp_seq = 0;
+  }
+
+let root t = t.root
+
+let object_path t digest =
+  if String.length digest < 3 then invalid_arg "Store: malformed digest";
+  Filename.concat
+    (Filename.concat (objects_dir t.root) (String.sub digest 0 2))
+    digest
+
+let contains t digest = Sys.file_exists (object_path t digest)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Store [bytes]; returns their hex digest.  Idempotent: if the object
+    already exists the bytes are not rewritten (their content is equal by
+    construction).  The temp-write + rename keeps the object directory free
+    of torn files whatever happens mid-call. *)
+let put t bytes =
+  let d = Sha256.hex_digest bytes in
+  let path = object_path t d in
+  if not (Sys.file_exists path) then begin
+    Mutex.lock t.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () ->
+        if not (Sys.file_exists path) then begin
+          mkdir_p (Filename.dirname path);
+          t.tmp_seq <- t.tmp_seq + 1;
+          let tmp =
+            Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) t.tmp_seq
+          in
+          let oc = open_out_bin tmp in
+          (try
+             output_string oc bytes;
+             flush oc;
+             (* The rename only makes the object visible; in strict mode
+                fsync first so visibility implies media durability. *)
+             if t.fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+             close_out oc
+           with e ->
+             close_out_noerr oc;
+             (try Sys.remove tmp with Sys_error _ -> ());
+             raise e);
+          Unix.rename tmp path
+        end)
+  end;
+  d
+
+(** Read the object named [digest].  With [~verify:true] (the default)
+    the content is re-hashed and checked against its name, raising
+    {!Corrupt} on mismatch — recovery always verifies, because the object
+    may predate this process and anything could have happened to the disk
+    in between.  The hot rehydrate path passes [~verify:false]: there the
+    object was written by this same process moments earlier through
+    temp-write + rename, and re-hashing tens of kilobytes would double the
+    spill cycle's CPU cost for no added integrity.  Raises [Sys_error]
+    when the object is absent. *)
+let get ?(verify = true) t digest =
+  let bytes = read_file (object_path t digest) in
+  if verify then begin
+    let actual = Sha256.hex_digest bytes in
+    if not (String.equal actual digest) then
+      raise
+        (Corrupt
+           (Printf.sprintf "object %s: content hashes to %s" digest actual))
+  end;
+  bytes
+
+(* ---- reference counts and GC ---- *)
+
+let incr_ref t digest =
+  Mutex.lock t.mutex;
+  Hashtbl.replace t.refs digest
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs digest));
+  Mutex.unlock t.mutex
+
+let decr_ref t digest =
+  Mutex.lock t.mutex;
+  (match Hashtbl.find_opt t.refs digest with
+  | Some n when n > 1 -> Hashtbl.replace t.refs digest (n - 1)
+  | Some _ -> Hashtbl.remove t.refs digest
+  | None -> ());
+  Mutex.unlock t.mutex
+
+let refcount t digest =
+  Mutex.lock t.mutex;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.refs digest) in
+  Mutex.unlock t.mutex;
+  n
+
+let iter_objects t f =
+  let odir = objects_dir t.root in
+  if Sys.file_exists odir then
+    Array.iter
+      (fun prefix ->
+        let pdir = Filename.concat odir prefix in
+        if Sys.is_directory pdir then
+          Array.iter
+            (fun name ->
+              (* Skip temp droppings from crashed puts. *)
+              if String.length name = 64 then f name)
+            (Sys.readdir pdir))
+      (Sys.readdir odir)
+
+(** Delete every object whose refcount is zero (including torn temp files
+    from crashed puts); returns the number of files reclaimed.  Only sound
+    when {!t.refs} reflects the journal — see the module header. *)
+let gc t =
+  let reclaimed = ref 0 in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let odir = objects_dir t.root in
+      if Sys.file_exists odir then
+        Array.iter
+          (fun prefix ->
+            let pdir = Filename.concat odir prefix in
+            if Sys.is_directory pdir then
+              Array.iter
+                (fun name ->
+                  let live =
+                    String.length name = 64
+                    && Option.value ~default:0 (Hashtbl.find_opt t.refs name)
+                       > 0
+                  in
+                  if not live then begin
+                    (try Sys.remove (Filename.concat pdir name)
+                     with Sys_error _ -> ());
+                    incr reclaimed
+                  end)
+                (Sys.readdir pdir))
+          (Sys.readdir odir));
+  !reclaimed

@@ -210,9 +210,10 @@ let test_shrink_empty () =
    named test rather than only inside other tests' invariant calls. *)
 let mirror_in_sync b =
   let f = Block.filled b in
+  let its = Block.items b in
   let ok = ref true in
   for i = 0 to f - 1 do
-    if b.Block.keys.(i) <> Item.key b.Block.items.(i) then ok := false
+    if b.Block.keys.(i) <> Item.key its.(i) then ok := false
   done;
   !ok
 

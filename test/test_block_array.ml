@@ -156,7 +156,7 @@ let prop_pivots_select_k_smallest =
       Array.iteri
         (fun i b ->
           for pos = t.Block_array.pivots.(i) to Block.filled b - 1 do
-            selected := Item.key b.Block.items.(pos) :: !selected
+            selected := Item.key (Block.items b).(pos) :: !selected
           done)
         (Block_array.blocks t);
       let n_sel = List.length !selected in

@@ -144,6 +144,20 @@ let test_queue_case_crash () =
   no_violations c;
   check_int "crash injected" 1 c.Drive.crashes
 
+(* The kill-and-restart store case: a crash after the spill's durability
+   point must be recovered by Store/Spill.recover with nothing lost,
+   duplicated, or resurrected (docs/STORAGE.md failure matrix). *)
+let test_store_case_kill_mid_spill () =
+  let plan = [ Chaos.rule ~tid:1 ~hit:1 "store.spill" Chaos.Crash ] in
+  let c =
+    Drive.store_case ~seed:45 ~threads:4 ~per_thread:200 ~k:8 ~threshold:64
+      plan
+  in
+  no_violations c;
+  check_int "crash injected" 1 c.Drive.crashes;
+  check_bool "recovery reinserted items" true
+    (List.assoc "recovered_items" c.Drive.info > 0)
+
 let test_sched_case_crash () =
   let plan =
     [ Chaos.rule ~tid:1 ~hit:4 "sched.execute.post_lease" Chaos.Crash ]
@@ -188,6 +202,8 @@ let () =
           Alcotest.test_case "queue casfail+stall" `Quick
             test_queue_case_casfail_stall;
           Alcotest.test_case "queue crash" `Quick test_queue_case_crash;
+          Alcotest.test_case "store kill mid-spill" `Quick
+            test_store_case_kill_mid_spill;
           Alcotest.test_case "sched crash" `Quick test_sched_case_crash;
           Alcotest.test_case "teeth" `Slow test_teeth_catch;
         ] );

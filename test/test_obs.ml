@@ -318,13 +318,14 @@ let test_registry_stats_plumbing () =
       R.Wimmer_hybrid 16;
     ]
   in
-  let must_count = function
+  let rec must_count = function
     | R.Klsm _ | R.Klsm_sharded _ | R.Dlsm | R.Wimmer_hybrid _ | R.Linden
     | R.Spraylist ->
         true
     | R.Heap_lock | R.Multiq _ | R.Wimmer_centralized ->
         (* lock-contention counters need real parallelism to fire *)
         false
+    | R.Stored (inner, _) -> must_count inner
   in
   List.iter
     (fun spec ->

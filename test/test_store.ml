@@ -1,0 +1,401 @@
+(* Tests for lib/store — the SHA-256 implementation, the content-addressed
+   object store, the block codec, the crash-recovery journal, the spill
+   policy end-to-end on the simulator, and the registry's +spill/+store
+   spec suffixes (docs/STORAGE.md). *)
+
+open Helpers
+module Sim = Klsm_backend.Sim
+module Sha256 = Klsm_store.Sha256
+module Store = Klsm_store.Store
+module Journal = Klsm_store.Journal
+module Spill = Klsm_store.Spill.Make (Sim)
+module K = Klsm_core.Klsm.Make (Sim)
+module R = Klsm_harness.Registry.Make (Sim)
+module Obs = Klsm_obs.Obs
+module Bloom = Klsm_primitives.Bloom
+
+let rm_rf root =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> go (Filename.concat p n)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists root then go root
+
+let with_root f =
+  let root = Filename.temp_dir "klsm-store-test" "" in
+  Fun.protect ~finally:(fun () -> rm_rf root) (fun () -> f root)
+
+(* ---------------- sha256 ---------------- *)
+
+let test_sha256_vectors () =
+  (* FIPS 180-2 test vectors. *)
+  check_string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex_digest "");
+  check_string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex_digest "abc");
+  check_string "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex_digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check_string "one million a's"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex_digest (String.make 1_000_000 'a'))
+
+let test_line_checksum () =
+  check_int "8 hex chars" 8 (String.length (Sha256.line_checksum "S t0.0 d 1 2"));
+  check_bool "distinct payloads differ" true
+    (not (String.equal (Sha256.line_checksum "a") (Sha256.line_checksum "b")))
+
+(* ---------------- object store ---------------- *)
+
+let test_store_roundtrip () =
+  with_root @@ fun root ->
+  let s = Store.open_store ~root () in
+  let payload = "hello, spilled world" in
+  let d = Store.put s payload in
+  check_string "content addressed" (Sha256.hex_digest payload) d;
+  check_string "get returns the bytes" payload (Store.get s d);
+  check_string "idempotent put" d (Store.put s payload);
+  check_bool "contains" true (Store.contains s d)
+
+let test_store_corruption_detected () =
+  with_root @@ fun root ->
+  let s = Store.open_store ~root () in
+  let d = Store.put s "precious bytes" in
+  (* Flip one byte in the object file: get must fail checked, not lie. *)
+  let path = Store.object_path s d in
+  let bytes = Bytes.of_string (Store.get s d) in
+  Bytes.set bytes 3 (Char.chr (Char.code (Bytes.get bytes 3) lxor 1));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  match Store.get s d with
+  | _ -> Alcotest.fail "corrupt object returned as if intact"
+  | exception Store.Corrupt _ -> ()
+
+let test_store_refcount_gc () =
+  with_root @@ fun root ->
+  let s = Store.open_store ~root () in
+  let d1 = Store.put s "object one" in
+  let d2 = Store.put s "object two" in
+  Store.incr_ref s d1;
+  check_int "refcount" 1 (Store.refcount s d1);
+  check_int "unreferenced object collected" 1 (Store.gc s);
+  check_string "referenced object survives" "object one" (Store.get s d1);
+  (match Store.get s d2 with
+  | _ -> Alcotest.fail "unreferenced object survived gc"
+  | exception Sys_error _ -> ());
+  Store.decr_ref s d1;
+  check_int "refcount back to zero" 0 (Store.refcount s d1);
+  check_int "released object collected" 1 (Store.gc s)
+
+(* ---------------- journal ---------------- *)
+
+let test_journal_replay () =
+  with_root @@ fun root ->
+  let dir = Store.journal_dir root in
+  let j = Journal.open_journal ~dir ~num_threads:2 () in
+  let a = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:3 ~count:8 in
+  let b = Journal.append_spill j ~tid:1 ~digest:"d2" ~level:2 ~count:4 in
+  let c = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:3 ~count:8 in
+  Journal.append_rehydrate j ~iid:b ~digest:"d2";
+  Journal.close j;
+  let records, bad = Journal.read_all ~dir in
+  check_int "no torn lines" 0 bad;
+  let live = Journal.live_instances records in
+  check_int "rehydrated instance is dead" 2 (List.length live);
+  check_bool "first instance live" true
+    (List.exists (fun l -> String.equal l.Journal.iid a) live);
+  check_bool "same-content second instance live" true
+    (List.exists (fun l -> String.equal l.Journal.iid c) live);
+  (* A fresh writer over the same dir continues above the existing
+     sequence numbers: instance ids never recycle. *)
+  let j2 = Journal.open_journal ~dir ~num_threads:2 () in
+  let d = Journal.append_spill j2 ~tid:0 ~digest:"d3" ~level:1 ~count:1 in
+  check_bool "no iid reuse" true (d <> a && d <> c);
+  Journal.close j2
+
+let test_journal_torn_tail () =
+  with_root @@ fun root ->
+  let dir = Store.journal_dir root in
+  let j = Journal.open_journal ~dir ~num_threads:1 () in
+  let a = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:0 ~count:2 in
+  Journal.close j;
+  (* A crash mid-append leaves a checksum-less torn last line. *)
+  let oc =
+    open_out_gen
+      [ Open_append; Open_binary ]
+      0o644
+      (Filename.concat dir "spill-0.log")
+  in
+  output_string oc "S t0.99 dea";
+  close_out oc;
+  let records, bad = Journal.read_all ~dir in
+  check_int "torn line skipped" 1 bad;
+  let live = Journal.live_instances records in
+  check_int "intact record survives" 1 (List.length live);
+  check_string "the intact instance" a (List.hd live).Journal.iid
+
+let test_journal_checkpoint () =
+  with_root @@ fun root ->
+  let dir = Store.journal_dir root in
+  let j = Journal.open_journal ~dir ~num_threads:2 () in
+  let a = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:3 ~count:8 in
+  let _b = Journal.append_spill j ~tid:1 ~digest:"d2" ~level:2 ~count:4 in
+  let records, _ = Journal.read_all ~dir in
+  let live = Journal.live_instances records in
+  check_int "first epoch" 1 (Journal.checkpoint j ~live);
+  check_bool "spill logs compacted away" true
+    (not (Sys.file_exists (Filename.concat dir "spill-0.log")));
+  let records, bad = Journal.read_all ~dir in
+  check_int "epoch replays clean" 0 bad;
+  let live2 = Journal.live_instances records in
+  check_int "live set preserved" 2 (List.length live2);
+  check_bool "original instance ids kept" true
+    (List.exists (fun l -> String.equal l.Journal.iid a) live2);
+  Journal.close j
+
+(* ---------------- block codec ---------------- *)
+
+let test_codec_roundtrip () =
+  let pairs = Array.init 17 (fun i -> (1000 - (7 * i), i * 3)) in
+  let bytes = Spill.encode ~level:5 pairs in
+  check_int "size formula" (Spill.encoded_size ~count:17) (String.length bytes);
+  let level, pairs' = Spill.decode bytes in
+  check_int "level" 5 level;
+  check_bool "pairs identical" true (pairs = pairs');
+  check_string "re-encode is byte-identical" bytes (Spill.encode ~level:5 pairs');
+  (* Structural damage is a checked failure at the codec layer too. *)
+  let b = Bytes.of_string bytes in
+  Bytes.set b 0 'X';
+  match Spill.decode (Bytes.unsafe_to_string b) with
+  | _ -> Alcotest.fail "bad magic accepted"
+  | exception Store.Corrupt _ -> ()
+
+(* ---------------- spill policy end-to-end (simulator) ---------------- *)
+
+let run_spill_workload ~seed ~threads ~per_thread ~handles q key_of got =
+  Sim.parallel_run ~num_threads:threads (fun tid ->
+      let h = K.register q tid in
+      handles.(tid) <- Some h;
+      let rng = Xoshiro.create ~seed:(seed + (7919 * tid)) in
+      for i = 0 to per_thread - 1 do
+        let payload = (tid * per_thread) + i in
+        let key = Xoshiro.int rng 100_000 in
+        key_of.(payload) <- key;
+        K.insert h key payload;
+        if i land 1 = 1 then
+          match K.try_delete_min h with
+          | Some (_, v) -> got.(v) <- got.(v) + 1
+          | None -> ()
+      done)
+
+let test_spill_rehydrate_conservation () =
+  with_root @@ fun root ->
+  Sim.configure ~seed:7 ();
+  let threads = 4 and per_thread = 300 in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  let spill = Spill.create ~threshold:64 ~num_threads:threads ~root () in
+  Obs.set_enabled was;
+  let q =
+    K.create_with ~seed:7 ~k:8 ~num_threads:threads
+      ~spill_policy:(Spill.policy spill) ()
+  in
+  let total = threads * per_thread in
+  let key_of = Array.make total (-1) in
+  let got = Array.make total 0 in
+  let handles = Array.make threads None in
+  run_spill_workload ~seed:7 ~threads ~per_thread ~handles q key_of got;
+  (* Fault-free run: plain conservation must hold straight through the
+     spill → rehydrate round-trips. *)
+  let h = Option.get handles.(0) in
+  let misses = ref 0 in
+  while !misses < 300 do
+    match K.try_delete_min h with
+    | Some (dk, v) ->
+        got.(v) <- got.(v) + 1;
+        check_int "key survives the round-trip" key_of.(v) dk;
+        misses := 0
+    | None -> incr misses
+  done;
+  Array.iteri
+    (fun p c -> if c <> 1 then Alcotest.failf "payload %d delivered %d times" p c)
+    got;
+  let st = Spill.stats spill in
+  let counter name =
+    match List.assoc_opt name st.Obs.counters with
+    | Some per -> Array.fold_left ( + ) 0 per
+    | None -> 0
+  in
+  check_bool "blocks actually spilled" true (counter "store.spill" > 0);
+  check_bool "blocks actually rehydrated" true (counter "store.rehydrate" > 0);
+  Spill.close spill
+
+(* Recovery against the failure matrix (docs/STORAGE.md), with the two
+   interesting durable states built deterministically:
+
+   - a {e mid-spill kill}: the object and [S] record are durable but the
+     cold twin never linked (here: [maybe_spill]'s result is dropped on
+     the floor) — recovery MUST bring those items back;
+   - a {e rehydrated instance}: its items escaped into RAM before the
+     kill ([R] on disk) — recovery MUST NOT resurrect them. *)
+let test_recovery_conservation () =
+  with_root @@ fun root ->
+  Sim.configure ~seed:13 ();
+  let alive _ = true in
+  let spill = Spill.create ~threshold:0 ~num_threads:2 ~root () in
+  let mk_block pairs =
+    let pairs = Array.copy pairs in
+    Array.sort (fun (a, _) (b, _) -> compare b a) pairs;
+    Spill.Block.of_sorted_array ~filter:Bloom.empty
+      (Array.map (fun (k, v) -> Spill.Item.make k v) pairs)
+  in
+  let pairs_a = Array.init 9 (fun i -> (100 + i, i)) in
+  let pairs_b = Array.init 5 (fun i -> (50 + i, 100 + i)) in
+  let pairs_c = Array.init 4 (fun i -> (200 + i, 200 + i)) in
+  ignore (Spill.maybe_spill spill ~alive ~tid:0 (mk_block pairs_a));
+  ignore (Spill.maybe_spill spill ~alive ~tid:1 (mk_block pairs_b));
+  let cold_c = Spill.maybe_spill spill ~alive ~tid:0 (mk_block pairs_c) in
+  (* Rehydrate instance c: its items are observable in RAM from here on,
+     so the crash boundary must never bring them back. *)
+  ignore (Spill.Block.items cold_c);
+  Spill.close spill;
+  (* Restart: disk is all that survives. *)
+  let spill2 = Spill.create ~threshold:0 ~num_threads:2 ~root () in
+  let q2 = K.create_with ~seed:1 ~k:8 ~num_threads:1 () in
+  let h2 = K.register q2 0 in
+  let r = Spill.recover spill2 ~link:(fun b -> K.adopt_block h2 b) in
+  check_int "journal replays clean" 0 r.Spill.skipped_lines;
+  check_int "no corrupt objects" 0 (List.length r.Spill.corrupt);
+  check_int "both unlinked instances recovered" 2 r.Spill.blocks;
+  check_int "all their items recovered" 14 r.Spill.items;
+  (* Drain and compare the exact multiset. *)
+  let expected = Hashtbl.create 16 in
+  Array.iter
+    (fun (k, v) -> Hashtbl.replace expected v k)
+    (Array.append pairs_a pairs_b);
+  let drained = ref 0 and misses = ref 0 in
+  while !misses < 300 do
+    match K.try_delete_min h2 with
+    | Some (dk, v) ->
+        incr drained;
+        misses := 0;
+        (match Hashtbl.find_opt expected v with
+        | None ->
+            Alcotest.failf "payload %d not owed (resurrected or invented)" v
+        | Some k ->
+            check_int "recovered byte-identical" k dk;
+            Hashtbl.remove expected v)
+    | None -> incr misses
+  done;
+  check_int "drain delivers the journal's promise" r.Spill.items !drained;
+  check_int "nothing lost" 0 (Hashtbl.length expected);
+  Spill.close spill2;
+  (* After a full recovery drain every instance was rehydrated; a third
+     open of the same root must find nothing live (the post-checkpoint
+     [R] records are durable because recovery checkpoints before it
+     links). *)
+  let spill3 = Spill.create ~threshold:0 ~num_threads:2 ~root () in
+  let q3 = K.create_with ~seed:2 ~k:8 ~num_threads:1 () in
+  let h3 = K.register q3 0 in
+  let r2 = Spill.recover spill3 ~link:(fun b -> K.adopt_block h3 b) in
+  check_int "drained store recovers empty" 0 r2.Spill.items;
+  Spill.close spill3
+
+(* ---------------- registry spec suffixes ---------------- *)
+
+let parse_ok s =
+  match R.parse_spec s with
+  | Ok sp -> sp
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let parse_err s =
+  match R.parse_spec s with
+  | Ok sp -> Alcotest.failf "accepted %S as %s" s (R.spec_name sp)
+  | Error e -> e
+
+let test_parse_suffixes () =
+  (match parse_ok "klsm:256+spill:64k" with
+  | R.Stored (R.Klsm 256, cfg) ->
+      check_int "64k is binary" 65536 cfg.R.spill_bytes;
+      check_string "default store dir" R.default_store_dir cfg.R.store_dir
+  | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
+  (match parse_ok "klsm-sharded:256:4+spill:1m+store:/tmp" with
+  | R.Stored (R.Klsm_sharded (256, 4), cfg) ->
+      check_int "1m" (1 lsl 20) cfg.R.spill_bytes;
+      check_string "explicit dir" "/tmp" cfg.R.store_dir
+  | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
+  (match parse_ok "klsm:4+store:/tmp" with
+  | R.Stored (R.Klsm 4, cfg) ->
+      check_int "default threshold" R.default_spill_bytes cfg.R.spill_bytes
+  | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
+  (* '+' inside a base name is not a suffix separator. *)
+  (match parse_ok "heap+lock" with
+  | R.Heap_lock -> ()
+  | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
+  check_string "spec_name includes the threshold" "klsm(256)+spill:65536"
+    (R.spec_name (parse_ok "klsm:256+spill:64k"))
+
+let test_parse_suffix_rejects () =
+  List.iter
+    (fun s ->
+      let msg = parse_err s in
+      check_bool "error names the offending spec" true
+        (String.length msg > 0))
+    [
+      "klsm:256+spill:abc";
+      "klsm:256+spill:-4";
+      "klsm:256+spill";
+      "klsm:256+storage:3";
+      "klsm:256+store:";
+      "heap+lock+spill:64";
+      "linden+spill:64";
+    ];
+  (* A store path that exists and is not a directory is a parse error. *)
+  let f = Filename.temp_file "klsm-store-test" ".notadir" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove f)
+    (fun () -> ignore (parse_err (Printf.sprintf "klsm:8+store:%s" f)))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "line checksum" `Quick test_line_checksum;
+        ] );
+      ( "objects",
+        [
+          Alcotest.test_case "put/get roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick
+            test_store_corruption_detected;
+          Alcotest.test_case "refcount gc" `Quick test_store_refcount_gc;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "replay and liveness" `Quick test_journal_replay;
+          Alcotest.test_case "torn tail skipped" `Quick test_journal_torn_tail;
+          Alcotest.test_case "checkpoint compacts" `Quick
+            test_journal_checkpoint;
+        ] );
+      ( "codec",
+        [ Alcotest.test_case "roundtrip + corruption" `Quick test_codec_roundtrip ] );
+      ( "spill",
+        [
+          Alcotest.test_case "spill/rehydrate conservation" `Quick
+            test_spill_rehydrate_conservation;
+          Alcotest.test_case "kill-and-recover conservation" `Quick
+            test_recovery_conservation;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "suffix parsing" `Quick test_parse_suffixes;
+          Alcotest.test_case "suffix rejects" `Quick test_parse_suffix_rejects;
+        ] );
+    ]
