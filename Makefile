@@ -2,7 +2,7 @@
 # full build, full test suite, odoc build, and the BENCH_stats.json schema
 # check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix doc stats-check chaos-check perf-check store-check check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check docs-check chaos-check perf-check store-check check bench clean
 
 all: build
 
@@ -32,6 +32,14 @@ stats-check:
 	dune exec bench/main.exe -- stats
 	dune exec bin/statscheck.exe -- BENCH_stats.json docs/METRICS.md
 
+# Documentation-drift gate (bin/docscheck.ml): every Registry spec form
+# must appear (backticked) in README.md's queue-spec table with a parsing
+# example, and every Obs.counter/Obs.span name declared under lib/ must be
+# documented in docs/METRICS.md — stricter than stats-check, which only
+# sees names the stats benchmark happens to emit.
+docs-check:
+	dune exec bin/docscheck.exe -- README.md docs/METRICS.md lib
+
 # Fault-injection gate (lib/chaos; docs/CHAOS.md): a 32-seed sweep of
 # deterministic fault plans over queue conservation and hardened-scheduler
 # cases, plus the planted-bug teeth check.  Writes BENCH_chaos.json and
@@ -56,7 +64,7 @@ perf-check:
 store-check:
 	dune exec bin/storecheck.exe
 
-check: fmt build test doc stats-check chaos-check perf-check store-check
+check: fmt build test doc stats-check docs-check chaos-check perf-check store-check
 
 bench:
 	dune exec bench/main.exe

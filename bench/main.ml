@@ -214,7 +214,7 @@ let quality () =
       R.Klsm 64;
       R.Klsm 256;
       R.Klsm 4096;
-      R.Klsm_sharded (256, 4);
+      R.klsm_sharded 256 4;
       R.Dlsm;
       R.Wimmer_hybrid 256;
     ]
@@ -229,8 +229,10 @@ let quality () =
   let rec rho_of spec =
     match spec with
     | R.Klsm k | R.Wimmer_hybrid k -> Some (t * k)
-    | R.Klsm_sharded (k, s) ->
-        (* Partitioned bound, DESIGN.md §12. *)
+    | R.Klsm_sharded { k; shards; adapt; _ } ->
+        (* Partitioned bound, DESIGN.md §12, over the allocated stripe
+           count (adapt's upper target). *)
+        let s = match adapt with Some (_, hi) -> hi | None -> shards in
         Some ((t + s) * ((k + s - 1) / s))
     | R.Heap_lock | R.Linden | R.Wimmer_centralized -> Some 0
     | R.Multiq _ | R.Spraylist | R.Dlsm -> None
@@ -291,16 +293,35 @@ let quality () =
    (lib/core/sharded_klsm.ml) against the single-stripe k-LSM at the same
    global relaxation budget k = 256: S = 1 is the baseline, S in {2, 4}
    trades snapshot-CAS contention for the extra stripes consulted by
-   find_min.  The rank-error column checks the cost side of the trade:
-   the measured max must stay within the partitioned bound
-   rho <= (T+S) * ceil(k/S) (DESIGN.md §12). *)
+   find_min, and the DESIGN.md §15 contention knobs (stickiness window,
+   insertion buffer, adaptive striping) are swept one at a time on top of
+   S = 4 so each knob's marginal effect is visible — this table is the
+   measured basis of docs/TUNING.md.  The thread axis runs to T = 16
+   (oversubscription on small hosts; the simulator charges contention via
+   its cost model, so per-thread throughput here measures algorithmic
+   scalability, not timesharing).  The rank-error column checks the cost
+   side of the trade: the measured max must stay within the partitioned
+   bound rho <= (T+S) * ceil(k/S) (DESIGN.md §12). *)
 let sharded () =
   let k = 256 in
-  let threads = [ 1; 2; 4; 8 ] in
+  let threads = [ 1; 2; 4; 8; 16 ] in
   let specs =
-    [ R.Klsm k; R.Klsm_sharded (k, 2); R.Klsm_sharded (k, 4) ]
+    [
+      R.Klsm k;
+      R.klsm_sharded k 2;
+      R.klsm_sharded k 4;
+      R.klsm_sharded ~sticky:8 k 4;
+      R.klsm_sharded ~buf:16 k 4;
+      R.klsm_sharded ~sticky:8 ~buf:16 k 4;
+      R.klsm_sharded ~sticky:8 ~buf:16 ~adapt:(2, 8) k 4;
+      R.klsm_sharded ~sticky:16 ~buf:16 (4 * k) 4;
+    ]
   in
-  let shards_of = function R.Klsm_sharded (_, s) -> s | _ -> 1 in
+  let shards_of = function
+    | R.Klsm_sharded { shards; adapt; _ } ->
+        (match adapt with Some (_, hi) -> hi | None -> shards)
+    | _ -> 1
+  in
   let measured =
     List.map
       (fun spec ->
@@ -329,7 +350,9 @@ let sharded () =
   in
   Report.section
     (Printf.sprintf
-       "Sharded: throughput/thread/s vs shard count, k=%d, 50-50 mix (sim)" k)
+       "Sharded: throughput/thread/s vs shard count, k=%d unless shown, 50-50 \
+        mix (sim)"
+       k)
     ;
   Report.table
     ~header:("impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) threads)
@@ -341,7 +364,12 @@ let sharded () =
       (fun spec ->
         let r = Q.run { Q.default_config with num_threads = t } spec in
         let s = shards_of spec in
-        let rho = (t + s) * ((k + s - 1) / s) in
+        let kk =
+          match spec with
+          | R.Klsm k | R.Klsm_sharded { k; _ } -> k
+          | _ -> k
+        in
+        let rho = (t + s) * ((kk + s - 1) / s) in
         [
           R.spec_name spec;
           string_of_int r.Q.deletes;
@@ -799,7 +827,7 @@ let stats_section () =
   let specs =
     R.figure3_specs
     @ List.filter (fun s -> not (List.mem s R.figure3_specs)) R.figure4_specs
-    @ [ R.Klsm_sharded (256, 4) ]
+    @ [ R.klsm_sharded 256 4 ]
   in
   let measured = List.map (fun spec -> (spec, T.run config spec)) specs in
   Report.section

@@ -1,0 +1,158 @@
+(* Documentation-drift gate (the `make docs-check` half of `make check`).
+
+   Usage: docscheck README_MD METRICS_MD LIB_DIR
+
+   The repository's two documentation contracts that rot silently:
+
+   - README.md carries the canonical queue-spec table.  Every spec form
+     the Registry grammar accepts ([Registry.spec_forms] — the single
+     source of truth the parser help text is built from) must appear in
+     README.md in backticks, and every example attached to a form must
+     actually parse.  Adding a grammar form without documenting it, or
+     documenting a form the parser no longer accepts, fails the build.
+
+   - docs/METRICS.md documents every observability name.  statscheck
+     already cross-checks the names EMITTED by the stats benchmark run;
+     this check is stricter at the source level: it scans lib/ for
+     [Obs.counter "..."] / [Obs.span "..."] declarations, so a counter
+     that exists in code but never fires in the stats workload still has
+     to be documented before it lands.
+
+   Names are required in backticks (`like.this`) in both documents, as in
+   statscheck, so an incidental prose mention does not count. *)
+
+module Registry = Klsm_harness.Registry.Make (Klsm_backend.Real)
+
+let errors = ref 0
+
+let complain fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr errors;
+      Printf.eprintf "docscheck: %s\n" m)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Exact-substring search for `needle` (no regexp; the needles are
+   backticked names and never contain metacharacters worth escaping). *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  nl > 0 && scan 0
+
+let backticked doc name = contains doc ("`" ^ name ^ "`")
+
+(* ---------------- spec forms vs README ---------------- *)
+
+let check_spec_forms readme =
+  List.iter
+    (fun (form, example) ->
+      if not (backticked readme form) then
+        complain "README.md is missing the spec form `%s` (Registry.spec_forms)"
+          form;
+      match Registry.parse_spec example with
+      | Ok _ -> ()
+      | Error m ->
+          complain "spec_forms example %S for form `%s` does not parse: %s"
+            example form m)
+    Registry.spec_forms
+
+(* ---------------- Obs declarations vs METRICS.md ---------------- *)
+
+(* Collect the string literal following each [Obs.counter] / [Obs.span]
+   token: skip whitespace after the token and, when the next character
+   opens a string literal, take it as the name (names never contain
+   escapes).  A token followed by anything else — e.g. a computed name —
+   is out of scope for a static check and skipped. *)
+let obs_names_in source =
+  let names = ref [] in
+  let grab_after token =
+    let tl = String.length token and sl = String.length source in
+    let rec from i =
+      if i + tl > sl then ()
+      else if String.sub source i tl = token then begin
+        let j = ref (i + tl) in
+        while
+          !j < sl
+          && match source.[!j] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+        do
+          incr j
+        done;
+        (if !j < sl && source.[!j] = '"' then
+           match String.index_from_opt source (!j + 1) '"' with
+           | Some close ->
+               names := String.sub source (!j + 1) (close - !j - 1) :: !names
+           | None -> ());
+        from (i + tl)
+      end
+      else from (i + 1)
+    in
+    from 0
+  in
+  grab_after "Obs.counter";
+  grab_after "Obs.span";
+  !names
+
+let rec ml_files_under dir =
+  Array.to_list (Sys.readdir dir)
+  |> List.concat_map (fun entry ->
+         let path = Filename.concat dir entry in
+         if Sys.is_directory path then ml_files_under path
+         else if Filename.check_suffix entry ".ml" then [ path ]
+         else [])
+
+let check_obs_names metrics_path lib_dir =
+  let metrics = read_file metrics_path in
+  let checked = Hashtbl.create 97 in
+  let total = ref 0 in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun name ->
+          if not (Hashtbl.mem checked name) then begin
+            Hashtbl.add checked name ();
+            incr total;
+            if not (backticked metrics name) then
+              complain "%s declares `%s` but %s does not document it" path name
+                metrics_path
+          end)
+        (obs_names_in (read_file path)))
+    (List.sort compare (ml_files_under lib_dir));
+  if !total = 0 then
+    complain "no Obs.counter/Obs.span declarations found under %s (scan broken?)"
+      lib_dir;
+  !total
+
+let () =
+  let readme_path, metrics_path, lib_dir =
+    match Sys.argv with
+    | [| _; a; b; c |] -> (a, b, c)
+    | _ ->
+        prerr_endline "usage: docscheck README.md docs/METRICS.md lib";
+        exit 2
+  in
+  match
+    let readme = read_file readme_path in
+    check_spec_forms readme;
+    check_obs_names metrics_path lib_dir
+  with
+  | exception Sys_error msg ->
+      Printf.eprintf "docscheck: %s\n" msg;
+      exit 1
+  | total ->
+      if !errors > 0 then begin
+        Printf.eprintf "docscheck: %d problem(s)\n" !errors;
+        exit 1
+      end;
+      Printf.printf
+        "docscheck: OK (%d spec forms in %s, %d obs names documented in %s)\n"
+        (List.length Registry.spec_forms)
+        readme_path total metrics_path

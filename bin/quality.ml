@@ -40,8 +40,13 @@ let run ~threads ~prefill ~ops ~impls ~seed ~csv =
         let r = Q.run config spec in
         let rec rho_of = function
           | R.Klsm k | R.Wimmer_hybrid k -> string_of_int (threads * k)
-          | R.Klsm_sharded (k, s) ->
-              (* Partitioned bound, DESIGN.md §12: rho <= (T+S) * ceil(k/S). *)
+          | R.Klsm_sharded { k; shards; adapt; _ } ->
+              (* Partitioned bound, DESIGN.md §12: rho <= (T+S) * ceil(k/S),
+                 over the allocated stripe count (adapt's upper target —
+                 the find-min race always covers the full array).  The
+                 buffered-insert knob is pre-charged against the local
+                 budget, so it does not enter the bound (§15). *)
+              let s = match adapt with Some (_, hi) -> hi | None -> shards in
               string_of_int ((threads + s) * ((k + s - 1) / s))
           | R.Heap_lock | R.Linden | R.Wimmer_centralized -> "0"
           | R.Multiq _ | R.Spraylist | R.Dlsm -> "unbounded"

@@ -69,6 +69,8 @@ let sites =
     "block_array.consolidate";
     "sharded.spill.publish";
     "sharded.migrate";
+    "sharded.buffer.flush";
+    "sharded.resize";
     "store.spill";
     "store.rehydrate";
     "store.recover";

@@ -228,7 +228,8 @@ let queue_case ~seed ~threads ~per_thread ~k plan =
     and CAS-failure storms on one stripe must only slow things down (and
     trip the migration policy), never break conservation.  Structural
     invariants are asserted per stripe. *)
-let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
+let sharded_case ?(sticky = 0) ?(buf = 0) ?adapt ~seed ~threads ~per_thread
+    ~k ~shards plan =
   Sim.configure ~seed ();
   let plan_text = Chaos.plan_to_string plan in
   (* Latch counters on for this queue's sheet so the report can show the
@@ -236,7 +237,10 @@ let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
      sheet records without synchronization, so the schedule is unchanged. *)
   let was_obs = Obs.enabled () in
   Obs.set_enabled true;
-  let q = SK.create_with ~seed ~k ~shards ~num_threads:threads () in
+  let q =
+    SK.create_with ~seed ~k ~shards ~sticky ~buf ?adapt ~num_threads:threads
+      ()
+  in
   Obs.set_enabled was_obs;
   let handles = Array.make threads None in
   let total = threads * per_thread in
@@ -273,6 +277,24 @@ let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
   let faults = Chaos.stats () in
   let crashed = Chaos.crashed_tids () in
   Chaos.uninstall ();
+  (* Insertion buffers live in handles, not in the shared structure.  A
+     crashed thread's still-buffered items (including the tail of a flush
+     it crashed in the middle of: flush_buffer pops each item only after
+     it entered the LSM) vanish with it — that is the documented crash
+     cost of [~buf] (up to B items; DESIGN.md §15) — so they are not owed
+     by conservation.  Survivors' buffers are flushed explicitly before
+     the drain: the drainer can spy their LSMs but cannot see their
+     buffers. *)
+  Array.iteri
+    (fun tid h ->
+      match h with
+      | Some h when List.mem tid crashed ->
+          List.iter
+            (fun (_, payload) -> submitted.(payload) <- false)
+            (SK.internal_buffered h)
+      | Some h -> SK.flush_buffer h
+      | None -> ())
+    handles;
   let drained = ref 0 in
   (match
      Array.to_list handles
@@ -379,6 +401,9 @@ let sharded_case ~seed ~threads ~per_thread ~k ~shards plan =
         ("crashed_threads", List.length crashed);
         ("stripe_cas_fail", stat "stripe.cas_fail");
         ("stripe_migrate", stat "stripe.migrate");
+        ("stripe_resize", stat "stripe.resize");
+        ("buffer_flush", stat "stripe.buffer_flush");
+        ("sticky_hit", stat "stripe.sticky_hit");
       ];
   }
 
@@ -633,10 +658,17 @@ let queue_sites =
     "block_array.consolidate";
   ]
 
-(* The sharded composition reaches every queue site plus its own two
-   (spill publish, home migration). *)
+(* The sharded composition reaches every queue site plus its own four
+   (spill publish, home migration, insertion-buffer flush, adaptive
+   resize). *)
 let sharded_sites =
-  queue_sites @ [ "sharded.spill.publish"; "sharded.migrate" ]
+  queue_sites
+  @ [
+      "sharded.spill.publish";
+      "sharded.migrate";
+      "sharded.buffer.flush";
+      "sharded.resize";
+    ]
 
 (* Scheduler runs have no spill tier, so the store.* fault points never
    fire there; drawing them would only dilute the sched sweep. *)
@@ -664,7 +696,12 @@ let case_for ~threads ~per_thread ~roots ~k i seed =
     Chaos.random_plan ~rng ~sites ~num_threads:threads ~rules i
   in
   if sched then sched_case ~seed ~threads ~roots plan
-  else if sharded then sharded_case ~seed ~threads ~per_thread ~k ~shards:2 plan
+  else if sharded then
+    (* Modest §15 knobs so the random draw can land on the buffer-flush
+       site (and the buffered-crash exemption gets coverage); kp =
+       ceil(k/2) bounds buf. *)
+    sharded_case ~sticky:2 ~buf:2 ~seed ~threads ~per_thread ~k ~shards:2
+      plan
   else queue_case ~seed ~threads ~per_thread ~k plan
 
 (** Fixed sharded-queue plans the ISSUE's acceptance bar names explicitly
@@ -676,7 +713,15 @@ let case_for ~threads ~per_thread ~roots ~k i seed =
     - a CAS-failure storm concentrated on one stripe: [n] consecutive
       arrivals at the home stripe's publish CAS are forced to fail, which
       both stresses the retry loop and (past {!Klsm_core.Sharded_klsm}'s
-      migration threshold) forces a home-stripe migration under fire. *)
+      migration threshold) forces a home-stripe migration under fire;
+    - a crash in the middle of an insertion-buffer flush ([~buf]): the
+      crasher's not-yet-inserted buffered items may vanish (the documented
+      [~buf] crash cost), but nothing that reached the LSM may be lost and
+      nothing may be delivered twice;
+    - a resize-under-storm case ([~adapt]): a concentrated failure storm
+      long enough to cross the adapt window forces an active-stripe-count
+      grow mid-run (with the first resize CAS itself forced to fail), and
+      conservation must hold across the re-homing. *)
 let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
   (* A storm aimed at one thread: its first [n] arrivals at the publish
      CAS all fail, and (spills all target its home stripe) the home-stripe
@@ -685,18 +730,36 @@ let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
   let storm ?tid n site =
     List.init n (fun i -> Chaos.rule ?tid ~hit:(i + 1) site Chaos.Cas_fail)
   in
-  [
-    (* Crash a non-drainer thread mid-stripe-publish, both sides. *)
-    [ Chaos.rule ~tid:1 ~hit:2 "sharded.spill.publish" Chaos.Crash ];
-    [ Chaos.rule ~tid:2 ~hit:3 "shared.push_snapshot.before" Chaos.Crash ];
-    (* CAS storms: one concentrated on thread 1's stripe (must migrate),
-       one spread over everyone (must merely survive). *)
-    storm ~tid:1 12 "shared.push_snapshot.before";
-    storm 12 "shared.push_snapshot.before"
-    @ [ Chaos.rule ~tid:3 ~hit:1 "sharded.migrate" (Chaos.Stall 40) ];
-  ]
+  ([
+     (* Crash a non-drainer thread mid-stripe-publish, both sides. *)
+     [ Chaos.rule ~tid:1 ~hit:2 "sharded.spill.publish" Chaos.Crash ];
+     [ Chaos.rule ~tid:2 ~hit:3 "shared.push_snapshot.before" Chaos.Crash ];
+     (* CAS storms: one concentrated on thread 1's stripe (must migrate),
+        one spread over everyone (must merely survive). *)
+     storm ~tid:1 12 "shared.push_snapshot.before";
+     storm 12 "shared.push_snapshot.before"
+     @ [ Chaos.rule ~tid:3 ~hit:1 "sharded.migrate" (Chaos.Stall 40) ];
+   ]
   |> List.mapi (fun i plan ->
          sharded_case ~seed:(seed0 + i) ~threads ~per_thread ~k ~shards plan)
+  )
+  @ [
+      (* Crash thread 1 mid-buffer-flush (second flush, so the first
+         exercised the happy path): items still buffered at the crash are
+         exempt, everything already flushed must survive. *)
+      sharded_case ~sticky:4 ~buf:4 ~seed:(seed0 + 4) ~threads ~per_thread
+        ~k ~shards
+        [ Chaos.rule ~tid:1 ~hit:2 "sharded.buffer.flush" Chaos.Crash ];
+      (* Resize under storm: thread 1's first 48 publish CASes all fail,
+         so its adapt window (32 publishes) fills with failures and the
+         grow watermark trips mid-storm; the first resize CAS is itself
+         forced to fail so the retry path runs too.  Start at the adapt
+         lower target so there is room to grow. *)
+      sharded_case ~adapt:(shards, 2 * shards) ~seed:(seed0 + 5) ~threads
+        ~per_thread ~k ~shards
+        (storm ~tid:1 48 "shared.push_snapshot.before"
+        @ [ Chaos.rule ~hit:1 "sharded.resize" Chaos.Cas_fail ]);
+    ]
 
 (** Fixed spill-tier plans (the ISSUE's kill-and-restart acceptance bar),
     every one followed by a full process-death + {!Spill.recover} cycle:

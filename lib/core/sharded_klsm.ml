@@ -1,6 +1,7 @@
 (** The contention-striped k-LSM: the combined queue of {!Klsm} with its
     single shared component split into [S] independent {!Shared_klsm}
-    stripes (DESIGN.md §12).
+    stripes (DESIGN.md §12), hardened with the MultiQueue-style contention
+    engineering of DESIGN.md §15.
 
     The paper's shared k-LSM serializes every spill and consolidation
     through one atomic [shared] pointer (§4.1, Listing 3); at high thread
@@ -13,14 +14,15 @@
       each stripe is an ordinary shared k-LSM with a smaller relaxation;
     - every thread has a {e home} stripe its spills go to (preserving the
       per-stripe publication ordering Listing 4 relies on);
-    - [find_min] races the thread-local DistLSM minimum against the home
-      stripe and — only when a stripe's {!Shared_klsm.min_hint} says it
-      might hold something smaller — the remaining stripes (scanned from
-      a rotating offset so ties don't starve), which is what keeps the
-      rank bound rho <= (T + S) * ceil(k / S) provable rather than
-      probabilistic (derivation in DESIGN.md §12); when every hint sits
-      at or above the local candidate the race is skipped outright — S
-      atomic loads serve the common local-delete path;
+    - [find_min] races the thread-local DistLSM minimum against a
+      {e primary} stripe and — only when a stripe's
+      {!Shared_klsm.min_hint} says it might hold something smaller — the
+      remaining stripes (scanned from a rotating offset so ties don't
+      starve), which is what keeps the rank bound
+      rho <= (T + S) * ceil(k / S) provable rather than probabilistic
+      (derivation in DESIGN.md §12); when every hint sits at or above the
+      local candidate the race is skipped outright — S atomic loads serve
+      the common local-delete path;
     - a per-thread {e candidate cache} reuses the last raced winner until
       its deletion flag is seen set or some stripe publishes state that
       could beat it — amortizing the cross-stripe race across consecutive
@@ -30,8 +32,43 @@
       {!Klsm_primitives.Backoff}, and a burst of consecutive failures on
       the home stripe triggers {e migration} to the next stripe.
 
-    With [S = 1] the structure degenerates to the paper's k-LSM (one
-    stripe, no second chance, no migration). *)
+    The §15 contention knobs, all off by default (the defaults reproduce
+    the PR 5 behaviour bit-for-bit on the simulator):
+
+    - {e stickiness} ([~sticky:W], W >= 1): after a delete-min is served
+      from a stripe, the next W races consult that stripe {e first}
+      instead of the home stripe.  The hint-gated scan over the other
+      stripes is unchanged, so the rank bound is untouched — the win is
+      that the primary consult targets the stripe most likely to still
+      hold the minimum, whose fresh result then hint-skips the rest.  A
+      failed publish CAS halves the remaining window (contention means the
+      sticky stripe is being fought over);
+    - {e insertion buffering} ([~buf:B], B >= 1): inserts gather in a
+      per-handle buffer of at most B items and enter the thread-local LSM
+      in a burst — flushed when the buffer fills, when a delete-min or
+      find-min needs a buffered key (the buffered minimum undercuts the
+      local LSM minimum), or when the oldest buffered item has waited
+      {!buffer_age_bound} of its owner's operations.  Buffered items are
+      charged against the {e local} relaxation budget: the LSM spill
+      threshold drops to ceil(k/S) - B, so local LSM + buffer together
+      never exceed the ceil(k/S) per-thread term of the rank bound;
+    - {e adaptive striping} ([~adapt:(lo, hi)], powers of two): the stripe
+      array is allocated at [hi], but spills target only the first
+      {e active} stripes.  The active count starts at [~shards] and is
+      doubled/halved between [lo] and [hi] by a CAS when a handle's
+      observed publish-CAS failure rate over a {!adapt_window}-publish
+      window crosses the grow/shrink watermarks.  Deactivated stripes
+      drain naturally: the find-min race always covers all [hi] stripes,
+      so no migration ever moves items — a resize only redirects future
+      spills, with re-homing routed through the same [migrate_pending]
+      latch as contention migration (acted on after the in-flight publish
+      completes).  The rank bound is the (T + hi) * ceil(k / hi) of the
+      full array;
+    - every stripe's contended atomics are cache-line padded
+      ({!Klsm_primitives.Padded}; [~padded:true] to {!Shared_klsm.create}).
+
+    With [S = 1] and the knobs off the structure degenerates to the
+    paper's k-LSM (one stripe, no second chance, no migration). *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Item = Item.Make (B)
@@ -61,6 +98,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_cache_miss = Obs.counter "stripe.cache_miss"
   let c_hint_consult = Obs.counter "stripe.hint_consult"
   let c_hint_skip = Obs.counter "stripe.hint_skip"
+  let c_sticky_hit = Obs.counter "stripe.sticky_hit"
+  let c_buffer_flush = Obs.counter "stripe.buffer_flush"
+  let c_resize = Obs.counter "stripe.resize"
 
   (** Per-stripe relaxation: the global budget split evenly, rounded up so
       S stripes never under-spend the contract ([S * ceil(k/S) >= k]). *)
@@ -72,6 +112,29 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       while we starved. *)
   let migrate_threshold = 8
 
+  (** Age bound of the insertion buffer, in operations of the owning
+      handle: an item buffered while its owner performs this many further
+      operations is force-flushed on the next one, bounding how long it
+      stays invisible to spies and other threads' races.  (The rank bound
+      never depends on this — buffered items are pre-charged against the
+      local budget — it is a quality/liveness hygiene bound.) *)
+  let buffer_age_bound = 64
+
+  (** Publish outcomes a handle accumulates before consulting the adaptive
+      resize watermarks (below).  Small enough to react within one chaos
+      storm, large enough that a single lost race cannot flap the stripe
+      count. *)
+  let adapt_window = 32
+
+  (* Adaptive watermarks, as fail/attempt rate over one window: grow the
+     active stripe set at >= 1/2 (every other publish loses its CAS —
+     a convoy), shrink at <= 1/8 (contention is paid for by extra hint
+     consults with nothing to show for it). *)
+  let adapt_grow_watermark fails seen = 2 * fails >= seen
+  let adapt_shrink_watermark fails seen = 8 * fails <= seen
+
+  let is_pow2 n = n > 0 && n land (n - 1) = 0
+
   (** Durability hook; same shape as {!Klsm.Make.spill_policy} (the types
       are equal through the applicative functor). *)
   type 'v spill_policy =
@@ -81,7 +144,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     stripes : 'v Shared_klsm.t array;
     dists : 'v Dist_lsm.t option B.atomic array;  (** victims, §4.3 *)
     num_threads : int;
-    num_stripes : int;
+    num_stripes : int;  (** allocated stripes ([adapt]'s upper target) *)
     k : int B.atomic;  (** global relaxation budget *)
     seed : int;
     hasher : Tabular_hash.t;
@@ -90,6 +153,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (** ablation override of the §4.3 spill threshold *)
     spill_policy : 'v spill_policy option;
         (** durability hook (lib/store); see {!Klsm.Make.spill_policy} *)
+    sticky_window : int;  (** stickiness window W; 0 = off *)
+    buf_cap : int;  (** insertion-buffer capacity B; 0 = off *)
+    adapt : (int * int) option;
+        (** adaptive active-stripe-count targets (lo, hi); [None] = fixed *)
+    active : int B.atomic;
+        (** spill-target stripe count, in [lo, hi]; only consulted when
+            [adapt] is set (padded — it is CASed under contention) *)
     obs : Obs.sheet;
   }
 
@@ -105,8 +175,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     mutable fail_streak : int;
         (** consecutive snapshot-CAS failures on the home stripe *)
     mutable migrate_pending : bool;
-        (** latched when [fail_streak] crossed {!migrate_threshold}; acted
-            on after the in-flight publish completes (a publish retries on
+        (** latched when [fail_streak] crossed {!migrate_threshold} or the
+            active stripe count moved under this handle's home; acted on
+            after the in-flight publish completes (a publish retries on
             its stripe until it wins — migration applies to the next
             spill) *)
     backoffs : Backoff.t array;
@@ -114,23 +185,76 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             {!Shared_klsm} CAS hooks *)
     mutable cached : 'v Item.t option;  (** delete-min candidate cache *)
     mutable cached_key : int;
+    mutable cached_stripe : int;
+        (** stripe that produced the cached candidate; [-1] = none (feeds
+            the stickiness window on a successful shared delete) *)
     cached_ptrs : 'v Block_array.t option array;
         (** per-stripe published-array tokens observed when the cache was
             filled; physical inequality + a hint below [cached_key] is the
             only thing that can invalidate a still-alive cached candidate *)
+    mutable sticky_stripe : int;
+        (** stripe that served the last shared delete-min *)
+    mutable sticky_left : int;
+        (** races left in the stickiness window; halved on CAS failure *)
+    mutable buf : (int * 'v) list;  (** insertion buffer, newest first *)
+    mutable buf_len : int;
+    mutable buf_min : int;
+        (** lower bound on the buffered keys ([max_int] = empty); kept
+            conservative (never raised mid-flush), so a flush check that
+            consults it can only over-flush, never hide an item *)
+    mutable buf_age : int;
+        (** owner operations since the oldest buffered item arrived *)
+    mutable pub_seen : int;  (** publish CASes in the current adapt window *)
+    mutable pub_fail : int;  (** failed ones *)
     rng : Xoshiro.t;
     obs : Obs.handle;
     pool : 'v Block.Pool.t;
   }
 
-  let create_with ?(seed = 1) ?(k = 256) ?(shards = 4) ?should_delete
-      ?on_lazy_delete ?spill_max_level ?spill_policy
-      ?(local_ordering = true) ~num_threads () =
+  let create_with ?(seed = 1) ?(k = 256) ?(shards = 4) ?(sticky = 0)
+      ?(buf = 0) ?adapt ?should_delete ?on_lazy_delete ?spill_max_level
+      ?spill_policy ?(local_ordering = true) ~num_threads () =
     if num_threads < 1 then
       invalid_arg "Sharded_klsm.create: num_threads < 1";
     if shards < 1 then invalid_arg "Sharded_klsm.create: shards < 1";
     if shards > k then
       invalid_arg "Sharded_klsm.create: shards > k (a stripe needs a budget)";
+    if sticky < 0 then invalid_arg "Sharded_klsm.create: sticky < 0";
+    (* Adaptive mode allocates the array at the upper target; doubling /
+       halving between power-of-two rungs keeps every reachable active
+       count a divisor-friendly power of two, so tid mod active spreads
+       homes evenly at each rung. *)
+    let num_stripes =
+      match adapt with
+      | None -> shards
+      | Some (lo, hi) ->
+          if not (is_pow2 lo && is_pow2 hi) then
+            invalid_arg
+              "Sharded_klsm.create: adaptive stripe targets must be powers \
+               of two";
+          if lo > hi then
+            invalid_arg "Sharded_klsm.create: adapt lo > hi";
+          if not (is_pow2 shards) then
+            invalid_arg
+              "Sharded_klsm.create: with ~adapt the initial shard count \
+               must be a power of two";
+          if shards < lo || shards > hi then
+            invalid_arg
+              "Sharded_klsm.create: initial shard count outside [lo, hi]";
+          if hi > k then
+            invalid_arg
+              "Sharded_klsm.create: adapt upper target > k (a stripe needs \
+               a budget)";
+          hi
+    in
+    let kp = stripe_k ~k ~shards:num_stripes in
+    if buf < 0 || buf > kp then
+      invalid_arg
+        (Printf.sprintf
+           "Sharded_klsm.create: insertion buffer %d exceeds the per-stripe \
+            budget ceil(k/S) = %d (buffered items are charged against the \
+            local relaxation budget)"
+           buf kp);
     let hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed) in
     let alive =
       match should_delete with
@@ -150,21 +274,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             end
             else true
     in
-    let kp = stripe_k ~k ~shards in
     {
       stripes =
-        Array.init shards (fun _ ->
+        Array.init num_stripes (fun _ ->
             Shared_klsm.create ~k:kp ~local_ordering ~maintain_hint:true
-              ~hasher ~alive ());
+              ~padded:true ~hasher ~alive ());
       dists = Array.init num_threads (fun _ -> B.make None);
       num_threads;
-      num_stripes = shards;
+      num_stripes;
       k = B.make k;
       seed;
       hasher;
       alive;
       spill_max_level;
       spill_policy;
+      sticky_window = sticky;
+      buf_cap = buf;
+      adapt;
+      active = Klsm_primitives.Padded.copy_as_padded (B.make shards);
       obs = Obs.create_sheet ~now:B.time ~num_threads ();
     }
 
@@ -173,16 +300,58 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let get_k t = B.get t.k
   let num_stripes t = t.num_stripes
 
+  (** Stripes that current spills target ([num_stripes] when not adaptive;
+      the race and the rank bound always cover the full array). *)
+  let active_stripes t =
+    match t.adapt with None -> t.num_stripes | Some _ -> B.get t.active
+
   (** Reconfigure the global budget; re-partitioned across the stripes, it
       takes effect on each stripe's next pivot recomputation. *)
   let set_k t k =
     if k < t.num_stripes then invalid_arg "Sharded_klsm.set_k: k < shards";
-    B.set t.k k;
     let kp = stripe_k ~k ~shards:t.num_stripes in
+    if t.buf_cap > kp then
+      invalid_arg
+        "Sharded_klsm.set_k: new per-stripe budget below the insertion \
+         buffer capacity";
+    B.set t.k k;
     Array.iter (fun s -> Shared_klsm.set_k s kp) t.stripes
 
   (** Internal-counter snapshot (see {!Pq_intf.S.stats}). *)
   let stats (t : _ t) = Obs.snapshot t.obs
+
+  (* One adaptive-resize accounting step, run from the publish-CAS hooks.
+     Window full -> compare the observed failure rate against the
+     watermarks and CAS the active count one power-of-two rung.  A lost
+     resize CAS just means another handle resized first; both re-observe
+     from fresh windows. *)
+  let adapt_account h ~failed =
+    match h.t.adapt with
+    | None -> ()
+    | Some (lo, hi) ->
+        h.pub_seen <- h.pub_seen + 1;
+        if failed then h.pub_fail <- h.pub_fail + 1;
+        if h.pub_seen >= adapt_window then begin
+          let fails = h.pub_fail and seen = h.pub_seen in
+          h.pub_seen <- 0;
+          h.pub_fail <- 0;
+          let cur = B.get h.t.active in
+          let target =
+            if adapt_grow_watermark fails seen && cur * 2 <= hi then cur * 2
+            else if adapt_shrink_watermark fails seen && cur / 2 >= lo then
+              cur / 2
+            else cur
+          in
+          if target <> cur then begin
+            B.fault_point "sharded.resize";
+            if B.compare_and_set h.t.active cur target then begin
+              Obs.incr h.obs c_resize;
+              (* Re-home through the same latch as contention migration:
+                 the move happens after the in-flight publish lands. *)
+              h.migrate_pending <- true
+            end
+          end
+        end
 
   let register t tid =
     if tid < 0 || tid >= t.num_threads then
@@ -199,6 +368,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (fun s -> Shared_klsm.register ~obs ~pool s ~tid ~rng:(Xoshiro.split rng))
         t.stripes
     in
+    let home = tid mod active_stripes t in
     let h =
       {
         t;
@@ -209,7 +379,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           | None -> Fun.id
           | Some p -> fun block -> p ~alive:t.alive ~tid block);
         stripe_hs;
-        home = tid mod t.num_stripes;
+        home;
         rr = 0;
         fail_streak = 0;
         migrate_pending = false;
@@ -218,7 +388,16 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               Backoff.create ~jitter:(Xoshiro.split rng) ());
         cached = None;
         cached_key = max_int;
+        cached_stripe = -1;
         cached_ptrs = Array.make t.num_stripes None;
+        sticky_stripe = home;
+        sticky_left = 0;
+        buf = [];
+        buf_len = 0;
+        buf_min = max_int;
+        buf_age = 0;
+        pub_seen = 0;
+        pub_fail = 0;
         rng;
         obs;
         pool;
@@ -227,7 +406,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     (* Contention hooks: every failed snapshot CAS on stripe [i] backs the
        thread off (decorrelated jitter, so losers of the same race stop
        retrying in lockstep); failures on the current home stripe also feed
-       the migration detector. *)
+       the migration detector, decay the stickiness window (the sticky
+       stripe is being fought over), and — with ~adapt — feed the resize
+       watermarks. *)
     Array.iteri
       (fun i sh ->
         sh.Shared_klsm.on_cas_fail <-
@@ -238,49 +419,120 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               if h.fail_streak >= migrate_threshold then
                 h.migrate_pending <- true
             end;
+            if h.sticky_left > 0 then h.sticky_left <- h.sticky_left / 2;
+            adapt_account h ~failed:true;
             Backoff.once h.backoffs.(i) ~relax:B.relax_n);
         sh.Shared_klsm.on_cas_success <-
           (fun () ->
             if i = h.home then h.fail_streak <- 0;
+            adapt_account h ~failed:false;
             Backoff.reset h.backoffs.(i)))
       stripe_hs;
     h
 
   (* Spill a block to the home stripe; act on a pending migration after the
      publish completed (a {!Shared_klsm.insert} retries on its stripe until
-     it wins, so the decision applies to the next spill). *)
+     it wins, so the decision applies to the next spill).  A shrink that
+     left this handle's home above the active range is picked up here too:
+     the stale home is still raced by every reader (nothing is ever lost in
+     a deactivated stripe), so the publish proceeds and the re-home applies
+     to the next spill, exactly like contention migration. *)
   let spill_to_home h block =
     let block = h.spill_tx block in
+    if h.t.adapt <> None && h.home >= active_stripes h.t then
+      h.migrate_pending <- true;
     B.fault_point "sharded.spill.publish";
     Shared_klsm.insert h.stripe_hs.(h.home) block;
     if h.migrate_pending && h.t.num_stripes > 1 then begin
       B.fault_point "sharded.migrate";
       h.migrate_pending <- false;
       h.fail_streak <- 0;
-      h.home <- (h.home + 1) mod h.t.num_stripes;
+      h.home <- (h.home + 1) mod max 1 (active_stripes h.t);
       Obs.incr h.obs c_migrate
     end
     else h.migrate_pending <- false
 
-  (** §4.3 [insert] with the partitioned spill rule: local blocks spill at
-      the level bound of the {e per-stripe} budget ceil(k/S), so each
-      thread-local LSM holds at most ceil(k/S) items — the per-term bound
-      the rho <= (T + S) * ceil(k/S) derivation charges for other threads'
-      local components (DESIGN.md §12). *)
-  let insert h key value =
-    if key < 0 then invalid_arg "Sharded_klsm.insert: negative key";
+  (* §4.3 [insert] with the partitioned spill rule: local blocks spill at
+     the level bound of the {e per-stripe} budget ceil(k/S), so each
+     thread-local LSM holds at most ceil(k/S) items — the per-term bound
+     the rho <= (T + S) * ceil(k/S) derivation charges for other threads'
+     local components (DESIGN.md §12).  With insertion buffering the
+     threshold shrinks by the buffer capacity (DESIGN.md §15): LSM +
+     buffer together stay within the same ceil(k/S) term. *)
+  let insert_now h key value =
     let item = Item.make key value in
     let max_level =
       match h.t.spill_max_level with
       | Some l -> l
       | None ->
-          Dist_lsm.max_level_for_k
-            (stripe_k ~k:(B.get h.t.k) ~shards:h.t.num_stripes)
+          let kp = stripe_k ~k:(B.get h.t.k) ~shards:h.t.num_stripes in
+          Dist_lsm.max_level_for_k (max 0 (kp - h.t.buf_cap))
     in
     Dist_lsm.insert h.dist item ~max_level ~spill:(fun b -> spill_to_home h b)
 
+  (** Flush the insertion buffer into the thread-local LSM (no-op when
+      empty).  Items leave the buffer one by one {e after} entering the
+      LSM, so a crash mid-flush leaves every not-yet-inserted item still
+      visible in [h.buf] (the chaos drive reads it to account for a
+      crashed thread's buffered items); [buf_min] stays conservatively low
+      until the buffer empties. *)
+  let flush_buffer h =
+    if h.buf_len > 0 then begin
+      B.fault_point "sharded.buffer.flush";
+      Obs.incr h.obs c_buffer_flush;
+      let rec drain () =
+        match h.buf with
+        | [] ->
+            h.buf_min <- max_int;
+            h.buf_age <- 0
+        | (key, value) :: rest ->
+            insert_now h key value;
+            h.buf <- rest;
+            h.buf_len <- h.buf_len - 1;
+            drain ()
+      in
+      drain ()
+    end
+
+  (** §4.3 [insert], through the per-handle insertion buffer when one is
+      configured (DESIGN.md §15): the common case is a buffer push; the
+      LSM merge cascade and any stripe publish happen only on flush. *)
+  let insert h key value =
+    if key < 0 then invalid_arg "Sharded_klsm.insert: negative key";
+    if h.t.buf_cap = 0 then insert_now h key value
+    else begin
+      if h.buf_len > 0 then begin
+        h.buf_age <- h.buf_age + 1;
+        if h.buf_age >= buffer_age_bound then flush_buffer h
+      end;
+      h.buf <- (key, value) :: h.buf;
+      h.buf_len <- h.buf_len + 1;
+      if key < h.buf_min then h.buf_min <- key;
+      if h.buf_len >= h.t.buf_cap then flush_buffer h
+    end
+
+  (* The delete-min/find-min side of buffering: serve from the exact local
+     LSM unless a buffered key undercuts it, in which case flush first.
+     This is what keeps find_min exact for the owner (no buffered item is
+     ever invisible {e below} the served candidate) and single-thread
+     semantics exact overall. *)
+  let local_min_flushing h =
+    let local = Dist_lsm.find_min h.dist in
+    if
+      h.buf_len > 0
+      &&
+      match local with
+      | None -> true
+      | Some it -> h.buf_min < Item.key it
+    then begin
+      flush_buffer h;
+      Dist_lsm.find_min h.dist
+    end
+    else local
+
   (** Bulk insertion (one sorted block, one stripe publish); see
-      {!Klsm.insert_batch}. *)
+      {!Klsm.insert_batch}.  Bypasses the insertion buffer — the batch is
+      already the amortized path. *)
   let insert_batch h pairs =
     match Array.length pairs with
     | 0 -> ()
@@ -331,11 +583,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         done;
         !ok
 
-  (* The full race: the home stripe, then every other stripe whose min
-     hint undercuts the best so far (scanned from a rotating offset).
-     Every stripe is thus either consulted (candidate within its
-     ceil(k/S) relaxation) or certified by its hint to hold nothing
-     smaller — the case split the DESIGN §12 rank bound sums over. *)
+  (* The full race: a primary stripe (the sticky stripe while the
+     stickiness window is open, the home stripe otherwise), then every
+     other stripe whose min hint undercuts the best so far (scanned from a
+     rotating offset).  Every stripe is thus either consulted (candidate
+     within its ceil(k/S) relaxation) or certified by its hint to hold
+     nothing smaller — the case split the DESIGN §12 rank bound sums over,
+     regardless of which stripe went first. *)
   let race h =
     let s = h.t.num_stripes in
     (* Observation tokens first: a publish landing between the token read
@@ -345,6 +599,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     done;
     let best = ref None in
     let best_key = ref max_int in
+    let best_stripe = ref (-1) in
     let consult i =
       match Shared_klsm.find_min h.stripe_hs.(i) with
       | None -> ()
@@ -352,10 +607,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           let key = Item.key it in
           if Option.is_none !best || key < !best_key then begin
             best := Some it;
-            best_key := key
+            best_key := key;
+            best_stripe := i
           end
     in
-    consult h.home;
+    let primary =
+      if h.t.sticky_window > 0 && h.sticky_left > 0 then begin
+        h.sticky_left <- h.sticky_left - 1;
+        Obs.incr h.obs c_sticky_hit;
+        h.sticky_stripe
+      end
+      else h.home
+    in
+    consult primary;
     if s > 1 then begin
       (* Rotating scan offset: when several stripes undercut the current
          best they are consulted in a different order each race, so no
@@ -364,7 +628,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       let start = h.rr mod s in
       for d = 0 to s - 1 do
         let j = (start + d) mod s in
-        if j <> h.home && Shared_klsm.min_hint h.t.stripes.(j) < !best_key
+        if j <> primary && Shared_klsm.min_hint h.t.stripes.(j) < !best_key
         then begin
           Obs.incr h.obs c_hint_consult;
           consult j
@@ -373,6 +637,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     end;
     h.cached <- !best;
     h.cached_key <- !best_key;
+    h.cached_stripe <- !best_stripe;
     !best
 
   (** Relaxed minimum of the striped shared component (cache first, race on
@@ -417,11 +682,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (** Listing 5's [delete_min] over the striped shared component: race the
       thread-local minimum against {!stripes_find_min}, test-and-set, retry
-      lost races, spy before reporting empty. *)
+      lost races, spy before reporting empty.  A successful shared delete
+      opens (or refreshes) the stickiness window on the serving stripe. *)
   let try_delete_min h =
     let rec outer () =
       let rec take_loop () =
-        let local = Dist_lsm.find_min h.dist in
+        let local = local_min_flushing h in
         let shared =
           match local with
           | Some it when stripes_certified_above h (Item.key it) ->
@@ -439,8 +705,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         | None -> None
         | Some item ->
             if Item.take item then begin
-              Obs.incr h.obs
-                (if from_shared then c_delete_shared else c_delete_local);
+              if from_shared then begin
+                Obs.incr h.obs c_delete_shared;
+                if h.t.sticky_window > 0 && h.cached_stripe >= 0 then begin
+                  h.sticky_stripe <- h.cached_stripe;
+                  h.sticky_left <- h.t.sticky_window
+                end
+              end
+              else Obs.incr h.obs c_delete_local;
               Some (Item.key item, Item.value item)
             end
             else begin
@@ -465,9 +737,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     outer ()
 
   (** Relaxed peek; advisory on a concurrent queue (see
-      {!Klsm.try_find_min}). *)
+      {!Klsm.try_find_min}).  Flushes the insertion buffer when a buffered
+      key undercuts the local minimum, so no buffered item hides below the
+      answer. *)
   let try_find_min h =
-    let local = Dist_lsm.find_min h.dist in
+    let local = local_min_flushing h in
     let shared =
       match local with
       | Some it when stripes_certified_above h (Item.key it) ->
@@ -484,7 +758,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     Option.map (fun it -> (Item.key it, Item.value it)) candidate
 
   (** Meld (§4.5, non-linearizable; see {!Klsm.meld}): adopt every block of
-      [src] into the queue behind [h], through [h]'s home stripe. *)
+      [src] into the queue behind [h], through [h]'s home stripe.  Like the
+      rest of meld's exclusive-access contract, insertion buffers live in
+      {e handles}, not in [src]: callers must {!flush_buffer} the source's
+      handles first or those items stay behind. *)
   let meld h ~src =
     let adopt block =
       if not (Block.is_empty block) then begin
@@ -508,7 +785,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       strand condemned items). *)
   let consolidate_local h = Dist_lsm.consolidate h.dist
 
-  (** Items currently held, counting not-yet-cleaned deleted ones. *)
+  (** Items currently held, counting not-yet-cleaned deleted ones.  Items
+      sitting in per-handle insertion buffers are not visible from [t];
+      the count may under-report by at most T * B. *)
   let approximate_size t =
     let acc = ref 0 in
     Array.iter
@@ -529,7 +808,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (* Internal accessors for white-box tests and the chaos drive. *)
   let internal_stripes t = t.stripes
+  let internal_stripe_handles h = h.stripe_hs
   let internal_dist h = h.dist
+  let internal_buffered h = h.buf
+  let internal_sticky_left h = h.sticky_left
+  let internal_sticky_stripe h = h.sticky_stripe
+  let internal_active t = active_stripes t
 end
 
 (** The deployment instantiation on OCaml domains. *)

@@ -78,16 +78,24 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   }
 
   let create ?(k = 256) ?(local_ordering = true) ?(maintain_hint = false)
-      ~hasher ~alive () =
+      ?(padded = false) ~hasher ~alive () =
     if k < 0 then invalid_arg "Shared_klsm.create: k < 0";
+    (* [~padded:true] (the sharded composition) reallocates the contended
+       atomics behind a cache line each ({!Klsm_primitives.Padded}), so
+       stripe [i]'s publish CAS traffic stops evicting stripe [i+1]'s
+       hint: the atomics of S stripes created in one loop are otherwise
+       adjacent minor-heap neighbours. *)
+    let pad =
+      if padded then Klsm_primitives.Padded.copy_as_padded else Fun.id
+    in
     {
-      shared = B.make None;
-      k = B.make k;
+      shared = pad (B.make None);
+      k = pad (B.make k);
       hasher;
       alive;
       local_ordering;
       maintain_hint;
-      hint = B.make max_int;
+      hint = pad (B.make max_int);
     }
 
   let get_k t = B.get t.k

@@ -32,18 +32,33 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let default_store_dir = Filename.concat "_store" "default"
   let default_spill_bytes = 1 lsl 20
 
+  (** Contention-engineering parameters of the sharded k-LSM
+      (lib/core/sharded_klsm.ml; DESIGN.md §12 and §15; docs/TUNING.md). *)
+  type sharded_cfg = {
+    k : int;  (** global relaxation budget *)
+    shards : int;  (** stripe count S (initial count with [adapt]) *)
+    sticky : int;  (** stickiness window W; 0 = off *)
+    buf : int;  (** insertion-buffer capacity B; 0 = off *)
+    adapt : (int * int) option;  (** adaptive stripe targets (lo, hi) *)
+  }
+
   type spec =
     | Heap_lock
     | Linden
     | Spraylist
     | Multiq of int  (** c: queues per thread *)
     | Klsm of int  (** k *)
-    | Klsm_sharded of int * int  (** k, shards (contention stripes) *)
+    | Klsm_sharded of sharded_cfg
     | Dlsm
     | Wimmer_centralized
     | Wimmer_hybrid of int  (** k *)
     | Stored of spec * store_cfg
         (** a klsm/klsm-sharded with the lib/store durability tier *)
+
+  (** [klsm_sharded k shards] with the contention knobs defaulted off —
+      the exact PR 5 sharded queue. *)
+  let klsm_sharded ?(sticky = 0) ?(buf = 0) ?adapt k shards =
+    Klsm_sharded { k; shards; sticky; buf; adapt }
 
   let rec spec_name = function
     | Heap_lock -> "heap+lock"
@@ -51,7 +66,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Spraylist -> "spraylist"
     | Multiq c -> Printf.sprintf "multiq(%d)" c
     | Klsm k -> Printf.sprintf "klsm(%d)" k
-    | Klsm_sharded (k, s) -> Printf.sprintf "klsm-sharded(%d,%d)" k s
+    | Klsm_sharded cfg ->
+        let b = Buffer.create 32 in
+        Buffer.add_string b
+          (Printf.sprintf "klsm-sharded(%d,%d" cfg.k cfg.shards);
+        if cfg.sticky > 0 then
+          Buffer.add_string b (Printf.sprintf ",sticky=%d" cfg.sticky);
+        if cfg.buf > 0 then
+          Buffer.add_string b (Printf.sprintf ",buf=%d" cfg.buf);
+        (match cfg.adapt with
+        | Some (lo, hi) ->
+            Buffer.add_string b (Printf.sprintf ",adapt=%d-%d" lo hi)
+        | None -> ());
+        Buffer.add_char b ')';
+        Buffer.contents b
     | Dlsm -> "dlsm"
     | Wimmer_centralized -> "centralized-k"
     | Wimmer_hybrid k -> Printf.sprintf "hybrid-k(%d)" k
@@ -97,10 +125,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | "multiq" -> with_arg ~what:"c, queues per thread" ~default:2 (fun c -> Multiq c)
     | "klsm" -> with_arg ~what:"the relaxation k" ~default:256 (fun k -> Klsm k)
     | "klsm-sharded" | "sharded" -> (
-        (* Two parameters, colon-separated: "klsm-sharded:<k>:<shards>".
-           Either may be omitted (defaults k = 256, shards = 4); the shard
-           count must satisfy 1 <= shards <= k so every stripe gets a
-           non-empty slice of the relaxation budget. *)
+        (* Colon-separated parameters: up to two positional integers (k,
+           then the shard count S; defaults 256 and 4), then keyed knobs in
+           any order — "sticky=<W>", "buf=<B>", "adapt=<LO>-<HI>".  The
+           shard count must satisfy 1 <= S <= k so every stripe gets a
+           non-empty slice of the relaxation budget; the knob constraints
+           mirror Sharded_klsm.create_with (docs/TUNING.md). *)
         let parse_int ~what a =
           match int_of_string_opt a with
           | Some v when v >= 0 -> Ok v
@@ -110,41 +140,168 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                    "%S: parameter %S is not a non-negative integer (%s)" s a
                    what)
         in
-        let parsed =
-          match arg with
-          | None -> Ok (256, 4)
-          | Some a -> (
-              match String.index_opt a ':' with
+        let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+        let toks =
+          match arg with None -> [] | Some a -> String.split_on_char ':' a
+        in
+        let rec collect toks ~npos acc =
+          match toks with
+          | [] -> Ok acc
+          | tok :: rest -> (
+              match String.index_opt tok '=' with
               | None -> (
-                  match parse_int ~what:"the relaxation k" a with
-                  | Ok k -> Ok (k, 4)
-                  | Error e -> Error e)
+                  (* Positional: k first, then S. *)
+                  let what, set =
+                    match npos with
+                    | 0 -> ("the relaxation k", fun v -> { acc with k = v })
+                    | _ ->
+                        ( "the shard count S, stripes",
+                          fun v -> { acc with shards = v } )
+                  in
+                  if npos >= 2 then
+                    Error
+                      (Printf.sprintf
+                         "%S: unexpected third positional parameter %S (only \
+                          k and S are positional; use sticky=, buf=, adapt= \
+                          for the contention knobs)"
+                         s tok)
+                  else
+                    match parse_int ~what tok with
+                    | Error e -> Error e
+                    | Ok v -> collect rest ~npos:(npos + 1) (set v))
               | Some i -> (
-                  let ks = String.sub a 0 i in
-                  let ss = String.sub a (i + 1) (String.length a - i - 1) in
-                  match parse_int ~what:"the relaxation k" ks with
-                  | Error e -> Error e
-                  | Ok k -> (
+                  let key = String.sub tok 0 i in
+                  let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+                  match key with
+                  | "sticky" -> (
+                      match parse_int ~what:"the stickiness window W" v with
+                      | Error e -> Error e
+                      | Ok 0 ->
+                          Error
+                            (Printf.sprintf
+                               "%S: stickiness window must be >= 1 (omit \
+                                sticky= to disable stickiness)"
+                               s)
+                      | Ok w -> collect rest ~npos { acc with sticky = w })
+                  | "buf" -> (
                       match
-                        parse_int ~what:"the shard count S, stripes" ss
+                        parse_int ~what:"the insertion-buffer capacity B" v
                       with
                       | Error e -> Error e
-                      | Ok sh -> Ok (k, sh))))
+                      | Ok 0 ->
+                          Error
+                            (Printf.sprintf
+                               "%S: insertion-buffer capacity must be >= 1 \
+                                (omit buf= to disable buffering)"
+                               s)
+                      | Ok b -> collect rest ~npos { acc with buf = b })
+                  | "adapt" -> (
+                      match String.index_opt v '-' with
+                      | None ->
+                          Error
+                            (Printf.sprintf
+                               "%S: adapt wants two stripe targets \
+                                adapt=<LO>-<HI>, got %S"
+                               s v)
+                      | Some j -> (
+                          let ls = String.sub v 0 j in
+                          let hs =
+                            String.sub v (j + 1) (String.length v - j - 1)
+                          in
+                          match
+                            ( parse_int ~what:"the adapt lower target" ls,
+                              parse_int ~what:"the adapt upper target" hs )
+                          with
+                          | Error e, _ | _, Error e -> Error e
+                          | Ok lo, Ok hi ->
+                              if not (is_pow2 lo && is_pow2 hi) then
+                                Error
+                                  (Printf.sprintf
+                                     "%S: adaptive stripe targets must be \
+                                      powers of two (got %d-%d); the active \
+                                      count moves by doubling/halving"
+                                     s lo hi)
+                              else if lo > hi then
+                                Error
+                                  (Printf.sprintf
+                                     "%S: adapt lower target %d exceeds \
+                                      upper target %d"
+                                     s lo hi)
+                              else
+                                collect rest ~npos
+                                  { acc with adapt = Some (lo, hi) }))
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "%S: unknown parameter %S (known: sticky=<W>, \
+                            buf=<B>, adapt=<LO>-<HI>)"
+                           s key)))
         in
-        match parsed with
+        match
+          collect toks ~npos:0
+            { k = 256; shards = 4; sticky = 0; buf = 0; adapt = None }
+        with
         | Error e -> Error e
-        | Ok (k, sh) ->
-            if sh < 1 then
+        | Ok cfg ->
+            if cfg.shards < 1 then
               Error
                 (Printf.sprintf
-                   "%S: shard count %d < 1 (need at least one stripe)" s sh)
-            else if sh > k then
+                   "%S: shard count %d < 1 (need at least one stripe)" s
+                   cfg.shards)
+            else if cfg.shards > cfg.k then
               Error
                 (Printf.sprintf
                    "%S: shard count %d exceeds the relaxation k = %d (every \
                     stripe needs a budget of at least 1)"
-                   s sh k)
-            else Ok (Klsm_sharded (k, sh)))
+                   s cfg.shards cfg.k)
+            else begin
+              (* With ~adapt the stripe array is allocated at the upper
+                 target, so the per-stripe budget — which bounds buf — is
+                 ceil(k / hi). *)
+              let adapt_err =
+                match cfg.adapt with
+                | None -> None
+                | Some (lo, hi) ->
+                    if not (is_pow2 cfg.shards) then
+                      Some
+                        (Printf.sprintf
+                           "%S: with adapt= the shard count must be a power \
+                            of two, got %d"
+                           s cfg.shards)
+                    else if cfg.shards < lo || cfg.shards > hi then
+                      Some
+                        (Printf.sprintf
+                           "%S: shard count %d outside the adapt range \
+                            [%d, %d]"
+                           s cfg.shards lo hi)
+                    else if hi > cfg.k then
+                      Some
+                        (Printf.sprintf
+                           "%S: adapt upper target %d exceeds the relaxation \
+                            k = %d (every stripe needs a budget of at least \
+                            1)"
+                           s hi cfg.k)
+                    else None
+              in
+              match adapt_err with
+              | Some e -> Error e
+              | None ->
+                  let stripes =
+                    match cfg.adapt with
+                    | Some (_, hi) -> hi
+                    | None -> cfg.shards
+                  in
+                  let kp = (cfg.k + stripes - 1) / stripes in
+                  if cfg.buf > kp then
+                    Error
+                      (Printf.sprintf
+                         "%S: insertion buffer %d exceeds the per-stripe \
+                          budget ceil(k/S) = %d (buffered items are charged \
+                          against the local relaxation budget, so B must \
+                          fit inside it)"
+                         s cfg.buf kp)
+                  else Ok (Klsm_sharded cfg)
+            end)
     | "dlsm" -> no_arg Dlsm
     | "centralized" | "centralized-k" -> no_arg Wimmer_centralized
     | "hybrid" | "hybrid-k" ->
@@ -153,9 +310,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         Error
           (Printf.sprintf
              "unknown implementation %S; known: heap, linden, spray, \
-              multiq[:C], klsm[:K], klsm-sharded[:K[:S]], dlsm, centralized, \
-              hybrid[:K]; klsm and klsm-sharded accept +spill:<bytes> and \
-              +store:<dir> suffixes"
+              multiq[:C], klsm[:K], \
+              klsm-sharded[:K[:S]][:sticky=W][:buf=B][:adapt=LO-HI], dlsm, \
+              centralized, hybrid[:K]; klsm and klsm-sharded accept \
+              +spill:<bytes> and +store:<dir> suffixes"
              s)
 
   (* "+spill:<bytes>": a non-negative size, optionally suffixed k/m/g
@@ -287,6 +445,28 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** [parse_spec_opt] is {!parse_spec} with errors collapsed to [None]. *)
   let parse_spec_opt s = Result.to_option (parse_spec s)
 
+  (** The canonical spec grammar, one [(form, example)] row per accepted
+      shape.  This list is the single source of truth for README.md's spec
+      table: [bin/docscheck.ml] asserts every form string appears verbatim
+      in the README and every example round-trips through {!parse_spec}
+      (Makefile: [make docs-check]).  Extending the grammar without
+      extending this list — or this list without the README — fails CI. *)
+  let spec_forms =
+    [
+      ("heap+lock", "heap+lock");
+      ("linden", "linden");
+      ("spraylist", "spraylist");
+      ("multiq[:C]", "multiq:2");
+      ("klsm[:K]", "klsm:256");
+      ( "klsm-sharded[:K[:S]][:sticky=W][:buf=B][:adapt=LO-HI]",
+        "klsm-sharded:256:4:sticky=8:buf=16:adapt=2-8" );
+      ("dlsm", "dlsm");
+      ("centralized-k", "centralized-k");
+      ("hybrid-k[:K]", "hybrid-k:256");
+      ("+spill:<bytes>", "klsm:256+spill:64k");
+      ("+store:<dir>", "klsm-sharded:256:4+store:_store/docs-check");
+    ]
+
   (** Whether the implementation honours the queue-side lazy-deletion
       predicate of §4.5 (the paper's SSSP figure only includes such
       queues). *)
@@ -392,10 +572,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           approximate_size = (fun () -> Klsm.approximate_size q);
           stats = (fun () -> Klsm.stats q);
         }
-    | Klsm_sharded (k, shards) ->
+    | Klsm_sharded { k; shards; sticky; buf; adapt } ->
         let q =
-          Sharded.create_with ~seed ~k ~shards ?should_delete ?on_lazy_delete
-            ~num_threads ()
+          Sharded.create_with ~seed ~k ~shards ~sticky ~buf ?adapt
+            ?should_delete ?on_lazy_delete ~num_threads ()
         in
         {
           name = spec_name spec;
@@ -500,10 +680,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               approximate_size = (fun () -> Klsm.approximate_size q);
               stats = merge_stats (fun () -> Klsm.stats q);
             }
-        | Klsm_sharded (k, shards) ->
+        | Klsm_sharded { k; shards; sticky; buf; adapt } ->
             let q =
-              Sharded.create_with ~seed ~k ~shards ?should_delete
-                ?on_lazy_delete ~spill_policy:policy ~num_threads ()
+              Sharded.create_with ~seed ~k ~shards ~sticky ~buf ?adapt
+                ?should_delete ?on_lazy_delete ~spill_policy:policy
+                ~num_threads ()
             in
             {
               name = spec_name spec;

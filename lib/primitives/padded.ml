@@ -1,0 +1,44 @@
+(* False-sharing avoidance for contended heap cells.
+
+   OCaml gives no layout control, but the trick par-ml ships as
+   [Multicore_magic.copy_as_padded] works on any boxed value: reallocate
+   the block with its size rounded up past a cache line, so two cells
+   allocated back to back can no longer land on the same line.  The extra
+   words are ordinary immediate fields the GC scans and ignores; every
+   runtime primitive that touches the value (atomic loads/CAS, record
+   field access) addresses fields by index and never consults the block
+   size, so the padded copy is observationally identical.
+
+   This only pays on the Real backend (Sim charges contention through its
+   own cost model, not the hardware's), but it is safe everywhere: the
+   copy happens before the value is shared, and all fields are preserved. *)
+
+(* 64-byte cache lines on every target we run on; one word is 8 bytes. *)
+let words_per_cache_line = 8
+
+let copy_as_padded (v : 'a) : 'a =
+  let r = Obj.repr v in
+  if not (Obj.is_block r) then v
+  else
+    let tag = Obj.tag r in
+    (* Only pad plain scannable blocks (records, tuples, atomics).  Custom
+       blocks, closures, strings and float arrays have layouts the copy
+       below would corrupt; leave them alone. *)
+    if tag >= Obj.no_scan_tag || tag = Obj.double_array_tag then v
+    else begin
+      let size = Obj.size r in
+      let padded =
+        (size / words_per_cache_line * words_per_cache_line)
+        + words_per_cache_line
+      in
+      let b = Obj.new_block tag padded in
+      for i = 0 to size - 1 do
+        Obj.set_field b i (Obj.field r i)
+      done;
+      for i = size to padded - 1 do
+        Obj.set_field b i (Obj.repr 0)
+      done;
+      Obj.obj b
+    end
+
+let make_array n f = Array.init n (fun i -> copy_as_padded (f i))

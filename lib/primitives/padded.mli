@@ -1,0 +1,19 @@
+(** Cache-line padding for contended heap cells (the par-ml
+    [copy_as_padded] idiom).
+
+    OCaml records and atomics are allocated at their exact size, so
+    per-stripe atomics created in a loop end up adjacent in the minor heap
+    and false-share a cache line: one stripe's CAS traffic evicts its
+    neighbours' hints.  [copy_as_padded] reallocates a boxed value with
+    its block size rounded up past a 64-byte cache line, separating
+    neighbours without changing behaviour. *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded v] returns a copy of [v] whose heap block is padded to
+    a cache-line multiple.  Must be called before [v] is shared (the copy
+    is a {e different} cell).  Immediates, custom blocks, closures and
+    float arrays are returned unchanged. *)
+
+val make_array : int -> (int -> 'a) -> 'a array
+(** [make_array n f] is [Array.init n f] with every element padded via
+    {!copy_as_padded}, for arrays of per-stripe / per-thread state. *)

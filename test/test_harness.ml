@@ -90,10 +90,18 @@ let test_parse_spec () =
       ("multiq:4", Some (R.Multiq 4));
       ("centralized", Some R.Wimmer_centralized);
       ("hybrid:4096", Some (R.Wimmer_hybrid 4096));
-      ("klsm-sharded", Some (R.Klsm_sharded (256, 4)));
-      ("klsm-sharded:64", Some (R.Klsm_sharded (64, 4)));
-      ("klsm-sharded:64:8", Some (R.Klsm_sharded (64, 8)));
-      ("sharded:32:2", Some (R.Klsm_sharded (32, 2)));
+      ("klsm-sharded", Some (R.klsm_sharded 256 4));
+      ("klsm-sharded:64", Some (R.klsm_sharded 64 4));
+      ("klsm-sharded:64:8", Some (R.klsm_sharded 64 8));
+      ("sharded:32:2", Some (R.klsm_sharded 32 2));
+      (* the §15 contention knobs, keyed and order-independent *)
+      ("klsm-sharded:64:8:sticky=4", Some (R.klsm_sharded ~sticky:4 64 8));
+      ("klsm-sharded:64:8:buf=2", Some (R.klsm_sharded ~buf:2 64 8));
+      ( "klsm-sharded:256:4:sticky=8:buf=16:adapt=2-8",
+        Some (R.klsm_sharded ~sticky:8 ~buf:16 ~adapt:(2, 8) 256 4) );
+      ( "sharded:256:4:buf=16:sticky=8",
+        Some (R.klsm_sharded ~sticky:8 ~buf:16 256 4) );
+      ("klsm-sharded:64:4:adapt=2-16", Some (R.klsm_sharded ~adapt:(2, 16) 64 4));
       ("nonsense", None);
     ]
   in
@@ -111,6 +119,16 @@ let test_parse_spec_rejects_bad_args () =
       (* sharded: malformed params, zero stripes, more stripes than k *)
       "klsm-sharded:abc"; "klsm-sharded:64:x"; "klsm-sharded:64:0";
       "klsm-sharded:4:8";
+      (* contention knobs: sticky=0 and buf=0 mean "omit the knob";
+         buf beyond the per-stripe budget breaks the charged rank bound;
+         adapt targets must be powers of two bracketing a pow2 S <= k *)
+      "klsm-sharded:64:8:sticky=0"; "klsm-sharded:64:8:buf=0";
+      "klsm-sharded:64:8:buf=9"; "klsm-sharded:64:8:sticky=x";
+      "klsm-sharded:64:8:adapt=3-8"; "klsm-sharded:64:8:adapt=2-6";
+      "klsm-sharded:64:8:adapt=8-2"; "klsm-sharded:64:8:adapt=4";
+      "klsm-sharded:64:8:adapt=2-128"; "klsm-sharded:64:6:adapt=2-8";
+      "klsm-sharded:64:8:adapt=16-32"; "klsm-sharded:64:8:wat=1";
+      "klsm-sharded:64:8:1";
     ]
   in
   List.iter

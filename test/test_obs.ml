@@ -312,7 +312,7 @@ let test_registry_stats_plumbing () =
       R.Spraylist;
       R.Multiq 2;
       R.Klsm 16;
-      R.Klsm_sharded (16, 2);
+      R.klsm_sharded 16 2;
       R.Dlsm;
       R.Wimmer_centralized;
       R.Wimmer_hybrid 16;

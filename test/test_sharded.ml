@@ -1,9 +1,12 @@
 (* Tests for the contention-striped k-LSM (lib/core/sharded_klsm.ml):
    exact single-thread semantics, conservation across handles (spy paths),
    the ceil(k/S) relaxation-budget partition, spec validation, the
-   delete-min candidate cache, migration under a CAS-failure storm, and
-   the DESIGN.md §12 rank-error bound rho <= (T+S) * ceil(k/S) measured
-   empirically on the simulator. *)
+   delete-min candidate cache, migration under a CAS-failure storm, the
+   DESIGN.md §12 rank-error bound rho <= (T+S) * ceil(k/S) measured
+   empirically on the simulator, and the §15 contention knobs: stickiness
+   window open/decay/expiry, insertion-buffer flush triggers (undercutting
+   find_min, capacity, age) and their exactness, conservation with
+   buffering, resize-under-storm, and the rank bound with the knobs on. *)
 
 open Helpers
 module SK = Klsm_core.Sharded_klsm.Default
@@ -40,6 +43,25 @@ let prop_single_thread_exact =
         ~delete_min:(fun () -> Option.map fst (SK.try_delete_min h))
         ops)
 
+let prop_single_thread_exact_knobs =
+  qtest "sharded+sticky+buf single thread = exact PQ" ~count:100
+    QCheck2.Gen.(triple ops_gen (int_bound 300) (int_range 1 4))
+    (fun (ops, k, shards) ->
+      let k = max k shards in
+      let kp = (k + shards - 1) / shards in
+      (* The buffered-delete flush rule (flush iff the buffered minimum
+         undercuts the local LSM minimum) must keep the owner's view
+         exact, whatever the buffer capacity. *)
+      let q =
+        SK.create_with ~k ~shards ~sticky:2 ~buf:(max 1 (min 4 kp))
+          ~num_threads:1 ()
+      in
+      let h = SK.register q 0 in
+      matches_oracle
+        ~insert:(fun key -> SK.insert h key ())
+        ~delete_min:(fun () -> Option.map fst (SK.try_delete_min h))
+        ops)
+
 (* ---------------- conservation across handles ---------------- *)
 
 let prop_multi_handle_conservation =
@@ -64,6 +86,24 @@ let prop_batch_conservation =
       let h = SK.register q 0 in
       SK.insert_batch h (Array.of_list (List.map (fun k -> (k, ())) keys));
       let got = drain_all (fun () -> SK.try_delete_min h) in
+      List.sort compare got = List.sort compare keys)
+
+let prop_multi_handle_conservation_buffered =
+  qtest "two-handle conservation with sticky+buf" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 300) (int_bound 5_000))
+    (fun keys ->
+      let q =
+        SK.create_with ~k:16 ~shards:2 ~sticky:3 ~buf:4 ~num_threads:2 ()
+      in
+      let h0 = SK.register q 0 and h1 = SK.register q 1 in
+      List.iteri
+        (fun i k -> SK.insert (if i land 1 = 0 then h0 else h1) k ())
+        keys;
+      (* Insertion buffers live in handles: h1's buffered tail is invisible
+         to h0's drain until flushed (h0's own buffer flushes itself on
+         delete-min). *)
+      SK.flush_buffer h1;
+      let got = drain_all (fun () -> SK.try_delete_min h0) in
       List.sort compare got = List.sort compare keys)
 
 (* ---------------- budget partition and validation ---------------- *)
@@ -98,6 +138,34 @@ let test_create_validation () =
   | _ -> Alcotest.fail "shards > k accepted"
   | exception Invalid_argument _ -> ()
 
+let test_knob_validation () =
+  (* buf beyond the per-stripe budget would overdraw the charged local
+     relaxation: ceil(64/4) = 16. *)
+  (match SK.create_with ~k:64 ~shards:4 ~buf:17 ~num_threads:1 () with
+  | _ -> Alcotest.fail "buf > ceil(k/S) accepted"
+  | exception Invalid_argument _ -> ());
+  (* adaptive targets must be powers of two bracketing the initial S. *)
+  (match SK.create_with ~k:64 ~shards:4 ~adapt:(3, 8) ~num_threads:1 () with
+  | _ -> Alcotest.fail "non-pow2 adapt lo accepted"
+  | exception Invalid_argument _ -> ());
+  (match SK.create_with ~k:64 ~shards:4 ~adapt:(8, 16) ~num_threads:1 () with
+  | _ -> Alcotest.fail "S below adapt lo accepted"
+  | exception Invalid_argument _ -> ());
+  (match SK.create_with ~k:4 ~shards:4 ~adapt:(2, 8) ~num_threads:1 () with
+  | _ -> Alcotest.fail "adapt hi > k accepted"
+  | exception Invalid_argument _ -> ());
+  (* with ~adapt the per-stripe budget is ceil(k / hi): buf = 9 > ceil(64/8). *)
+  (match
+     SK.create_with ~k:64 ~shards:4 ~adapt:(2, 8) ~buf:9 ~num_threads:1 ()
+   with
+  | _ -> Alcotest.fail "buf > ceil(k/hi) accepted"
+  | exception Invalid_argument _ -> ());
+  (* set_k must not shrink the per-stripe budget under a live buffer cap. *)
+  let q = SK.create_with ~k:64 ~shards:4 ~buf:16 ~num_threads:1 () in
+  match SK.set_k q 8 with
+  | () -> Alcotest.fail "set_k below buffer cap accepted"
+  | exception Invalid_argument _ -> ()
+
 (* ---------------- candidate cache ---------------- *)
 
 let test_candidate_cache_hits () =
@@ -124,6 +192,124 @@ let test_candidate_cache_hits () =
       check_bool "cache missed at least once" true (stat "stripe.cache_miss" >= 1);
       check_bool "cache hit on the re-peek" true (stat "stripe.cache_hit" >= 1))
 
+(* ---------------- stickiness (DESIGN.md §15) ---------------- *)
+
+let test_sticky_window_opens_decays_expires () =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let q = SK.create_with ~k:8 ~shards:2 ~sticky:4 ~num_threads:1 () in
+      let h = SK.register q 0 in
+      for i = 1 to 64 do
+        SK.insert h i ()
+      done;
+      check_int "window starts closed" 0 (SK.internal_sticky_left h);
+      (* k = 8, S = 2: the local LSM keeps at most ceil(8/2) = 4 items, so
+         draining soon serves a delete from a stripe — which opens the
+         full stickiness window on that stripe. *)
+      let budget = ref 64 in
+      while SK.internal_sticky_left h = 0 && !budget > 0 do
+        ignore (SK.try_delete_min h);
+        decr budget
+      done;
+      check_int "shared delete opened the full window" 4
+        (SK.internal_sticky_left h);
+      let s = SK.internal_sticky_stripe h in
+      check_bool "serving stripe recorded" true (s >= 0 && s < 2);
+      (* Decay: every publish-CAS failure halves what is left of the
+         window (invoked through the stripe's contention hook, which is
+         exactly the code path a lost CAS runs). *)
+      let sh = (SK.internal_stripe_handles h).(0) in
+      sh.Shared.on_cas_fail ();
+      check_int "CAS failure halves the window" 2 (SK.internal_sticky_left h);
+      sh.Shared.on_cas_fail ();
+      sh.Shared.on_cas_fail ();
+      check_int "decay bottoms out at zero" 0 (SK.internal_sticky_left h);
+      (* Expiry: with no further shared deletes, races consume the window
+         one consult at a time and it never goes negative.  Drain dry (the
+         tail of the drain races an empty structure repeatedly). *)
+      let _ = drain_all (fun () -> SK.try_delete_min h) in
+      for _ = 1 to 8 do
+        ignore (SK.try_find_min h)
+      done;
+      check_int "window expired" 0 (SK.internal_sticky_left h);
+      let stat name =
+        match List.assoc_opt name (SK.stats q).Obs.counters with
+        | Some per -> Array.fold_left ( + ) 0 per
+        | None -> 0
+      in
+      check_bool "sticky primary consults were counted" true
+        (stat "stripe.sticky_hit" >= 1))
+
+(* ---------------- insertion buffer (DESIGN.md §15) ---------------- *)
+
+let test_buffer_flush_on_delete_min () =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let q = SK.create_with ~k:16 ~shards:2 ~buf:8 ~num_threads:1 () in
+      let h = SK.register q 0 in
+      SK.insert h 100 ();
+      SK.insert h 5 ();
+      check_int "both inserts buffered" 2
+        (List.length (SK.internal_buffered h));
+      (* find_min must see the buffered 5: the buffer undercuts the
+         (empty) local LSM, so the peek flushes first — no buffered item
+         may hide below the answer. *)
+      (match SK.try_find_min h with
+      | Some (5, ()) -> ()
+      | other ->
+          Alcotest.failf "peek saw %s, wanted 5"
+            (match other with
+            | Some (k, ()) -> string_of_int k
+            | None -> "nothing"));
+      check_int "the peek flushed the buffer" 0
+        (List.length (SK.internal_buffered h));
+      let stat name =
+        match List.assoc_opt name (SK.stats q).Obs.counters with
+        | Some per -> Array.fold_left ( + ) 0 per
+        | None -> 0
+      in
+      check_bool "flush was counted" true (stat "stripe.buffer_flush" >= 1);
+      (* And delete-min serves exactly 5 then 100. *)
+      check_bool "first delete" true (SK.try_delete_min h = Some (5, ()));
+      check_bool "second delete" true (SK.try_delete_min h = Some (100, ())))
+
+let test_buffer_no_flush_when_local_wins () =
+  (* buf = 3 < ceil(k/S) = 8 keeps the LSM spill threshold positive, so
+     the capacity flush leaves keys 1..3 in the thread-local LSM. *)
+  let q = SK.create_with ~k:16 ~shards:2 ~buf:3 ~num_threads:1 () in
+  let h = SK.register q 0 in
+  for i = 1 to 3 do
+    SK.insert h i ()
+  done;
+  check_int "capacity flush emptied the buffer" 0
+    (List.length (SK.internal_buffered h));
+  (* 9 and 10 stay buffered with buf_min = 9 above the structure's
+     minimum 1, so the peek is served exactly without touching the
+     buffer. *)
+  SK.insert h 9 ();
+  SK.insert h 10 ();
+  check_int "tail still buffered" 2 (List.length (SK.internal_buffered h));
+  check_bool "peek exact from the LSM" true (SK.try_find_min h = Some (1, ()));
+  check_int "no flush happened" 2 (List.length (SK.internal_buffered h))
+
+let test_buffer_age_bound_flushes () =
+  (* One buffered item, then enough further owner operations to cross
+     buffer_age_bound = 64: the next insert force-flushes, so no item
+     stays invisible indefinitely under an insert-only workload. *)
+  let q = SK.create_with ~k:256 ~shards:2 ~buf:100 ~num_threads:1 () in
+  let h = SK.register q 0 in
+  for i = 1 to 65 do
+    SK.insert h (1000 + i) ()
+  done;
+  check_int "age bound flushed all but the newest" 1
+    (List.length (SK.internal_buffered h))
+
 (* ---------------- migration under a CAS storm (Sim + chaos) ---------------- *)
 
 let test_storm_migrates_and_conserves () =
@@ -139,13 +325,21 @@ let test_storm_migrates_and_conserves () =
     cases;
   (* The storm concentrated on one thread must push its home-stripe fail
      streak past the threshold and trigger at least one migration. *)
-  let concentrated = List.nth cases 2 in
-  let migrations =
-    match List.assoc_opt "stripe_migrate" concentrated.Drive.info with
+  let info_of i name =
+    match List.assoc_opt name (List.nth cases i).Drive.info with
     | Some n -> n
     | None -> 0
   in
-  check_bool "storm forced a migration" true (migrations >= 1)
+  check_bool "storm forced a migration" true (info_of 2 "stripe_migrate" >= 1);
+  (* Case 4 crashes a thread mid-buffer-flush: the flush path ran (and
+     conservation already held above, with the crasher's still-buffered
+     items exempt). *)
+  check_bool "buffer-flush case flushed" true (info_of 4 "buffer_flush" >= 1);
+  check_bool "buffer-flush case crashed the target" true
+    ((List.nth cases 4).Drive.crashes >= 1);
+  (* Case 5's 48-failure storm must fill the crasher's adapt window with
+     failures and grow the active stripe count mid-run. *)
+  check_bool "storm forced a resize" true (info_of 5 "stripe_resize" >= 1)
 
 (* ---------------- rank-error bound (Sim) ---------------- *)
 
@@ -164,11 +358,36 @@ let test_rank_bound_partitioned () =
       seed = 5;
     }
   in
-  let r = QS.run config (RS.Klsm_sharded (k, shards)) in
+  let r = QS.run config (RS.klsm_sharded k shards) in
   let bound = ((threads + shards) * ((k + shards - 1) / shards)) + threads in
   check_bool "some deletes measured" true (r.QS.deletes > 0);
   check_bool
     (Printf.sprintf "max rank error %d within partitioned bound %d"
+       r.QS.max_rank_error bound)
+    true
+    (r.QS.max_rank_error <= bound)
+
+let test_rank_bound_with_knobs () =
+  (* Same bound with stickiness and buffering on: buffered items are
+     charged against the local ceil(k/S) term (the LSM spill threshold
+     shrinks by B), so the §12 bound must survive the §15 knobs
+     unchanged. *)
+  Sim.configure ~seed:7 ~policy:Sim.Fair ();
+  let threads = 4 and k = 32 and shards = 4 in
+  let config =
+    {
+      QS.default_config with
+      num_threads = threads;
+      prefill = 2_000;
+      ops_per_thread = 1_000;
+      seed = 7;
+    }
+  in
+  let r = QS.run config (RS.klsm_sharded ~sticky:4 ~buf:4 k shards) in
+  let bound = ((threads + shards) * ((k + shards - 1) / shards)) + threads in
+  check_bool "some deletes measured" true (r.QS.deletes > 0);
+  check_bool
+    (Printf.sprintf "max rank error %d within bound %d under sticky+buf"
        r.QS.max_rank_error bound)
     true
     (r.QS.max_rank_error <= bound)
@@ -179,7 +398,9 @@ let () =
       ( "semantics",
         [
           prop_single_thread_exact;
+          prop_single_thread_exact_knobs;
           prop_multi_handle_conservation;
+          prop_multi_handle_conservation_buffered;
           prop_batch_conservation;
         ] );
       ( "partition",
@@ -188,11 +409,26 @@ let () =
           Alcotest.test_case "set_k repartitions" `Quick
             test_set_k_repartitions;
           Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "knob validation" `Quick test_knob_validation;
         ] );
       ( "cache",
         [
           Alcotest.test_case "candidate cache hits" `Quick
             test_candidate_cache_hits;
+        ] );
+      ( "sticky",
+        [
+          Alcotest.test_case "window opens, decays, expires" `Quick
+            test_sticky_window_opens_decays_expires;
+        ] );
+      ( "buffer",
+        [
+          Alcotest.test_case "flush on undercutting delete-min" `Quick
+            test_buffer_flush_on_delete_min;
+          Alcotest.test_case "no flush when the LSM wins" `Quick
+            test_buffer_no_flush_when_local_wins;
+          Alcotest.test_case "age bound flushes" `Quick
+            test_buffer_age_bound_flushes;
         ] );
       ( "chaos",
         [
@@ -203,5 +439,7 @@ let () =
         [
           Alcotest.test_case "partitioned rank bound" `Slow
             test_rank_bound_partitioned;
+          Alcotest.test_case "rank bound under sticky+buf" `Slow
+            test_rank_bound_with_knobs;
         ] );
     ]

@@ -326,7 +326,7 @@ let test_parse_suffixes () =
       check_string "default store dir" R.default_store_dir cfg.R.store_dir
   | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
   (match parse_ok "klsm-sharded:256:4+spill:1m+store:/tmp" with
-  | R.Stored (R.Klsm_sharded (256, 4), cfg) ->
+  | R.Stored (R.Klsm_sharded { k = 256; shards = 4; _ }, cfg) ->
       check_int "1m" (1 lsl 20) cfg.R.spill_bytes;
       check_string "explicit dir" "/tmp" cfg.R.store_dir
   | sp -> Alcotest.failf "wrong spec %s" (R.spec_name sp));
