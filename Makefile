@@ -2,7 +2,7 @@
 # full build, full test suite, odoc build, and the BENCH_stats.json schema
 # check against docs/METRICS.md.
 
-.PHONY: all build test fmt fmt-fix doc stats-check docs-check chaos-check perf-check store-check check bench clean
+.PHONY: all build test fmt fmt-fix doc stats-check docs-check chaos-check perf-check store-check torture-check check bench clean
 
 all: build
 
@@ -64,7 +64,18 @@ perf-check:
 store-check:
 	dune exec bin/storecheck.exe
 
-check: fmt build test doc stats-check docs-check chaos-check perf-check store-check
+# Crash-point torture gate (bin/torture.ml; docs/CHAOS.md): a seeded grid
+# of (fault site x hit index x fault kind) adversarial-I/O plans over the
+# in-memory Faulty vfs — short/torn writes, transient and sticky
+# EIO/ENOSPC, bit rot, lying fsyncs, dropped renames, process kills and
+# power losses — each run to a recovery steady state with conservation,
+# no-resurrection and loss-accounting oracles, plus a planted bit-rot
+# teeth case that must be quarantined.  Writes BENCH_torture.json and
+# fails on any violation.
+torture-check:
+	dune exec bin/torture.exe
+
+check: fmt build test doc stats-check docs-check chaos-check perf-check store-check torture-check
 
 bench:
 	dune exec bench/main.exe

@@ -1057,11 +1057,11 @@ let store_section () =
             let r = Spill.recover spill2 ~link:(fun b -> K.adopt_block h b) in
             let dt = Real.time () -. t0 in
             Spill.close spill2;
-            if r.Spill.items <> n then
+            if r.Klsm_store.Audit.recovered_items <> n then
               failwith
                 (Printf.sprintf "bench store: recovered %d of %d items"
-                   r.Spill.items n);
-            (n, r.Spill.blocks, dt))
+                   r.Klsm_store.Audit.recovered_items n);
+            (n, r.Klsm_store.Audit.recovered, dt))
           [ 1_000; 10_000; 50_000 ]
       in
       Report.section "Store: recovery time vs queue size (real)";

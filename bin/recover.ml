@@ -11,6 +11,7 @@
 module Real = Klsm_backend.Real
 module Spill = Klsm_store.Spill.Make (Real)
 module Store = Klsm_store.Store
+module Audit = Klsm_store.Audit
 module K = Klsm_core.Klsm.Make (Real)
 
 let run ~root ~drain ~k =
@@ -21,15 +22,25 @@ let run ~root ~drain ~k =
   let spill = Spill.create ~num_threads:1 ~root () in
   let q = K.create_with ~k ~num_threads:1 () in
   let h = K.register q 0 in
-  let r = Spill.recover spill ~link:(fun b -> K.adopt_block h b) in
-  Printf.eprintf
-    "recover: %d block(s), %d item(s) live; %d torn journal line(s) skipped\n%!"
-    r.Spill.blocks r.Spill.items r.Spill.skipped_lines;
+  let a = Spill.recover spill ~link:(fun b -> K.adopt_block h b) in
+  Printf.eprintf "recover: %s\n%!" (Audit.summary a);
   List.iter
-    (fun (digest, reason) ->
-      Printf.eprintf "recover: CORRUPT %s: %s (journal entry kept)\n%!" digest
-        reason)
-    r.Spill.corrupt;
+    (fun (e : Audit.entry) ->
+      match e.Audit.outcome with
+      | Audit.Recovered -> ()
+      | Audit.Quarantined why ->
+          Printf.eprintf
+            "recover: QUARANTINED %s (%s): %s (bytes preserved under \
+             quarantine/)\n\
+             %!"
+            e.Audit.digest e.Audit.iid why
+      | Audit.Lost why ->
+          Printf.eprintf
+            "recover: LOST %s (%s): %s (journal entry kept for a later \
+             pass)\n\
+             %!"
+            e.Audit.digest e.Audit.iid why)
+    a.Audit.entries;
   if drain then begin
     let n = ref 0 in
     let rec loop () =
@@ -42,15 +53,15 @@ let run ~root ~drain ~k =
     in
     loop ();
     Printf.eprintf "recover: drained %d item(s)\n%!" !n;
-    if !n <> r.Spill.items then begin
+    if !n <> a.Audit.recovered_items then begin
       Printf.eprintf
-        "recover: FAILED — drained %d but the journal promised %d\n%!" !n
-        r.Spill.items;
+        "recover: FAILED — drained %d but recovery promised %d\n%!" !n
+        a.Audit.recovered_items;
       exit 1
     end
   end;
   Spill.close spill;
-  if r.Spill.corrupt <> [] then exit 1
+  if a.Audit.quarantined > 0 || a.Audit.lost > 0 then exit 1
 
 open Cmdliner
 

@@ -33,6 +33,8 @@ module Real = Klsm_backend.Real
 module Spill = Klsm_store.Spill.Make (Real)
 module K = Klsm_core.Klsm.Make (Real)
 module Report = Klsm_harness.Report
+module Oracle = Klsm_harness.Oracle
+module Audit = Klsm_store.Audit
 module Obs = Klsm_obs.Obs
 module Bloom = Klsm_primitives.Bloom
 
@@ -183,12 +185,16 @@ let recovery_section ~root =
         exit 1)
       fmt
   in
-  if r.Spill.skipped_lines <> 0 then
-    fail "%d torn journal lines in a clean shutdown" r.Spill.skipped_lines;
-  if r.Spill.corrupt <> [] then
-    fail "%d corrupt objects in a clean store" (List.length r.Spill.corrupt);
-  if r.Spill.items <> !planted then
-    fail "recovered %d items, planted %d" r.Spill.items !planted;
+  if r.Audit.skipped_lines <> 0 then
+    fail "%d torn journal lines in a clean shutdown" r.Audit.skipped_lines;
+  if r.Audit.quarantined > 0 || r.Audit.lost > 0 then
+    fail "%d quarantined + %d lost objects in a clean store" r.Audit.quarantined
+      r.Audit.lost;
+  (match Oracle.store_conservation r with
+  | [] -> ()
+  | v :: _ -> fail "audit books do not balance: %s" v);
+  if r.Audit.recovered_items <> !planted then
+    fail "recovered %d items, planted %d" r.Audit.recovered_items !planted;
   let drained = ref 0 in
   let rec loop () =
     match K.try_delete_min h with
@@ -213,20 +219,21 @@ let recovery_section ~root =
   let q3 = K.create_with ~k:256 ~num_threads:1 () in
   let h3 = K.register q3 0 in
   let r2 = Spill.recover spill3 ~link:(fun b -> K.adopt_block h3 b) in
-  if r2.Spill.items <> 0 then
-    fail "drained root recovered %d items on the second pass" r2.Spill.items;
+  if r2.Audit.recovered_items <> 0 then
+    fail "drained root recovered %d items on the second pass"
+      r2.Audit.recovered_items;
   Spill.close spill3;
   Printf.printf
     "store-check recovery: %d items across %d blocks round-tripped \
      byte-identically; second recovery empty\n%!"
-    !planted r.Spill.blocks;
+    !planted r.Audit.recovered;
   Report.Obj
     [
       ("planted_items", Report.Int !planted);
-      ("recovered_blocks", Report.Int r.Spill.blocks);
-      ("recovered_items", Report.Int r.Spill.items);
+      ("recovered_blocks", Report.Int r.Audit.recovered);
+      ("recovered_items", Report.Int r.Audit.recovered_items);
       ("drained", Report.Int !drained);
-      ("second_recovery_items", Report.Int r2.Spill.items);
+      ("second_recovery_items", Report.Int r2.Audit.recovered_items);
     ]
 
 let () =

@@ -32,6 +32,7 @@
 module Sim = Klsm_backend.Sim
 module Xoshiro = Klsm_primitives.Xoshiro
 module Obs = Klsm_obs.Obs
+module Vfs = Klsm_store.Vfs
 
 (* Observability (lib/obs; docs/METRICS.md): faults actually injected,
    counted on the faulting thread's shard. *)
@@ -39,7 +40,14 @@ let c_cas_fail = Obs.counter "chaos.cas_fail"
 let c_stall = Obs.counter "chaos.stall"
 let c_crash = Obs.counter "chaos.crash"
 
-type action = Cas_fail | Stall of int | Crash
+type action =
+  | Cas_fail
+  | Stall of int
+  | Crash
+  | Io of Vfs.fault
+      (** an I/O fault for a [vfs.*] site (docs/CHAOS.md); carried by the
+          same grammar, executed by the {!Vfs} engine via {!io_rules}
+          rather than by the simulator's fault hook *)
 
 type rule = {
   site : string;  (** fault-point name (docs/CHAOS.md) *)
@@ -78,12 +86,23 @@ let sites =
     "sched.execute.pre_complete";
   ]
 
+(** The I/O operation sites of the {!Vfs} seam (docs/CHAOS.md).  These are
+    not [Backend_intf.fault_point] calls — rules naming them are compiled
+    by {!io_rules} into the Faulty vfs's own engine, which injects at the
+    I/O operation itself (below the store API) instead of between protocol
+    steps. *)
+let io_sites = Vfs.sites
+
+let is_io_site site =
+  String.length site >= 4 && String.equal (String.sub site 0 4) "vfs."
+
 (* ---- plan grammar: site[@hit][#tid]:action, comma-separated ---- *)
 
 let action_to_string = function
   | Cas_fail -> "casfail"
   | Stall n -> Printf.sprintf "stall:%d" n
   | Crash -> "crash"
+  | Io f -> Vfs.fault_name f
 
 let rule_to_string r =
   let hit = if r.hit = 1 then "" else Printf.sprintf "@%d" r.hit in
@@ -100,7 +119,27 @@ let parse_action s =
       match int_of_string_opt n with
       | Some n when n > 0 -> Ok (Stall n)
       | _ -> Error (Printf.sprintf "bad stall count %S" n))
-  | _ -> Error (Printf.sprintf "unknown action %S (casfail|stall:N|crash)" s)
+  | [ "eio" ] -> Ok (Io (Vfs.Eio false))
+  | [ "eio"; "sticky" ] -> Ok (Io (Vfs.Eio true))
+  | [ "enospc" ] -> Ok (Io (Vfs.Enospc false))
+  | [ "enospc"; "sticky" ] -> Ok (Io (Vfs.Enospc true))
+  | [ "shortwrite"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Io (Vfs.Short_write n))
+      | _ -> Error (Printf.sprintf "bad short-write prefix %S" n))
+  | [ "torn"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> Ok (Io (Vfs.Torn_write n))
+      | _ -> Error (Printf.sprintf "bad torn-write prefix %S" n))
+  | [ "bitflip" ] -> Ok (Io Vfs.Bit_flip)
+  | [ "fsynclie" ] -> Ok (Io Vfs.Fsync_lie)
+  | [ "droprename" ] -> Ok (Io Vfs.Drop_rename)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown action %S \
+            (casfail|stall:N|crash|eio[:sticky]|enospc[:sticky]|shortwrite:N|torn:N|bitflip|fsynclie|droprename)"
+           s)
 
 let parse_rule s =
   match String.index_opt s ':' with
@@ -202,6 +241,10 @@ let handler site =
               st.crashed_tids <- tid :: st.crashed_tids;
               Obs.incr (obs_for tid) c_crash;
               crash := true
+          | Io _ ->
+              (* I/O faults belong to the Vfs engine ({!io_rules}); at a
+                 simulator fault point they have nothing to act on. *)
+              ()
         end
       end)
     !installed;
@@ -264,3 +307,24 @@ let random_plan ~rng ~sites ~num_threads ~rules k =
       in
       let hit = 1 + Xoshiro.int rng 24 in
       rule ?tid ~hit site action)
+
+(* ---- compiling the I/O half of a plan ---- *)
+
+(** Compile the [vfs.*] rules of [plan] into the Faulty vfs's own engine
+    ([Vfs.arm]).  [Crash] on an I/O site becomes the vfs-level process
+    death ([Vfs.Crash] → {!Vfs.Crashed}); [Io f] passes through; [casfail]
+    and [stall] have no I/O meaning and are dropped.  Thread filters are
+    ignored — the vfs engine injects at the I/O operation, below any
+    notion of simulated thread.  Non-[vfs.*] rules are left for
+    {!install} to run through the simulator hook, so one plan string can
+    drive both engines. *)
+let io_rules plan =
+  List.filter_map
+    (fun r ->
+      if not (is_io_site r.site) then None
+      else
+        match r.action with
+        | Io f -> Some (Vfs.rule ~hit:r.hit r.site f)
+        | Crash -> Some (Vfs.rule ~hit:r.hit r.site Vfs.Crash)
+        | Cas_fail | Stall _ -> None)
+    plan

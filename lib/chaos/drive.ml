@@ -40,6 +40,7 @@ module CL = Klsm_sched.Closed_loop.Make (Sim)
 module Worker = CL.Worker
 module Obs = Klsm_obs.Obs
 module Oracle = Klsm_harness.Oracle
+module Audit = Klsm_store.Audit
 module Report = Klsm_harness.Report
 module Xoshiro = Klsm_primitives.Xoshiro
 
@@ -495,12 +496,24 @@ let store_case ~seed ~threads ~per_thread ~k ~threshold plan =
   let spill2 = Spill.create ~threshold ~num_threads:threads ~root () in
   let q2 = K.create_with ~seed ~k ~num_threads:1 () in
   let h2 = K.register q2 0 in
-  let rec_result = Spill.recover spill2 ~link:(fun b -> K.adopt_block h2 b) in
-  if rec_result.Spill.skipped_lines > 0 then
-    violation "journal replay skipped %d lines" rec_result.Spill.skipped_lines;
+  let audit = Spill.recover spill2 ~link:(fun b -> K.adopt_block h2 b) in
+  if audit.Audit.skipped_lines > 0 then
+    violation "journal replay skipped %d lines" audit.Audit.skipped_lines;
+  (* This case runs on a healthy (Real-vfs) disk: anything recovery had
+     to quarantine or write off is a protocol violation here, not an
+     environmental condition (bin/torture.exe owns the sick-disk grid). *)
   List.iter
-    (fun (digest, msg) -> violation "corrupt object %s: %s" digest msg)
-    rec_result.Spill.corrupt;
+    (fun (e : Audit.entry) ->
+      match e.Audit.outcome with
+      | Audit.Recovered -> ()
+      | Audit.Quarantined why ->
+          violation "object %s quarantined: %s" e.Audit.digest why
+      | Audit.Lost why -> violation "instance %s lost: %s" e.Audit.iid why)
+    audit.Audit.entries;
+  (* The audit's books must balance whatever happened
+     (recovered + quarantined + lost = spilled, in instances, items and
+     bytes). *)
+  List.iter (fun v -> violation "%s" v) (Oracle.store_conservation audit);
   let got2 = Array.make total 0 in
   let drained2 = ref 0 in
   let misses = ref 0 in
@@ -525,9 +538,9 @@ let store_case ~seed ~threads ~per_thread ~k ~threshold plan =
     if got.(p) > 0 && got2.(p) > 0 then
       violation "payload %d resurrected (delivered pre-kill and recovered)" p
   done;
-  if !drained2 <> rec_result.Spill.items then
+  if !drained2 <> audit.Audit.recovered_items then
     violation "recovery drain: %d delivered, journal promised %d" !drained2
-      rec_result.Spill.items;
+      audit.Audit.recovered_items;
   let pre_delivered = Array.fold_left ( + ) 0 got in
   {
     label = "store";
@@ -541,8 +554,8 @@ let store_case ~seed ~threads ~per_thread ~k ~threshold plan =
       [
         ("items", total);
         ("pre_delivered", pre_delivered);
-        ("recovered_blocks", rec_result.Spill.blocks);
-        ("recovered_items", rec_result.Spill.items);
+        ("recovered_blocks", audit.Audit.recovered);
+        ("recovered_items", audit.Audit.recovered_items);
         ("crashed_threads", List.length crashed);
       ];
   }
@@ -620,6 +633,25 @@ let sched_case ~seed ~threads ~roots plan =
         violation "accounting: %d completed + %d dead <> %d allocated"
           (Array.length r.CL.completion_order)
           r.CL.dead_lettered r.CL.total_tasks;
+      (* The at-least-once window (docs/CHAOS.md): after a lease times out,
+         the supervisor's re-enqueue may race the original worker, so an
+         id can be delivered twice (completion stays exactly-once via the
+         CAS above).  Each extra delivery — a re-lease that ran the body
+         again ([retries]) or a delivery that lost the lease race
+         ([double_claims]) — is caused by exactly one re-enqueue push, so
+         their sum is bounded by reenqueues; more would mean ids
+         multiplying without a supervisor handoff, a real bug. *)
+      let extra =
+        r.CL.metrics.Klsm_sched.Metrics.retries
+        + r.CL.metrics.Klsm_sched.Metrics.double_claims
+      in
+      if extra > r.CL.metrics.Klsm_sched.Metrics.reenqueues then
+        violation
+          "%d extra deliveries (%d re-leased, %d lease races) exceed %d \
+           reenqueues"
+          extra r.CL.metrics.Klsm_sched.Metrics.retries
+          r.CL.metrics.Klsm_sched.Metrics.double_claims
+          r.CL.metrics.Klsm_sched.Metrics.reenqueues;
       {
         label = "sched";
         seed;

@@ -59,3 +59,61 @@ let delete t key =
   r
 
 let size t = t.size
+
+(* ------------------------------------------------------------------ *)
+(* Store-recovery conservation                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Audit = Klsm_store.Audit
+
+(** Check the books of a recovery audit (docs/STORAGE.md "Failure
+    model"): every live journal instance must end the pass in exactly one
+    class, so [recovered + quarantined + lost = spilled] in instances,
+    items {e and} bytes; the per-entry lines must sum to the totals; and
+    GC must only have run on a fully clean pass.  Returns the violations
+    (empty = the audit balances). *)
+let store_conservation (a : Audit.t) =
+  let violations = ref [] in
+  let v fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let conserve what spilled recovered quarantined lost =
+    if recovered + quarantined + lost <> spilled then
+      v "%s: %d recovered + %d quarantined + %d lost <> %d spilled" what
+        recovered quarantined lost spilled
+  in
+  conserve "instances" a.Audit.spilled a.Audit.recovered a.Audit.quarantined
+    a.Audit.lost;
+  conserve "items" a.Audit.spilled_items a.Audit.recovered_items
+    a.Audit.quarantined_items a.Audit.lost_items;
+  conserve "bytes" a.Audit.spilled_bytes a.Audit.recovered_bytes
+    a.Audit.quarantined_bytes a.Audit.lost_bytes;
+  if List.length a.Audit.entries <> a.Audit.spilled then
+    v "entries: %d lines for %d spilled instances"
+      (List.length a.Audit.entries) a.Audit.spilled;
+  let count pred =
+    List.fold_left
+      (fun (n, items, bytes) (e : Audit.entry) ->
+        if pred e.Audit.outcome then
+          (n + 1, items + e.Audit.count, bytes + e.Audit.bytes)
+        else (n, items, bytes))
+      (0, 0, 0) a.Audit.entries
+  in
+  let check_class what pred n items bytes =
+    let n', items', bytes' = count pred in
+    if n' <> n then v "%s: %d entries but %d counted" what n' n;
+    if items' <> items then v "%s items: %d in entries but %d counted" what items' items;
+    if bytes' <> bytes then v "%s bytes: %d in entries but %d counted" what bytes' bytes
+  in
+  check_class "recovered"
+    (function Audit.Recovered -> true | _ -> false)
+    a.Audit.recovered a.Audit.recovered_items a.Audit.recovered_bytes;
+  check_class "quarantined"
+    (function Audit.Quarantined _ -> true | _ -> false)
+    a.Audit.quarantined a.Audit.quarantined_items a.Audit.quarantined_bytes;
+  check_class "lost"
+    (function Audit.Lost _ -> true | _ -> false)
+    a.Audit.lost a.Audit.lost_items a.Audit.lost_bytes;
+  if a.Audit.gc_ran && not (Audit.clean a) then
+    v "gc ran on an unclean pass (%d quarantined, %d lost, %d skipped, %d unreadable, checkpoint_ok=%b)"
+      a.Audit.quarantined a.Audit.lost a.Audit.skipped_lines
+      a.Audit.unreadable_files a.Audit.checkpoint_ok;
+  List.rev !violations

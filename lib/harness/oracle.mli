@@ -20,3 +20,11 @@ val rank_below : t -> int -> int
 (** Number of present keys strictly below the argument. *)
 
 val size : t -> int
+
+val store_conservation : Klsm_store.Audit.t -> string list
+(** Conservation check over a recovery audit (docs/STORAGE.md "Failure
+    model"): [recovered + quarantined + lost = spilled] in instances,
+    items and bytes; per-entry lines sum to the totals; GC only on a
+    fully clean pass.  Returns the violations, empty when the books
+    balance.  Consumed by [Klsm_chaos.Drive.store_case] and
+    [bin/torture.exe]. *)

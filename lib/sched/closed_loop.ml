@@ -267,7 +267,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       per_worker = metrics;
       peak_inflight = Worker.peak_inflight pool;
       lost = !lost;
-      double = !double + summary.Metrics.double_claims;
+      (* [claims] counts every delivery attempt, so the scan above already
+         covers ids that lost a lease race — adding [double_claims] on top
+         would count those deliveries twice. *)
+      double = !double;
       dead_lettered = !dead;
       shed = summary.Metrics.shed;
       leftovers = Worker.leftovers pool;

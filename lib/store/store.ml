@@ -16,10 +16,19 @@
     - {b idempotent recovery}: replaying a journal can only re-reference
       objects, never conflict on names.
 
-    Writes go through a temp file in the same directory followed by
-    [Unix.rename], so a crash mid-{!put} leaves either no object or a whole
+    Writes go through a temp file in the same directory followed by a
+    rename, so a crash mid-{!put} leaves either no object or a whole
     one — a torn tail can only exist under a name that doesn't match its
-    digest, and {!get}/{!gc} treat such files as garbage.
+    digest, and {!get}/{!gc} treat such files as garbage.  In strict
+    ([fsync=true]) mode the parent directory is fsynced after the rename:
+    POSIX makes a rename durable only once its directory is, and skipping
+    that step is exactly the unfsynced-rename crash the Faulty [Vfs]
+    reproduces (docs/STORAGE.md "Failure model").
+
+    Every byte this module touches goes through a {!Vfs.t} seam — the
+    default {!Vfs.real} passthrough in production, an in-memory adversary
+    under test — so torn writes, ENOSPC, bit rot and lost renames are
+    injectable below the API (ISSUE 8, docs/CHAOS.md).
 
     Liveness is {e reference counts} held in memory and derived from the
     journal (lib/store [Journal]): one reference per live spilled block
@@ -31,42 +40,55 @@
 
 exception Corrupt of string
 
+module Obs = Klsm_obs.Obs
+
+(* Swallowed-I/O-error visibility (docs/METRICS.md): the same interned
+   name is shared with Journal and Spill. *)
+let c_io_error = Obs.counter "store.io_error"
+
 type t = {
   root : string;
   fsync : bool;  (** fsync objects before rename (strict durability mode) *)
+  vfs : Vfs.t;  (** the filesystem seam every I/O goes through *)
   mutex : Mutex.t;  (** serializes puts and refcount updates across domains *)
   refs : (string, int) Hashtbl.t;  (** digest -> live block instances *)
   mutable tmp_seq : int;  (** unique temp-file names under [mutex] *)
+  mutable obs : Obs.handle;  (** sink for [store.io_error] increments *)
 }
 
 let objects_dir root = Filename.concat root "objects"
 let journal_dir root = Filename.concat root "journal"
+let quarantine_dir root = Filename.concat root "quarantine"
 
-let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-  else if not (Sys.is_directory dir) then
-    invalid_arg (Printf.sprintf "Store: %S exists and is not a directory" dir)
+(* Kept for callers outside the seam (tools preparing real directories);
+   store-internal code uses [t.vfs.mkdir_p]. *)
+let mkdir_p = Vfs.real_mkdir_p
 
-(** [fsync] forces objects to media before the rename publishes them —
-    the strict durability mode.  The default flushes to the OS only,
-    which the crash model (process kill, not power loss; see [Journal])
-    makes sufficient and keeps {!put} off the fsync cliff. *)
-let open_store ?(fsync = false) ~root () =
-  mkdir_p (objects_dir root);
-  mkdir_p (journal_dir root);
+(** [fsync] forces objects to media before the rename publishes them, and
+    the parent directory after — the strict durability mode.  The default
+    flushes to the OS only, which the crash model (process kill, not
+    power loss; see [Journal]) makes sufficient and keeps {!put} off the
+    fsync cliff.  [vfs] is the I/O seam; defaults to the passthrough. *)
+let open_store ?(fsync = false) ?(vfs = Vfs.real) ~root () =
+  vfs.Vfs.mkdir_p (objects_dir root);
+  vfs.Vfs.mkdir_p (journal_dir root);
   {
     root;
     fsync;
+    vfs;
     mutex = Mutex.create ();
     refs = Hashtbl.create 64;
     tmp_seq = 0;
+    obs = Obs.null_handle;
   }
 
 let root t = t.root
+let vfs t = t.vfs
+let set_obs t h = t.obs <- h
+
+(* A swallowed (or merely observed-and-handled) I/O error is never
+   silent: every such site counts it.  Exact sites: docs/METRICS.md. *)
+let note_io_error t = Obs.incr t.obs c_io_error
 
 let object_path t digest =
   if String.length digest < 3 then invalid_arg "Store: malformed digest";
@@ -74,13 +96,8 @@ let object_path t digest =
     (Filename.concat (objects_dir t.root) (String.sub digest 0 2))
     digest
 
-let contains t digest = Sys.file_exists (object_path t digest)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let quarantine_path t digest = Filename.concat (quarantine_dir t.root) digest
+let contains t digest = t.vfs.Vfs.file_exists (object_path t digest)
 
 (** Store [bytes]; returns their hex digest.  Idempotent: if the object
     already exists the bytes are not rewritten (their content is equal by
@@ -89,30 +106,36 @@ let read_file path =
 let put t bytes =
   let d = Sha256.hex_digest bytes in
   let path = object_path t d in
-  if not (Sys.file_exists path) then begin
+  if not (t.vfs.Vfs.file_exists path) then begin
     Mutex.lock t.mutex;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.mutex)
       (fun () ->
-        if not (Sys.file_exists path) then begin
-          mkdir_p (Filename.dirname path);
+        if not (t.vfs.Vfs.file_exists path) then begin
+          let dir = Filename.dirname path in
+          t.vfs.Vfs.mkdir_p dir;
           t.tmp_seq <- t.tmp_seq + 1;
           let tmp =
             Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) t.tmp_seq
           in
-          let oc = open_out_bin tmp in
+          let h = t.vfs.Vfs.create tmp in
           (try
-             output_string oc bytes;
-             flush oc;
+             h.Vfs.h_write bytes;
              (* The rename only makes the object visible; in strict mode
                 fsync first so visibility implies media durability. *)
-             if t.fsync then Unix.fsync (Unix.descr_of_out_channel oc);
-             close_out oc
+             if t.fsync then h.Vfs.h_fsync ();
+             h.Vfs.h_close ()
            with e ->
-             close_out_noerr oc;
-             (try Sys.remove tmp with Sys_error _ -> ());
+             h.Vfs.h_close ();
+             (try t.vfs.Vfs.remove tmp
+              with Sys_error _ ->
+                (* The temp file may outlive us as garbage; GC sweeps it.
+                   Counted, not silent (docs/METRICS.md, store.io_error). *)
+                note_io_error t);
              raise e);
-          Unix.rename tmp path
+          t.vfs.Vfs.rename tmp path;
+          (* A rename is not durable until its directory is. *)
+          if t.fsync then t.vfs.Vfs.fsync_dir dir
         end)
   end;
   d
@@ -121,13 +144,13 @@ let put t bytes =
     the content is re-hashed and checked against its name, raising
     {!Corrupt} on mismatch — recovery always verifies, because the object
     may predate this process and anything could have happened to the disk
-    in between.  The hot rehydrate path passes [~verify:false]: there the
-    object was written by this same process moments earlier through
-    temp-write + rename, and re-hashing tens of kilobytes would double the
-    spill cycle's CPU cost for no added integrity.  Raises [Sys_error]
-    when the object is absent. *)
+    in between.  The hot rehydrate path passes [~verify:false] for blocks
+    this same process spilled moments earlier through temp-write + rename,
+    where re-hashing tens of kilobytes would double the spill cycle's CPU
+    cost; blocks adopted across a crash boundary are always verified.
+    Raises [Sys_error] when the object is absent. *)
 let get ?(verify = true) t digest =
-  let bytes = read_file (object_path t digest) in
+  let bytes = t.vfs.Vfs.read_file (object_path t digest) in
   if verify then begin
     let actual = Sha256.hex_digest bytes in
     if not (String.equal actual digest) then
@@ -136,6 +159,46 @@ let get ?(verify = true) t digest =
            (Printf.sprintf "object %s: content hashes to %s" digest actual))
   end;
   bytes
+
+(** Move the object named [digest] out of the addressable namespace into
+    [<root>/quarantine/<digest>], writing a [.why] sidecar with the
+    failure cause.  Used by recovery for bytes that exist but cannot be
+    trusted: the evidence is preserved for forensics, while the object
+    directory and checkpoint drop the instance (docs/STORAGE.md "Failure
+    model").  Idempotent — re-quarantining the same digest overwrites the
+    same quarantine entry.  The object's disappearance from [objects/] is
+    best-effort (a failing remove is counted, and GC retries later);
+    its appearance in [quarantine/] is what recovery keys on. *)
+let quarantine t ~digest ~why =
+  let qdir = quarantine_dir t.root in
+  t.vfs.Vfs.mkdir_p qdir;
+  let qpath = quarantine_path t digest in
+  let opath = object_path t digest in
+  (* Preserve the evidence bytes if they are still producible at all;
+     a raw read that itself fails leaves an empty quarantine body. *)
+  let bytes = try t.vfs.Vfs.read_file opath with _ -> "" in
+  let h = t.vfs.Vfs.create qpath in
+  (try
+     h.Vfs.h_write bytes;
+     if t.fsync then h.Vfs.h_fsync ();
+     h.Vfs.h_close ()
+   with e ->
+     h.Vfs.h_close ();
+     raise e);
+  let hw = t.vfs.Vfs.create (qpath ^ ".why") in
+  (try
+     hw.Vfs.h_write (Printf.sprintf "digest: %s\nreason: %s\n" digest why);
+     if t.fsync then hw.Vfs.h_fsync ();
+     hw.Vfs.h_close ()
+   with e ->
+     hw.Vfs.h_close ();
+     raise e);
+  if t.fsync then t.vfs.Vfs.fsync_dir qdir;
+  (try if t.vfs.Vfs.file_exists opath then t.vfs.Vfs.remove opath
+   with Sys_error _ -> note_io_error t);
+  qpath
+
+let quarantined t digest = t.vfs.Vfs.file_exists (quarantine_path t digest)
 
 (* ---- reference counts and GC ---- *)
 
@@ -161,21 +224,22 @@ let refcount t digest =
 
 let iter_objects t f =
   let odir = objects_dir t.root in
-  if Sys.file_exists odir then
+  if t.vfs.Vfs.file_exists odir then
     Array.iter
       (fun prefix ->
         let pdir = Filename.concat odir prefix in
-        if Sys.is_directory pdir then
+        if t.vfs.Vfs.is_directory pdir then
           Array.iter
             (fun name ->
               (* Skip temp droppings from crashed puts. *)
               if String.length name = 64 then f name)
-            (Sys.readdir pdir))
-      (Sys.readdir odir)
+            (t.vfs.Vfs.readdir pdir))
+      (t.vfs.Vfs.readdir odir)
 
 (** Delete every object whose refcount is zero (including torn temp files
-    from crashed puts); returns the number of files reclaimed.  Only sound
-    when {!t.refs} reflects the journal — see the module header. *)
+    from crashed puts); returns the number of files actually reclaimed.
+    Only sound when {!t.refs} reflects the journal — see the module
+    header. *)
 let gc t =
   let reclaimed = ref 0 in
   Mutex.lock t.mutex;
@@ -183,11 +247,11 @@ let gc t =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       let odir = objects_dir t.root in
-      if Sys.file_exists odir then
+      if t.vfs.Vfs.file_exists odir then
         Array.iter
           (fun prefix ->
             let pdir = Filename.concat odir prefix in
-            if Sys.is_directory pdir then
+            if t.vfs.Vfs.is_directory pdir then
               Array.iter
                 (fun name ->
                   let live =
@@ -196,10 +260,13 @@ let gc t =
                        > 0
                   in
                   if not live then begin
-                    (try Sys.remove (Filename.concat pdir name)
-                     with Sys_error _ -> ());
-                    incr reclaimed
+                    match t.vfs.Vfs.remove (Filename.concat pdir name) with
+                    | () -> incr reclaimed
+                    | exception Sys_error _ ->
+                        (* Unreclaimed garbage, not a correctness issue;
+                           counted so a sick disk shows up in the sheets. *)
+                        note_io_error t
                   end)
-                (Sys.readdir pdir))
-          (Sys.readdir odir));
+                (t.vfs.Vfs.readdir pdir))
+          (t.vfs.Vfs.readdir odir));
   !reclaimed

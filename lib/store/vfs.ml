@@ -1,0 +1,482 @@
+(** The filesystem seam under the durability tier (docs/STORAGE.md).
+
+    Everything `lib/store` does to a disk — object writes, journal
+    appends, the temp+rename publish dance, fsyncs, GC unlinks — goes
+    through one of these records, so a test can replace the operating
+    system with an adversary.  Two implementations:
+
+    - {!real}: a passthrough to [Unix]/[Sys]/[out_channel], used by every
+      production path.  The indirection is one closure call per I/O
+      operation, far below the syscall it wraps (store-check's >= 90%
+      gate holds over it).
+    - {!faulty}: a fully in-memory filesystem with an explicit {e
+      durability model} and an injectable fault plan.  Files keep two
+      images — what the running process sees ([data]) and what would
+      survive a power loss ([synced]) — and directory {e entries} are
+      durable separately from contents: a rename is visible immediately
+      but survives a crash only once its directory is fsynced, which is
+      exactly the POSIX fine print the strict mode of [Store]/[Journal]
+      must honour ("a rename is not durable until its directory is").
+
+    {b The fault model} mirrors lib/chaos: a plan is a list of rules,
+    each naming an operation {e site} ({!sites}), a 1-based hit index,
+    and a {!fault}.  Rules fire at most once — except the [sticky]
+    error variants, which keep failing every later arrival once
+    triggered (a full disk does not drain itself).  The grammar lives in
+    [Chaos.parse_plan] (docs/CHAOS.md lists the verbs); this module owns
+    only the engine, so lib/store never depends on lib/chaos.
+
+    {b Crash semantics} ({!crash}): [`Process_kill] models the chaos
+    suite's default crash model — the OS survives, so every completed
+    (flushed) operation survives; [`Power_loss] keeps only what the
+    durability model calls synced: entry-durable files with their
+    [synced] contents (a file whose entry is durable but whose content
+    was never fsynced comes back {e zero-length} — the adversarial torn
+    state recovery must classify, not trust).  Open handles die with the
+    process either way. *)
+
+exception Crashed of string
+(** Raised by an injected [Crash]/[Torn_write] fault: the simulated
+    process dies at this I/O operation.  Harnesses catch it, call
+    {!crash} to apply the durability model, and restart.  Never caught
+    by lib/store itself — a crash must not look like an I/O error. *)
+
+(* ------------------------------------------------------------------ *)
+(* The seam                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type handle = {
+  h_write : string -> unit;
+      (** Append bytes and flush to the OS (the journal's per-append
+          contract; a kill after a completed [h_write] keeps the bytes
+          under the process-kill crash model). *)
+  h_fsync : unit -> unit;  (** Force content (and creation) to media. *)
+  h_close : unit -> unit;
+}
+
+type t = {
+  vname : string;
+  create : string -> handle;  (** open for writing, truncating *)
+  open_append : string -> handle;  (** open for appending, creating *)
+  read_file : string -> string;  (** whole-file read *)
+  rename : string -> string -> unit;
+  fsync_dir : string -> unit;
+      (** Force the directory's entry table (renames, creates, removes)
+          to media; a no-op wherever the OS makes it one. *)
+  remove : string -> unit;
+  mkdir_p : string -> unit;
+  file_exists : string -> bool;
+  is_directory : string -> bool;
+  readdir : string -> string array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Real: the passthrough                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec real_mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    real_mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Vfs: %S exists and is not a directory" dir)
+
+let real_handle oc =
+  {
+    h_write =
+      (fun s ->
+        output_string oc s;
+        flush oc);
+    h_fsync = (fun () -> Unix.fsync (Unix.descr_of_out_channel oc));
+    h_close = (fun () -> close_out oc);
+  }
+
+let real =
+  {
+    vname = "real";
+    create = (fun path -> real_handle (open_out_bin path));
+    open_append =
+      (fun path ->
+        real_handle
+          (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path));
+    read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    rename = Unix.rename;
+    fsync_dir =
+      (fun dir ->
+        (* Directory fsync is how a rename becomes durable on POSIX.
+           Some filesystems reject fsync on a directory fd (EINVAL);
+           there the OS gives no stronger primitive, so treat it as
+           already-as-durable-as-possible rather than failing the
+           publish. *)
+        match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+        | fd ->
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                try Unix.fsync fd
+                with Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) -> ())
+        | exception Unix.Unix_error _ -> ());
+    remove = Sys.remove;
+    mkdir_p = real_mkdir_p;
+    file_exists = Sys.file_exists;
+    is_directory = Sys.is_directory;
+    readdir = Sys.readdir;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fault =
+  | Eio of bool  (** I/O error; [true] = sticky (every later arrival too) *)
+  | Enospc of bool  (** no space; [true] = sticky *)
+  | Short_write of int
+      (** only the first N bytes land, then the write fails with EIO —
+          the process sees the failure and runs its cleanup path *)
+  | Torn_write of int
+      (** the process dies mid-write: the first N bytes are on media
+          (entry forced durable — they were physically written), the
+          rest never happened; raises {!Crashed} *)
+  | Bit_flip  (** a read returns the bytes with one bit flipped *)
+  | Fsync_lie  (** fsync reports success without making anything durable *)
+  | Drop_rename
+      (** the rename is visible to the process but can never become
+          durable — at a power-loss crash it unhappens *)
+  | Crash  (** the process dies at this operation ({!Crashed}) *)
+
+let fault_name = function
+  | Eio false -> "eio"
+  | Eio true -> "eio:sticky"
+  | Enospc false -> "enospc"
+  | Enospc true -> "enospc:sticky"
+  | Short_write n -> Printf.sprintf "shortwrite:%d" n
+  | Torn_write n -> Printf.sprintf "torn:%d" n
+  | Bit_flip -> "bitflip"
+  | Fsync_lie -> "fsynclie"
+  | Drop_rename -> "droprename"
+  | Crash -> "crash"
+
+type rule = {
+  site : string;
+  hit : int;  (** fire on the n-th matching operation, 1-based *)
+  fault : fault;
+  mutable seen : int;
+  mutable fired : bool;
+}
+
+let rule ?(hit = 1) site fault =
+  if hit < 1 then invalid_arg "Vfs.rule: hit < 1";
+  { site; hit; fault; seen = 0; fired = false }
+
+(** The operation sites the {!faulty} engine recognizes (one per seam
+    operation that can fail on a real disk; docs/CHAOS.md). *)
+let sites =
+  [ "vfs.write"; "vfs.read"; "vfs.rename"; "vfs.fsync"; "vfs.fsyncdir"; "vfs.remove" ]
+
+(* ------------------------------------------------------------------ *)
+(* Faulty: the in-memory adversary                                     *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Process_kill | Power_loss
+
+(* [data] is the running process's view; [synced] is what the platter
+   holds ([None] = this inode's content never reached media). *)
+type inode = { mutable data : string; mutable synced : string option }
+
+type faulty = {
+  mode : mode;
+  mutable rules : rule list;
+  live : (string, inode) Hashtbl.t;  (** the process's namespace *)
+  durable : (string, inode) Hashtbl.t;  (** the on-media entry table *)
+  dirs : (string, unit) Hashtbl.t;  (** directories (durable on creation) *)
+  poisoned : (string, unit) Hashtbl.t;  (** entries a [Drop_rename] condemned *)
+  mutable generation : int;  (** bumped by {!crash}; stales old handles *)
+  mutable injected : (string * string) list;  (** (site, fault) log, newest first *)
+}
+
+let faulty ?(mode = Process_kill) ?(rules = []) () =
+  {
+    mode;
+    rules;
+    live = Hashtbl.create 64;
+    durable = Hashtbl.create 64;
+    dirs = Hashtbl.create 16;
+    poisoned = Hashtbl.create 8;
+    generation = 0;
+    injected = [];
+  }
+
+(** Install [rules] (replacing any previous plan) and reset their run
+    state; {!disarm} removes every rule. *)
+let arm f rules =
+  List.iter
+    (fun r ->
+      r.seen <- 0;
+      r.fired <- false)
+    rules;
+  f.rules <- rules
+
+let disarm f = arm f []
+let injected f = List.length f.injected
+let injected_log f = List.rev f.injected
+let mode f = f.mode
+
+let is_sticky = function Eio true | Enospc true -> true | _ -> false
+
+(* Every matching rule advances its arrival count; the faults returned
+   are the ones that fire at this operation (first-write-once, then
+   sticky repeats). *)
+let fire f site =
+  List.filter_map
+    (fun r ->
+      if String.equal r.site site then begin
+        r.seen <- r.seen + 1;
+        if (not r.fired) && r.seen = r.hit then begin
+          r.fired <- true;
+          f.injected <- (site, fault_name r.fault) :: f.injected;
+          Some r.fault
+        end
+        else if r.fired && is_sticky r.fault then begin
+          f.injected <- (site, fault_name r.fault) :: f.injected;
+          Some r.fault
+        end
+        else None
+      end
+      else None)
+    f.rules
+
+let crash_now path reason =
+  raise (Crashed (Printf.sprintf "%s: injected crash (%s)" path reason))
+
+let eio path what = raise (Sys_error (Printf.sprintf "%s: injected EIO%s" path what))
+let enospc path = raise (Sys_error (path ^ ": injected ENOSPC"))
+let absent path = raise (Sys_error (path ^ ": No such file or directory"))
+
+let entry_durable f path ino =
+  if f.mode = Power_loss && not (Hashtbl.mem f.poisoned path) then
+    Hashtbl.replace f.durable path ino
+
+let mem_handle f path ino =
+  let gen = f.generation in
+  let closed = ref false in
+  let check () =
+    if f.generation <> gen then
+      raise (Sys_error (path ^ ": stale handle (process died)"));
+    if !closed then raise (Sys_error (path ^ ": handle is closed"))
+  in
+  {
+    h_write =
+      (fun s ->
+        check ();
+        let faults = fire f "vfs.write" in
+        match
+          List.find_opt
+            (function
+              | Torn_write _ | Short_write _ | Eio _ | Enospc _ | Crash -> true
+              | _ -> false)
+            faults
+        with
+        | Some (Torn_write n) ->
+            (* The platter got a prefix and the process died mid-write:
+               the partial bytes are as durable as the write would have
+               been. *)
+            ino.data <- ino.data ^ String.sub s 0 (min n (String.length s));
+            ino.synced <- Some ino.data;
+            entry_durable f path ino;
+            crash_now path "torn write"
+        | Some (Short_write n) ->
+            ino.data <- ino.data ^ String.sub s 0 (min n (String.length s));
+            eio path " (short write)"
+        | Some (Eio _) -> eio path ""
+        | Some (Enospc _) -> enospc path
+        | Some Crash -> crash_now path "write"
+        | _ -> ino.data <- ino.data ^ s);
+    h_fsync =
+      (fun () ->
+        check ();
+        let faults = fire f "vfs.fsync" in
+        if List.exists (function Fsync_lie -> true | _ -> false) faults then ()
+        else if List.exists (function Eio _ -> true | _ -> false) faults then
+          eio path " (fsync)"
+        else if List.exists (function Crash -> true | _ -> false) faults then
+          crash_now path "fsync"
+        else begin
+          ino.synced <- Some ino.data;
+          (* Fsyncing a file also makes its creation durable (the ext4
+             courtesy most databases rely on); only a *rename* needs the
+             directory fsync. *)
+          entry_durable f path ino
+        end);
+    h_close = (fun () -> closed := true);
+  }
+
+let require_dir f path =
+  if not (Hashtbl.mem f.dirs (Filename.dirname path)) then absent path
+
+let mem_create f path =
+  require_dir f path;
+  let ino = { data = ""; synced = None } in
+  Hashtbl.replace f.live path ino;
+  mem_handle f path ino
+
+let mem_open_append f path =
+  match Hashtbl.find_opt f.live path with
+  | Some ino -> mem_handle f path ino
+  | None -> mem_create f path
+
+let flip_one_bit s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let pos = Bytes.length b / 2 in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+    Bytes.unsafe_to_string b
+  end
+
+let mem_read f path =
+  let faults = fire f "vfs.read" in
+  if List.exists (function Eio _ -> true | _ -> false) faults then eio path ""
+  else if List.exists (function Crash -> true | _ -> false) faults then
+    crash_now path "read"
+  else
+    match Hashtbl.find_opt f.live path with
+    | None -> absent path
+    | Some ino ->
+        if List.exists (function Bit_flip -> true | _ -> false) faults then
+          flip_one_bit ino.data
+        else ino.data
+
+let mem_rename f a b =
+  let faults = fire f "vfs.rename" in
+  if List.exists (function Eio _ -> true | _ -> false) faults then eio a " (rename)"
+  else if List.exists (function Enospc _ -> true | _ -> false) faults then enospc a
+  else begin
+    if List.exists (function Drop_rename -> true | _ -> false) faults then begin
+      (* Neither the disappearance of [a] nor the appearance of [b] may
+         ever reach the on-media entry table: at a power-loss crash the
+         rename unhappens. *)
+      Hashtbl.replace f.poisoned a ();
+      Hashtbl.replace f.poisoned b ()
+    end;
+    (match Hashtbl.find_opt f.live a with
+    | None -> absent a
+    | Some ino ->
+        Hashtbl.remove f.live a;
+        Hashtbl.replace f.live b ino);
+    if List.exists (function Crash -> true | _ -> false) faults then
+      crash_now b "post-rename"
+  end
+
+let mem_fsync_dir f dir =
+  let faults = fire f "vfs.fsyncdir" in
+  if List.exists (function Fsync_lie -> true | _ -> false) faults then ()
+  else if List.exists (function Eio _ -> true | _ -> false) faults then
+    eio dir " (fsync dir)"
+  else if List.exists (function Crash -> true | _ -> false) faults then
+    crash_now dir "fsync dir"
+  else if f.mode = Power_loss then begin
+    (* Sync this directory's entry table: live entries (creates and
+       rename targets) become durable, removed entries disappear from
+       media — except poisoned ones, which a Drop_rename condemned. *)
+    Hashtbl.iter
+      (fun p ino ->
+        if String.equal (Filename.dirname p) dir && not (Hashtbl.mem f.poisoned p)
+        then Hashtbl.replace f.durable p ino)
+      f.live;
+    let stale =
+      Hashtbl.fold
+        (fun p _ acc ->
+          if
+            String.equal (Filename.dirname p) dir
+            && (not (Hashtbl.mem f.live p))
+            && not (Hashtbl.mem f.poisoned p)
+          then p :: acc
+          else acc)
+        f.durable []
+    in
+    List.iter (Hashtbl.remove f.durable) stale
+  end
+
+let mem_remove f path =
+  let faults = fire f "vfs.remove" in
+  if List.exists (function Eio _ -> true | _ -> false) faults then
+    eio path " (remove)"
+  else if List.exists (function Crash -> true | _ -> false) faults then
+    crash_now path "remove"
+  else if Hashtbl.mem f.live path then Hashtbl.remove f.live path
+  else absent path
+
+let rec mem_mkdir_p f dir =
+  if Hashtbl.mem f.live dir then
+    invalid_arg (Printf.sprintf "Vfs: %S exists and is not a directory" dir)
+  else if not (Hashtbl.mem f.dirs dir) then begin
+    let parent = Filename.dirname dir in
+    if not (String.equal parent dir) then mem_mkdir_p f parent;
+    Hashtbl.replace f.dirs dir ()
+  end
+
+let mem_readdir f dir =
+  if not (Hashtbl.mem f.dirs dir) then absent dir;
+  let entries = Hashtbl.create 16 in
+  let note p =
+    if String.equal (Filename.dirname p) dir && not (String.equal p dir) then
+      Hashtbl.replace entries (Filename.basename p) ()
+  in
+  Hashtbl.iter (fun p _ -> note p) f.live;
+  Hashtbl.iter (fun p _ -> note p) f.dirs;
+  let names = Hashtbl.fold (fun n _ acc -> n :: acc) entries [] in
+  Array.of_list (List.sort compare names)
+
+(** The seam over an in-memory adversary. *)
+let vfs f =
+  {
+    vname = (match f.mode with Process_kill -> "faulty:kill" | Power_loss -> "faulty:power");
+    create = mem_create f;
+    open_append = mem_open_append f;
+    read_file = mem_read f;
+    rename = mem_rename f;
+    fsync_dir = mem_fsync_dir f;
+    remove = mem_remove f;
+    mkdir_p = mem_mkdir_p f;
+    file_exists = (fun p -> Hashtbl.mem f.live p || Hashtbl.mem f.dirs p);
+    is_directory =
+      (fun p ->
+        if Hashtbl.mem f.dirs p then true
+        else if Hashtbl.mem f.live p then false
+        else absent p);
+    readdir = mem_readdir f;
+  }
+
+(** Apply the crash boundary: the process (and its handles) dies, and
+    the filesystem reverts to what the mode's durability model kept —
+    everything flushed ([`Process_kill]) or only the synced entry table
+    ([`Power_loss], where an entry-durable file whose content never
+    synced comes back zero-length).  Armed rules keep their state, so
+    one plan can span the boundary (faults during recovery). *)
+let crash f =
+  f.generation <- f.generation + 1;
+  let survivors = Hashtbl.create 64 in
+  (match f.mode with
+  | Process_kill ->
+      Hashtbl.iter (fun p ino -> Hashtbl.replace survivors p ino.data) f.live
+  | Power_loss ->
+      Hashtbl.iter
+        (fun p ino ->
+          Hashtbl.replace survivors p (Option.value ~default:"" ino.synced))
+        f.durable);
+  Hashtbl.reset f.live;
+  Hashtbl.reset f.durable;
+  Hashtbl.reset f.poisoned;
+  Hashtbl.iter
+    (fun p data ->
+      let ino = { data; synced = Some data } in
+      Hashtbl.replace f.live p ino;
+      Hashtbl.replace f.durable p ino)
+    survivors

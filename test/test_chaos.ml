@@ -6,6 +6,7 @@ open Helpers
 module Sim = Klsm_backend.Sim
 module Chaos = Klsm_chaos.Chaos
 module Drive = Klsm_chaos.Drive
+module Vfs = Klsm_store.Vfs
 module Xoshiro = Klsm_primitives.Xoshiro
 
 (* ---------------- plan grammar ---------------- *)
@@ -23,6 +24,15 @@ let test_grammar_roundtrip () =
       "shared.push_snapshot.before@4:casfail";
       "dist.spy.block@2#3:stall:500";
       "block_array.consolidate#0:casfail,dist.insert.spill@12#1:crash";
+      (* The I/O fault verbs (ISSUE 8, docs/CHAOS.md). *)
+      "vfs.write@2:torn:9";
+      "vfs.write:shortwrite:7";
+      "vfs.write:enospc:sticky";
+      "vfs.read@3:eio:sticky";
+      "vfs.read:bitflip";
+      "vfs.rename:droprename";
+      "vfs.fsync:fsynclie";
+      "vfs.fsyncdir:eio,vfs.remove@2:enospc";
     ]
 
 let test_grammar_rejects () =
@@ -39,6 +49,11 @@ let test_grammar_rejects () =
       "site@0:crash";
       "site#-1:crash";
       ":crash";
+      "vfs.write:torn";
+      "vfs.write:torn:x";
+      "vfs.write:shortwrite";
+      "vfs.read:eio:stickyy";
+      "vfs.read:bitflip:3";
     ]
 
 let test_random_plan_covers_kinds () =
@@ -54,6 +69,7 @@ let test_random_plan_covers_kinds () =
           | Chaos.Cas_fail -> "casfail"
           | Chaos.Stall _ -> "stall"
           | Chaos.Crash -> "crash"
+          | Chaos.Io _ -> "io"
         in
         Hashtbl.replace kinds kind ())
       (Chaos.random_plan ~rng ~sites:Chaos.sites ~num_threads:4 ~rules:1 k)
@@ -71,6 +87,45 @@ let test_random_plan_never_crashes_tid0 () =
         | _ -> ())
       (Chaos.random_plan ~rng ~sites:Chaos.sites ~num_threads:4 ~rules:2 k)
   done
+
+(* One plan string drives both engines: [io_rules] compiles the vfs.*
+   rules for the Faulty vfs (crash becomes a process death; casfail and
+   stall have no I/O meaning), and leaves the simulator rules alone. *)
+let test_io_rules_compilation () =
+  let plan =
+    match
+      Chaos.parse_plan
+        "vfs.write@3:torn:9,vfs.read:bitflip,vfs.rename:crash,vfs.fsync:casfail,dist.insert.pre_size:crash"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let rules = Chaos.io_rules plan in
+  check_int "two io faults + one io crash compile" 3 (List.length rules);
+  let f = Vfs.faulty () in
+  Vfs.arm f rules;
+  let vfs = Vfs.vfs f in
+  vfs.Vfs.mkdir_p "/io";
+  (* vfs.read:bitflip fires on the first read... *)
+  let h = vfs.Vfs.create "/io/a" in
+  h.Vfs.h_write "payload";
+  h.Vfs.h_close ();
+  check_bool "bit flipped on read" true
+    (not (String.equal "payload" (vfs.Vfs.read_file "/io/a")));
+  check_string "fault spent: second read clean" "payload"
+    (vfs.Vfs.read_file "/io/a");
+  (* ...vfs.rename:crash is a process death at the rename... *)
+  (match vfs.Vfs.rename "/io/a" "/io/b" with
+  | () -> Alcotest.fail "compiled vfs crash did not kill the process"
+  | exception Vfs.Crashed _ -> ());
+  (* ...and vfs.write@3:torn:9 tears the third write of the run. *)
+  Vfs.crash f;
+  let h = vfs.Vfs.create "/io/c" in
+  h.Vfs.h_write "first write intact";
+  (match h.Vfs.h_write "second write torn" with
+  | () -> Alcotest.fail "torn write did not kill the process"
+  | exception Vfs.Crashed _ -> ());
+  check_int "every compiled rule fired" 3 (Vfs.injected f)
 
 (* ---------------- engine semantics on the simulator ---------------- *)
 
@@ -187,6 +242,8 @@ let () =
             test_random_plan_covers_kinds;
           Alcotest.test_case "no tid-0 crashes" `Quick
             test_random_plan_never_crashes_tid0;
+          Alcotest.test_case "io_rules compile for the vfs engine" `Quick
+            test_io_rules_compilation;
         ] );
       ( "engine",
         [

@@ -5,12 +5,18 @@
 
 open Helpers
 module Sim = Klsm_backend.Sim
+module RealB = Klsm_backend.Real
 module Sha256 = Klsm_store.Sha256
 module Store = Klsm_store.Store
 module Journal = Klsm_store.Journal
+module Vfs = Klsm_store.Vfs
+module Audit = Klsm_store.Audit
 module Spill = Klsm_store.Spill.Make (Sim)
+module SpillR = Klsm_store.Spill.Make (RealB)
 module K = Klsm_core.Klsm.Make (Sim)
+module KR = Klsm_core.Klsm.Make (RealB)
 module R = Klsm_harness.Registry.Make (Sim)
+module Oracle = Klsm_harness.Oracle
 module Obs = Klsm_obs.Obs
 module Bloom = Klsm_primitives.Bloom
 
@@ -104,9 +110,9 @@ let test_journal_replay () =
   let c = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:3 ~count:8 in
   Journal.append_rehydrate j ~iid:b ~digest:"d2";
   Journal.close j;
-  let records, bad = Journal.read_all ~dir in
-  check_int "no torn lines" 0 bad;
-  let live = Journal.live_instances records in
+  let rp = Journal.read_all ~dir () in
+  check_int "no torn lines" 0 rp.Journal.torn_lines;
+  let live = Journal.live_instances rp.Journal.records in
   check_int "rehydrated instance is dead" 2 (List.length live);
   check_bool "first instance live" true
     (List.exists (fun l -> String.equal l.Journal.iid a) live);
@@ -134,9 +140,9 @@ let test_journal_torn_tail () =
   in
   output_string oc "S t0.99 dea";
   close_out oc;
-  let records, bad = Journal.read_all ~dir in
-  check_int "torn line skipped" 1 bad;
-  let live = Journal.live_instances records in
+  let rp = Journal.read_all ~dir () in
+  check_int "torn line skipped" 1 rp.Journal.torn_lines;
+  let live = Journal.live_instances rp.Journal.records in
   check_int "intact record survives" 1 (List.length live);
   check_string "the intact instance" a (List.hd live).Journal.iid
 
@@ -146,14 +152,15 @@ let test_journal_checkpoint () =
   let j = Journal.open_journal ~dir ~num_threads:2 () in
   let a = Journal.append_spill j ~tid:0 ~digest:"d1" ~level:3 ~count:8 in
   let _b = Journal.append_spill j ~tid:1 ~digest:"d2" ~level:2 ~count:4 in
-  let records, _ = Journal.read_all ~dir in
-  let live = Journal.live_instances records in
+  let live =
+    Journal.live_instances (Journal.read_all ~dir ()).Journal.records
+  in
   check_int "first epoch" 1 (Journal.checkpoint j ~live);
   check_bool "spill logs compacted away" true
     (not (Sys.file_exists (Filename.concat dir "spill-0.log")));
-  let records, bad = Journal.read_all ~dir in
-  check_int "epoch replays clean" 0 bad;
-  let live2 = Journal.live_instances records in
+  let rp = Journal.read_all ~dir () in
+  check_int "epoch replays clean" 0 rp.Journal.torn_lines;
+  let live2 = Journal.live_instances rp.Journal.records in
   check_int "live set preserved" 2 (List.length live2);
   check_bool "original instance ids kept" true
     (List.exists (fun l -> String.equal l.Journal.iid a) live2);
@@ -270,10 +277,14 @@ let test_recovery_conservation () =
   let q2 = K.create_with ~seed:1 ~k:8 ~num_threads:1 () in
   let h2 = K.register q2 0 in
   let r = Spill.recover spill2 ~link:(fun b -> K.adopt_block h2 b) in
-  check_int "journal replays clean" 0 r.Spill.skipped_lines;
-  check_int "no corrupt objects" 0 (List.length r.Spill.corrupt);
-  check_int "both unlinked instances recovered" 2 r.Spill.blocks;
-  check_int "all their items recovered" 14 r.Spill.items;
+  check_int "journal replays clean" 0 r.Audit.skipped_lines;
+  check_int "no quarantined objects" 0 r.Audit.quarantined;
+  check_int "nothing lost" 0 r.Audit.lost;
+  check_int "both unlinked instances recovered" 2 r.Audit.recovered;
+  check_int "all their items recovered" 14 r.Audit.recovered_items;
+  (match Oracle.store_conservation r with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "audit books do not balance: %s" v);
   (* Drain and compare the exact multiset. *)
   let expected = Hashtbl.create 16 in
   Array.iter
@@ -293,7 +304,8 @@ let test_recovery_conservation () =
             Hashtbl.remove expected v)
     | None -> incr misses
   done;
-  check_int "drain delivers the journal's promise" r.Spill.items !drained;
+  check_int "drain delivers the journal's promise" r.Audit.recovered_items
+    !drained;
   check_int "nothing lost" 0 (Hashtbl.length expected);
   Spill.close spill2;
   (* After a full recovery drain every instance was rehydrated; a third
@@ -304,8 +316,236 @@ let test_recovery_conservation () =
   let q3 = K.create_with ~seed:2 ~k:8 ~num_threads:1 () in
   let h3 = K.register q3 0 in
   let r2 = Spill.recover spill3 ~link:(fun b -> K.adopt_block h3 b) in
-  check_int "drained store recovers empty" 0 r2.Spill.items;
+  check_int "drained store recovers empty" 0 r2.Audit.recovered_items;
   Spill.close spill3
+
+(* ---------------- the Faulty-Vfs matrix (ISSUE 8) ----------------
+
+   Every test below runs lib/store against the in-memory adversary
+   [Vfs.faulty]: no real disk, fully deterministic fault injection at
+   the seam.  The spill functor is instantiated over the Real backend —
+   the "disk" is in-memory, so no simulator scheduling is involved. *)
+
+let froot = "/faulty"
+
+(* Plant [blocks] cold instances of [items_per] items each under [root]
+   through [vfs], dropping every cold twin (the mid-spill-kill durable
+   state); returns the payload -> key table the disk now owes. *)
+let plant_faulty ?(fsync = false) ~vfs ~blocks ~items_per () =
+  let spill =
+    SpillR.create ~threshold:0 ~fsync ~vfs ~num_threads:1 ~root:froot ()
+  in
+  let alive _ = true in
+  let expected = Hashtbl.create 64 in
+  for b = 0 to blocks - 1 do
+    let pairs =
+      Array.init items_per (fun i ->
+          let v = (b * items_per) + i in
+          let k = 7919 * (((v * 31) + b) mod 997) in
+          Hashtbl.replace expected v k;
+          (k, v))
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) pairs;
+    ignore
+      (SpillR.maybe_spill spill ~alive ~tid:0
+         (SpillR.Block.of_sorted_array ~filter:Bloom.empty
+            (Array.map (fun (k, v) -> SpillR.Item.make k v) pairs)))
+  done;
+  SpillR.close spill;
+  expected
+
+(* One recovery pass over [froot] through [vfs] into a fresh queue;
+   returns the handle (for draining) and the audit, and checks the
+   conservation oracle on the way out. *)
+let recover_faulty ?(fsync = false) ~vfs () =
+  let spill =
+    SpillR.create ~threshold:0 ~fsync ~vfs ~num_threads:1 ~root:froot ()
+  in
+  let q = KR.create_with ~k:8 ~num_threads:1 () in
+  let h = KR.register q 0 in
+  let a = SpillR.recover spill ~link:(fun b -> KR.adopt_block h b) in
+  (match Oracle.store_conservation a with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "audit books do not balance: %s" v);
+  (spill, h, a)
+
+let drain_all h =
+  let out = ref [] in
+  let rec loop () =
+    match KR.try_delete_min h with
+    | Some kv ->
+        out := kv :: !out;
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !out
+
+let test_faulty_short_write () =
+  let f = Vfs.faulty () in
+  Vfs.arm f [ Vfs.rule "vfs.write" (Vfs.Short_write 7) ];
+  let s = Store.open_store ~vfs:(Vfs.vfs f) ~root:froot () in
+  let payload = "a payload much longer than seven bytes" in
+  (match Store.put s payload with
+  | _ -> Alcotest.fail "short write reported success"
+  | exception Sys_error _ -> ());
+  (* The torn temp never published: the object is absent, not torn. *)
+  check_bool "short-written object not published" false
+    (Store.contains s (Sha256.hex_digest payload));
+  (* Fault spent; the retry succeeds and round-trips. *)
+  let d = Store.put s payload in
+  check_string "retry round-trips" payload (Store.get s d);
+  check_int "exactly one injected fault" 1 (Vfs.injected f)
+
+let test_faulty_sticky_enospc () =
+  let f = Vfs.faulty () in
+  Vfs.arm f [ Vfs.rule "vfs.write" (Vfs.Enospc true) ];
+  let s = Store.open_store ~vfs:(Vfs.vfs f) ~root:froot () in
+  (match Store.put s "does not fit" with
+  | _ -> Alcotest.fail "ENOSPC put succeeded"
+  | exception Sys_error _ -> ());
+  (match Store.put s "still does not fit" with
+  | _ -> Alcotest.fail "a full disk drained itself"
+  | exception Sys_error _ -> ());
+  check_bool "sticky fault keeps firing" true (Vfs.injected f >= 2);
+  (* Operator frees space: disarm, and the path is healthy again. *)
+  Vfs.disarm f;
+  let d = Store.put s "space reclaimed" in
+  check_string "healthy after disarm" "space reclaimed" (Store.get s d)
+
+let test_faulty_bitflip_quarantine () =
+  let f = Vfs.faulty () in
+  let vfs = Vfs.vfs f in
+  let expected = plant_faulty ~vfs ~blocks:2 ~items_per:5 () in
+  (* Durably corrupt one object in place through the seam (a transient
+     read-side bit flip would heal on recovery's retry; rot on the
+     platter does not). *)
+  let s = Store.open_store ~vfs ~root:froot () in
+  let digests = ref [] in
+  Store.iter_objects s (fun d -> digests := d :: !digests);
+  check_int "two distinct objects planted" 2 (List.length !digests);
+  let victim = List.hd (List.sort compare !digests) in
+  let path = Store.object_path s victim in
+  let bytes = Bytes.of_string (vfs.Vfs.read_file path) in
+  let pos = Bytes.length bytes - 1 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 1));
+  let h = vfs.Vfs.create path in
+  h.Vfs.h_write (Bytes.unsafe_to_string bytes);
+  h.Vfs.h_close ();
+  let spill, qh, a = recover_faulty ~vfs () in
+  check_int "corrupt instance quarantined" 1 a.Audit.quarantined;
+  check_int "healthy instance recovered" 1 a.Audit.recovered;
+  check_int "nothing lost" 0 a.Audit.lost;
+  check_int "conservation" a.Audit.spilled
+    (a.Audit.recovered + a.Audit.quarantined + a.Audit.lost);
+  check_bool "evidence preserved under quarantine/" true
+    (Store.quarantined s victim);
+  check_bool "corrupt object out of the addressable namespace" false
+    (Store.contains s victim);
+  check_bool "gc never runs on a dirty pass" false a.Audit.gc_ran;
+  (* The drain delivers exactly the recovered instance — never a byte of
+     the quarantined one. *)
+  let drained = drain_all qh in
+  check_int "drain = recovered items" a.Audit.recovered_items
+    (List.length drained);
+  List.iter
+    (fun (dk, v) ->
+      match Hashtbl.find_opt expected v with
+      | Some k when k = dk -> ()
+      | Some _ -> Alcotest.failf "payload %d came back with a wrong key" v
+      | None -> Alcotest.failf "payload %d invented by recovery" v)
+    drained;
+  SpillR.close spill
+
+let test_faulty_transient_eio_retries () =
+  let f = Vfs.faulty () in
+  let vfs = Vfs.vfs f in
+  let expected = plant_faulty ~vfs ~blocks:2 ~items_per:5 () in
+  (* One transient EIO on the first object fetch of the recovery pass
+     (read 1 is open_journal's replay, read 2 recover's replay, read 3
+     the first classify fetch): the backoff-retry loop re-reads and
+     recovery proceeds at full strength. *)
+  Vfs.arm f [ Vfs.rule ~hit:3 "vfs.read" (Vfs.Eio false) ];
+  let spill, h, a = recover_faulty ~vfs () in
+  check_bool "the transient fault cost a retry" true (a.Audit.retries > 0);
+  check_int "nothing quarantined" 0 a.Audit.quarantined;
+  check_int "nothing lost" 0 a.Audit.lost;
+  check_int "everything recovered" (Hashtbl.length expected)
+    a.Audit.recovered_items;
+  check_int "drain delivers everything" (Hashtbl.length expected)
+    (List.length (drain_all h));
+  SpillR.close spill
+
+let test_faulty_torn_checkpoint () =
+  let f = Vfs.faulty () in
+  let vfs = Vfs.vfs f in
+  let expected = plant_faulty ~vfs ~blocks:2 ~items_per:5 () in
+  (* The first write of a recovery pass is the checkpoint's epoch temp
+     file: tear it mid-line and kill the process.  The half-written
+     epoch was never renamed over the real one, so the next pass replays
+     the previous journal state in full. *)
+  Vfs.arm f [ Vfs.rule "vfs.write" (Vfs.Torn_write 9) ];
+  (match recover_faulty ~vfs () with
+  | _ -> Alcotest.fail "torn checkpoint write did not crash"
+  | exception Vfs.Crashed _ -> ());
+  Vfs.crash f;
+  let spill, h, a = recover_faulty ~vfs () in
+  check_int "previous epoch wins: nothing lost" 0 a.Audit.lost;
+  check_int "previous epoch wins: nothing quarantined" 0 a.Audit.quarantined;
+  check_int "all planted items recovered after the crash"
+    (Hashtbl.length expected) a.Audit.recovered_items;
+  check_int "no torn journal lines (the tmp is not a journal file)" 0
+    a.Audit.skipped_lines;
+  check_int "drain delivers everything" (Hashtbl.length expected)
+    (List.length (drain_all h));
+  SpillR.close spill
+
+let test_faulty_lost_stays_lost () =
+  let f = Vfs.faulty () in
+  let vfs = Vfs.vfs f in
+  ignore (plant_faulty ~vfs ~blocks:2 ~items_per:5 ());
+  (* Remove one object outright: its bytes are unproducible (not
+     corrupt), so the instance is lost — and stays owed. *)
+  let s = Store.open_store ~vfs ~root:froot () in
+  let digests = ref [] in
+  Store.iter_objects s (fun d -> digests := d :: !digests);
+  let victim = List.hd (List.sort compare !digests) in
+  vfs.Vfs.remove (Store.object_path s victim);
+  let spill, _h, a = recover_faulty ~vfs () in
+  check_int "one lost" 1 a.Audit.lost;
+  check_int "one recovered" 1 a.Audit.recovered;
+  check_bool "gc never runs with losses on the books" false a.Audit.gc_ran;
+  SpillR.close spill;
+  (* Recovery is idempotent under faults: a second pass (no drain in
+     between) still owes the lost instance — the checkpoint kept its
+     entry live — and invents nothing. *)
+  let spill2, _h2, a2 = recover_faulty ~vfs () in
+  check_int "second pass: still owed" 1 a2.Audit.lost;
+  check_int "second pass: same live set" 2 a2.Audit.spilled;
+  SpillR.close spill2
+
+(* Satellite 1 regression: a rename is not durable until its directory
+   is.  Non-strict mode loses the publish at power loss; strict mode
+   (fsync file + parent dir) keeps it. *)
+let test_powerloss_unfsynced_rename () =
+  let f = Vfs.faulty ~mode:Vfs.Power_loss () in
+  let vfs = Vfs.vfs f in
+  let s = Store.open_store ~fsync:false ~vfs ~root:froot () in
+  let d = Store.put s "vanishing bytes" in
+  check_bool "visible before the crash" true (Store.contains s d);
+  Vfs.crash f;
+  let s2 = Store.open_store ~fsync:false ~vfs ~root:froot () in
+  check_bool "unfsynced rename dropped at power loss" false
+    (Store.contains s2 d);
+  (* Same publish in strict mode survives the same crash. *)
+  let g = Vfs.faulty ~mode:Vfs.Power_loss () in
+  let vg = Vfs.vfs g in
+  let t = Store.open_store ~fsync:true ~vfs:vg ~root:froot () in
+  let d2 = Store.put t "durable bytes" in
+  Vfs.crash g;
+  let t2 = Store.open_store ~fsync:true ~vfs:vg ~root:froot () in
+  check_string "strict publish survives power loss" "durable bytes"
+    (Store.get t2 d2)
 
 (* ---------------- registry spec suffixes ---------------- *)
 
@@ -392,6 +632,22 @@ let () =
             test_spill_rehydrate_conservation;
           Alcotest.test_case "kill-and-recover conservation" `Quick
             test_recovery_conservation;
+        ] );
+      ( "faulty-vfs",
+        [
+          Alcotest.test_case "short write fails checked" `Quick
+            test_faulty_short_write;
+          Alcotest.test_case "sticky ENOSPC" `Quick test_faulty_sticky_enospc;
+          Alcotest.test_case "bit rot quarantined" `Quick
+            test_faulty_bitflip_quarantine;
+          Alcotest.test_case "transient EIO retried" `Quick
+            test_faulty_transient_eio_retries;
+          Alcotest.test_case "torn checkpoint: previous epoch wins" `Quick
+            test_faulty_torn_checkpoint;
+          Alcotest.test_case "lost stays lost (idempotence)" `Quick
+            test_faulty_lost_stays_lost;
+          Alcotest.test_case "power loss drops unfsynced rename" `Quick
+            test_powerloss_unfsynced_rename;
         ] );
       ( "registry",
         [
