@@ -810,6 +810,68 @@ let micro () =
    CAS retries, consolidations, spills, spy traffic — rather than external
    throughput.  Observability is force-enabled for this section regardless
    of --stats (that is the section's whole point) and restored after. *)
+(* Imbalanced producer/consumer fiber scenario (lib/sched; DESIGN.md
+   section 16): worker 0 is the sole producer of fibered roots, so the
+   consumers' deques start empty and the only fibers they ever run are
+   pulled through the shared queue or STOLEN from a peer's deque.  The
+   whole point of the Chase–Lev layer is that `steal.success` comes out
+   positive here — asserted below, and written into BENCH_stats.json as a
+   statscheck-validated queue entry so the record gates it too. *)
+let sched_fibers_imbalanced ~workers ~roots ~fanout ~seed =
+  let module W = Klsm_sched.Worker.Make (Sim) in
+  let module M = Klsm_sched.Metrics in
+  Sim.configure ~seed ~policy:Sim.Fair ();
+  let sheet = Obs.create_sheet ~now:Sim.time ~num_threads:workers () in
+  let instance = R.make ~seed ~num_threads:workers (R.Klsm 8) in
+  let pool = W.create_pool ~max_tasks:roots ~num_workers:workers () in
+  let metrics = M.create ~num_workers:workers in
+  Sim.parallel_run ~num_threads:workers (fun tid ->
+      let h = instance.R.register tid in
+      let sub =
+        W.Submitter.create
+          ~cfg:{ W.Submitter.batch = 1; urgency_margin = 1; capacity = max_int }
+          ~inflight:pool.W.inflight ~enqueue_batch:h.R.insert_batch ()
+      in
+      let ctx =
+        W.make_ctx ~obs:(Obs.handle sheet ~tid) ~pool ~tid ~sub
+          ~pop:h.R.try_delete_min ~metrics:metrics.(tid) ()
+      in
+      let remaining = ref (if tid = 0 then roots else 0) in
+      let arrivals () =
+        if !remaining = 0 then `Done
+        else begin
+          decr remaining;
+          let priority = !remaining in
+          `Submit
+            ( priority,
+              W.Task.Body
+                (fun api ->
+                  (* A wide fiber tree per root: odd children yield once so
+                     parked fibers cross the requeue/steal surface. *)
+                  let kids =
+                    List.init fanout (fun i ->
+                        api.W.Task.fork (fun () ->
+                            if i land 1 = 1 then api.W.Task.yield ();
+                            Sim.tick 64;
+                            i))
+                  in
+                  List.iteri
+                    (fun i k ->
+                      if api.W.Task.await k <> i then
+                        failwith "bench: fiber joined to the wrong value")
+                    kids) )
+        end
+      in
+      W.run ctx ~arrivals);
+  let summary = M.summarize metrics in
+  if W.completed_count pool <> roots then
+    failwith "bench: imbalanced fiber run lost tasks";
+  if summary.M.fibers <> summary.M.fibers_completed then
+    failwith "bench: imbalanced fiber run lost fibers";
+  if summary.M.steals = 0 then
+    failwith "bench: imbalanced fiber run recorded no successful steals";
+  (summary, Obs.snapshot sheet)
+
 let stats_section () =
   let was_enabled = Obs.enabled () in
   Obs.set_enabled true;
@@ -830,6 +892,10 @@ let stats_section () =
     @ [ R.klsm_sharded 256 4 ]
   in
   let measured = List.map (fun spec -> (spec, T.run config spec)) specs in
+  let sched_workers = 4 in
+  let fiber_summary, fiber_stats =
+    sched_fibers_imbalanced ~workers:sched_workers ~roots:24 ~fanout:8 ~seed:11
+  in
   Report.section
     (Printf.sprintf
        "Internal counters (lib/obs): 50-50 mix, T=%d, prefill %d (sim); see \
@@ -839,6 +905,16 @@ let stats_section () =
     (fun (spec, (r : T.result)) ->
       Obs_report.print_table ~name:(R.spec_name spec) r.T.stats)
     measured;
+  Obs_report.print_table ~name:"sched fibers imbalanced (klsm(8), 1 producer)"
+    fiber_stats;
+  Printf.printf
+    "sched fibers imbalanced: %d fibers, %d/%d steals landed (hit rate \
+     %.2f)\n%!"
+    fiber_summary.Klsm_sched.Metrics.fibers
+    fiber_summary.Klsm_sched.Metrics.steals
+    fiber_summary.Klsm_sched.Metrics.steal_attempts
+    (float_of_int fiber_summary.Klsm_sched.Metrics.steals
+    /. float_of_int (max 1 fiber_summary.Klsm_sched.Metrics.steal_attempts));
   let path = "BENCH_stats.json" in
   Report.write_json ~path
     (Report.Obj
@@ -856,7 +932,18 @@ let stats_section () =
                       Report.Obj
                         (("impl", Report.String (R.spec_name spec)) :: fields)
                   | other -> other)
-                measured) );
+                measured
+             @ [
+                 (* The scheduler's own counters under the imbalanced
+                    producer/consumer fiber run: steal.success > 0 is
+                    asserted before this entry is written. *)
+                 (match Obs_report.to_json fiber_stats with
+                 | Report.Obj fields ->
+                     Report.Obj
+                       (("impl", Report.String "sched-fibers-imbalanced")
+                       :: fields)
+                 | other -> other);
+               ]) );
        ]);
   Printf.printf "wrote %s\n%!" path;
   Obs.set_enabled was_enabled

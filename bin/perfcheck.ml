@@ -14,7 +14,9 @@
      the tick count exceeds [sim_tick_budget], i.e. if a change regresses
      the amount of sequential work the merge/pivot kernels charge.
 
-   Results land in BENCH_throughput.json. *)
+   Plus the tuned-knob gates ([real_knobs_section], [sim_scaling_section])
+   and the fiber-runtime gate ([real_fibers_section]) — see the comments
+   on each.  Results land in BENCH_throughput.json. *)
 
 module Real = Klsm_backend.Real
 module Sim = Klsm_backend.Sim
@@ -272,6 +274,148 @@ let real_knobs_section () =
              sweep_points) );
     ]
 
+(* The fiber-runtime gate (lib/sched effects runtime; DESIGN.md section
+   16): the closed-loop driver on the tuned sharded spec, with every task
+   exploded into a [1 + fiber_fanout]-fiber tree, must push 100k+ fibers
+   through 8 Real domains at >= [fiber_floor_per_thread] fibers/thread/s —
+   the same absolute bar as the raw-queue knob gate above, so multiplexing
+   cheap effect-handler fibers over the k-LSM may not cost throughput
+   against plain task bodies.  Same sampling discipline as the knob gate:
+   up to [fiber_reps] compaction-normalized reps, pass on the first one
+   over the floor.  Every rep also re-asserts the scheduler's conservation
+   story at this scale — lost = double = fiber_lost = 0 (per-task lease
+   exactly-once AND per-fiber exactly-once; DESIGN.md sections 13/16).
+   The steal success rate of the best rep and a thread sweep land in
+   BENCH_throughput.json for the record. *)
+let fiber_floor_per_thread = 33_400.0
+let fiber_reps = 10
+let fiber_workers = 8
+let fiber_fanout = 7
+let fiber_roots = 1_563 (* 8 * 1_563 * (1 + 7) = 100_032 fibers *)
+
+let real_fibers_section () =
+  let module CL = Klsm_sched.Closed_loop.Make (Real) in
+  let module M = Klsm_sched.Metrics in
+  let spec =
+    match CL.Registry.parse_spec knob_spec with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let config =
+    {
+      CL.default_config with
+      num_workers = fiber_workers;
+      roots_per_worker = fiber_roots;
+      fiber_fanout;
+      seed = 42;
+    }
+  in
+  let fibers_expected = fiber_workers * fiber_roots * (1 + fiber_fanout) in
+  assert (fibers_expected >= 100_000);
+  let run_once cfg =
+    Gc.compact ();
+    let r = CL.run cfg spec in
+    if r.CL.lost > 0 || r.CL.double > 0 || r.CL.fiber_lost > 0 || r.CL.gave_up
+    then begin
+      Printf.eprintf
+        "perf-check FAILED: fiber run broke conservation (lost=%d double=%d \
+         fiber_lost=%d gave_up=%b)\n%!"
+        r.CL.lost r.CL.double r.CL.fiber_lost r.CL.gave_up;
+      exit 1
+    end;
+    r
+  in
+  let per_thread (r : CL.result) =
+    float_of_int r.CL.metrics.M.fibers_completed
+    /. r.CL.makespan
+    /. float_of_int r.CL.config.CL.num_workers
+  in
+  let best = ref 0.0 and reps_used = ref 0 in
+  let steals = ref 0 and steal_attempts = ref 0 in
+  (while !reps_used < fiber_reps && !best < fiber_floor_per_thread do
+     let r = run_once config in
+     incr reps_used;
+     if r.CL.metrics.M.fibers <> fibers_expected then begin
+       Printf.eprintf "perf-check FAILED: fiber run created %d fibers, not %d\n%!"
+         r.CL.metrics.M.fibers fibers_expected;
+       exit 1
+     end;
+     let per = per_thread r in
+     if per > !best then begin
+       best := per;
+       steals := r.CL.metrics.M.steals;
+       steal_attempts := r.CL.metrics.M.steal_attempts
+     end
+   done);
+  let best = !best and reps = !reps_used in
+  let steal_rate =
+    if !steal_attempts > 0 then
+      float_of_int !steals /. float_of_int !steal_attempts
+    else 0.0
+  in
+  Printf.printf
+    "perf-check real fibers: %d fibers, %.0f fibers/thread/s in %d rep(s) \
+     (%s, %d domains; floor %.0f; steal hit rate %.2f)\n%!"
+    fibers_expected best reps knob_spec fiber_workers fiber_floor_per_thread
+    steal_rate;
+  if best < fiber_floor_per_thread then begin
+    Printf.eprintf
+      "perf-check FAILED: fiber runtime %.0f fibers/thread/s under the %.0f \
+       floor\n%!"
+      best fiber_floor_per_thread;
+    exit 1
+  end;
+  (* Fiber thread sweep: constant per-worker load (one rep per point, for
+     the record, not a gate). *)
+  let sweep_points =
+    List.map
+      (fun t ->
+        let cfg =
+          {
+            config with
+            CL.num_workers = t;
+            roots_per_worker = 400;
+            seed = 42;
+          }
+        in
+        let r = run_once cfg in
+        (t, r.CL.metrics.M.fibers, per_thread r))
+      [ 1; 2; 4; 8 ]
+  in
+  List.iter
+    (fun (t, fibers, per) ->
+      Printf.printf
+        "perf-check real fibers sweep: T=%-2d %7d fibers %.0f \
+         fibers/thread/s\n%!"
+        t fibers per)
+    sweep_points;
+  Report.Obj
+    [
+      ("backend", Report.String "real");
+      ("impl", Report.String knob_spec);
+      ("workers", Report.Int fiber_workers);
+      ("fiber_fanout", Report.Int fiber_fanout);
+      ("roots_per_worker", Report.Int fiber_roots);
+      ("fibers", Report.Int fibers_expected);
+      ("reps", Report.Int reps);
+      ("fibers_per_thread_per_sec_best", Report.Float best);
+      ("floor_fibers_per_thread_per_sec", Report.Float fiber_floor_per_thread);
+      ("steal_attempts", Report.Int !steal_attempts);
+      ("steals", Report.Int !steals);
+      ("steal_success_rate", Report.Float steal_rate);
+      ( "thread_sweep",
+        Report.List
+          (List.map
+             (fun (t, fibers, per) ->
+               Report.Obj
+                 [
+                   ("threads", Report.Int t);
+                   ("fibers", Report.Int fibers);
+                   ("fibers_per_thread_per_sec", Report.Float per);
+                 ])
+             sweep_points) );
+    ]
+
 (* Algorithmic flatness on the simulator (deterministic): per-thread
    throughput at T = 16 must hold >= 85% of T = 8 on the tuned spec.  The
    simulator charges contention through its MESI-style cost model, so a
@@ -420,6 +564,7 @@ let () =
   let real = real_section () in
   let real_sharded = real_sharded_section () in
   let real_knobs = real_knobs_section () in
+  let real_fibers = real_fibers_section () in
   let sim = sim_section () in
   let sim_sharded = sharded_sim_section () in
   let sim_scaling = sim_scaling_section () in
@@ -432,6 +577,7 @@ let () =
          ("real", real);
          ("real_sharded", real_sharded);
          ("real_knobs", real_knobs);
+         ("real_fibers", real_fibers);
          ("sim", sim);
          ("sim_sharded", sim_sharded);
          ("sim_scaling", sim_scaling);

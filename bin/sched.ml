@@ -5,7 +5,14 @@
      sched --queue klsm:256 --queue multiq:2 --queue linden --threads 8
      sched --arrival open:50000 --service exp:64 --capacity 512
      sched --fanout 2 --depth 3 --tasks 50 --mode real
+     sched --fibers 8 --tasks 2000 --mode real   # fiber-tree bodies
      sched --stats --queue klsm:256     # + per-thread internal counters
+
+   --fibers F makes every task body fork and join F child fibers (the
+   sched:fibers=<F> spec form; lib/sched runs each body as the root fiber
+   of a work-stealing deque runtime), so F is the oversubscription knob:
+   domains stay bounded by --threads while the in-flight computation count
+   scales with tasks * (1 + F).
 
    Runs the closed/open-loop workload driver over each requested queue and
    reports throughput, queueing delay (mean/p99), dequeue slack — the
@@ -30,10 +37,26 @@ let parse_service s =
   | _ -> failwith ("unknown service distribution " ^ s ^ " (fixed:N | uniform:N | exp:MEAN)")
 
 let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
-    ~depth ~batch ~margin ~capacity ~seed ~stats =
+    ~depth ~fibers ~batch ~margin ~capacity ~seed ~stats ~oversubscribe =
   (* Must happen before any queue is created: lib/obs latches the flag at
      sheet creation. *)
   if stats then Klsm_obs.Obs.set_enabled true;
+  (* Domains are not threads: running more workers than cores just
+     timeslices whole domains (and their GC) against each other.  On the
+     real backend, refuse the silent oversubscription — fibers are the
+     oversubscription mechanism now (--fibers). *)
+  let threads =
+    let recommended = Domain.recommended_domain_count () in
+    if mode = `Real && threads > recommended && not oversubscribe then begin
+      Printf.eprintf
+        "sched: --threads %d exceeds recommended_domain_count (%d); \
+         clamping to %d.  Use --fibers to oversubscribe with lightweight \
+         fibers instead of domains, or --oversubscribe to force.\n%!"
+        threads recommended recommended;
+      recommended
+    end
+    else threads
+  in
   let module Go (B : Klsm_backend.Backend_intf.S) = struct
     module CL = Klsm_sched.Closed_loop.Make (B)
     module Report = Klsm_harness.Report
@@ -48,6 +71,15 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
               | Ok spec -> spec
               | Error msg -> failwith msg)
             l
+
+    (* The fiber knob travels as a canonical spec string and back through
+       the Registry parser, so the CLI, bench and docs all agree on the
+       sched:fibers=<F> form. *)
+    let sched_cfg =
+      let spec = Printf.sprintf "sched:fibers=%d" (max 0 fibers) in
+      match CL.Registry.parse_sched_spec spec with
+      | Ok c -> c
+      | Error msg -> failwith msg
 
     let config =
       {
@@ -68,6 +100,7 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
           | None -> failwith ("unknown workload " ^ workload));
         spawn_fanout = fanout;
         spawn_depth = depth;
+        fiber_fanout = sched_cfg.CL.Registry.fibers;
         batch;
         urgency_margin = margin;
         capacity;
@@ -84,7 +117,8 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
           (fun spec ->
             let r = CL.run config spec in
             measured := !measured @ [ (spec, r) ];
-            if r.CL.lost > 0 || r.CL.double > 0 then incr failures;
+            if r.CL.lost > 0 || r.CL.double > 0 || r.CL.fiber_lost <> 0 then
+              incr failures;
             let m = r.CL.metrics in
             let fmean = function
               | Some (s : Klsm_primitives.Stats.summary) -> s.mean
@@ -103,6 +137,8 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
               string_of_int m.Klsm_sched.Metrics.flushes;
               string_of_int m.Klsm_sched.Metrics.rejected;
               string_of_int r.CL.peak_inflight;
+              string_of_int m.Klsm_sched.Metrics.fibers;
+              string_of_int m.Klsm_sched.Metrics.steals;
               Printf.sprintf "%d/%d" r.CL.lost r.CL.double;
             ])
           specs
@@ -110,8 +146,10 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
       Report.section
         (Printf.sprintf
            "Scheduler: %d workers, %d roots/worker, %s arrivals, %s service, \
-            backend %s"
-           threads tasks arrival service B.name);
+            %s, backend %s"
+           threads tasks arrival service
+           (CL.Registry.sched_spec_name sched_cfg)
+           B.name);
       Report.table
         ~header:
           [
@@ -127,6 +165,8 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
             "flushes";
             "rejected";
             "peak";
+            "fibers";
+            "steals";
             "lost/dup";
           ]
         rows;
@@ -140,7 +180,8 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
               r.CL.sched_stats)
           !measured;
       if !failures > 0 then begin
-        Printf.eprintf "FAILURE: tasks lost or double-executed\n";
+        Printf.eprintf
+          "FAILURE: tasks lost, double-executed, or fibers leaked\n";
         exit 1
       end
   end in
@@ -197,6 +238,22 @@ let fanout =
 let depth =
   Arg.(value & opt int 0 & info [ "depth" ] ~doc:"Spawn recursion depth.")
 
+let fibers =
+  Arg.(
+    value & opt int 0
+    & info [ "fibers" ]
+        ~doc:
+          "Child fibers forked and joined per task body (the \
+           sched:fibers=F spec form).  0 = straight-line bodies.")
+
+let oversubscribe =
+  Arg.(
+    value & flag
+    & info [ "oversubscribe" ]
+        ~doc:
+          "Allow --threads above Domain.recommended_domain_count on the \
+           real backend (normally clamped with a warning; prefer --fibers).")
+
 let batch =
   Arg.(value & opt int 16 & info [ "batch" ] ~doc:"Submitter buffer size.")
 
@@ -226,10 +283,12 @@ let cmd =
   Cmd.v (Cmd.info "sched" ~doc)
     Term.(
       const (fun mode queues threads tasks arrival service workload fanout
-                 depth batch margin capacity seed stats ->
+                 depth fibers batch margin capacity seed stats oversubscribe ->
           run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload
-            ~fanout ~depth ~batch ~margin ~capacity ~seed ~stats)
+            ~fanout ~depth ~fibers ~batch ~margin ~capacity ~seed ~stats
+            ~oversubscribe)
       $ mode $ queues $ threads $ tasks $ arrival $ service $ workload $ fanout
-      $ depth $ batch $ margin $ capacity $ seed $ stats)
+      $ depth $ fibers $ batch $ margin $ capacity $ seed $ stats
+      $ oversubscribe)
 
 let () = exit (Cmd.eval cmd)

@@ -30,6 +30,7 @@ let () =
       priorities =
         Klsm_harness.Workload.Clustered
           { clusters = 8; spread = 1024; range = 1 lsl 20 };
+      fiber_fanout = 0;
       spawn_fanout = 1;
       (* each request spawns one follow-up task *)
       spawn_depth = 1;

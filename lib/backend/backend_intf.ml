@@ -67,6 +67,13 @@ module type S = sig
       concurrently to completion.  Exceptions in any thread abort the run
       and are re-raised. *)
 
+  val self : unit -> int
+  (** Index of the executing thread inside [parallel_run] ([-1] outside).
+      This is the {e dynamic} identity — on {!Sim} all virtual threads
+      share one domain, so thread-local state keyed by anything coarser
+      (e.g. [Domain.DLS]) is shared across them and must not be used for
+      per-thread ownership. *)
+
   val time : unit -> float
   (** Seconds.  On {!Real}, a monotonic wall clock.  On {!Sim}, the calling
       thread's virtual clock inside [parallel_run]; outside, a global clock

@@ -29,13 +29,26 @@ let fault_point _ = ()
 
 exception Thread_failure of int * exn
 
+(* One worker per domain, so domain-local storage is the right carrier for
+   the dynamic thread index (unlike on Sim, where every virtual thread
+   shares one domain and [self] must come from the scheduler). *)
+let self_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+let self () = Domain.DLS.get self_key
+
 let parallel_run ~num_threads body =
   if num_threads < 1 then invalid_arg "parallel_run: num_threads < 1";
-  if num_threads = 1 then body 0
+  let wrap tid () =
+    let saved = Domain.DLS.get self_key in
+    Domain.DLS.set self_key tid;
+    let r = try Ok (body tid) with e -> Error (tid, e) in
+    Domain.DLS.set self_key saved;
+    r
+  in
+  if num_threads = 1 then
+    match wrap 0 () with Ok () -> () | Error (tid, e) -> raise (Thread_failure (tid, e))
   else begin
     (* Thread 0 runs on the calling domain so that [parallel_run] composes
        with callers that already hold per-run state on the current stack. *)
-    let wrap tid () = try Ok (body tid) with e -> Error (tid, e) in
     let domains =
       Array.init (num_threads - 1) (fun i -> Domain.spawn (wrap (i + 1)))
     in

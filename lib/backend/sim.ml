@@ -173,6 +173,11 @@ let set_fault_hook h = fault_hook := h
 (** Executing thread's id inside [parallel_run]; [-1] outside. *)
 let current_tid () = match !state with Some s -> s.current | None -> -1
 
+(** [Backend_intf.S.self]: the dynamic thread identity.  All virtual
+    threads share one domain here, which is exactly why the interface
+    offers this instead of letting clients reach for [Domain.DLS]. *)
+let self = current_tid
+
 (** Make the calling thread's next [compare_and_set] fail as if another
     thread had won the race (charged and recorded as an ordinary CAS
     failure).  Only meaningful inside [parallel_run]. *)

@@ -84,6 +84,8 @@ let sites =
     "store.recover";
     "sched.execute.post_lease";
     "sched.execute.pre_complete";
+    "sched.steal";
+    "sched.fiber.resume";
   ]
 
 (** The I/O operation sites of the {!Vfs} seam (docs/CHAOS.md).  These are

@@ -577,7 +577,7 @@ let chaos_robust =
     run_deadline = 2e-2;
   }
 
-let sched_case ~seed ~threads ~roots plan =
+let sched_case ?(fiber_fanout = 2) ~seed ~threads ~roots plan =
   Sim.configure ~seed ();
   let plan_text = Chaos.plan_to_string plan in
   let violations = ref [] in
@@ -596,6 +596,9 @@ let sched_case ~seed ~threads ~roots plan =
              capacity = 256;
              seed;
              robust = chaos_robust;
+             (* Fibered bodies so the steal/resume fault sites are live:
+                every root forks children its workers can steal. *)
+             fiber_fanout;
            }
            (CL.Registry.Klsm 8))
     with e -> Error e
@@ -672,6 +675,11 @@ let sched_case ~seed ~threads ~roots plan =
             ("late_completions",
              r.CL.metrics.Klsm_sched.Metrics.late_completions);
             ("double_deliveries", r.CL.double);
+            (* > 0 under crashes is the expected signature: a killed
+               worker's fibers never finish, and recovery re-runs their
+               attempt with fresh ones. *)
+            ("fibers_lost", r.CL.fiber_lost);
+            ("steals", r.CL.metrics.Klsm_sched.Metrics.steals);
           ];
       }
 
@@ -793,6 +801,30 @@ let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
         @ [ Chaos.rule ~hit:1 "sharded.resize" Chaos.Cas_fail ]);
     ]
 
+(** Fixed scheduler plans aimed at the fiber runtime's two crash windows
+    (docs/CHAOS.md):
+
+    - a kill {e between steal and resume}: worker 1 wins the steal CAS on
+      a victim's fiber and dies before running it — the fiber is gone
+      from every deque, so recovery {e must} come from the lease (the
+      attempt's live-fiber counter never reaches zero, the lease expires,
+      a fresh attempt re-runs the whole body) and completion must stay
+      exactly-once;
+    - a kill {e at a fiber resumption}: the finisher of an awaited fiber
+      dies exactly as it resumes the parked waiter, taking both fibers'
+      progress down mid-task;
+    - a stall between steal and resume: the stolen fiber is invisible to
+      everyone for 40 cost units while its task's lease keeps ticking —
+      the late-completion path must absorb the re-lease race. *)
+let sched_targeted ~threads ~roots ~seed0 =
+  [
+    [ Chaos.rule ~tid:1 ~hit:1 "sched.steal" Chaos.Crash ];
+    [ Chaos.rule ~tid:2 ~hit:2 "sched.fiber.resume" Chaos.Crash ];
+    [ Chaos.rule ~tid:1 ~hit:1 "sched.steal" (Chaos.Stall 40) ];
+  ]
+  |> List.mapi (fun i plan ->
+         sched_case ~fiber_fanout:3 ~seed:(seed0 + i) ~threads ~roots plan)
+
 (** Fixed spill-tier plans (the ISSUE's kill-and-restart acceptance bar),
     every one followed by a full process-death + {!Spill.recover} cycle:
 
@@ -816,13 +848,15 @@ let store_targeted ~threads ~per_thread ~k ~seed0 =
            plan)
 
 (** Run [seeds] random cases starting at [seed0] (queue / sharded-queue /
-    scheduler rotation), then the fixed sharded-queue plans, then the
-    fixed store kill-and-restart plans. *)
+    scheduler rotation), then the fixed sharded-queue plans, the fixed
+    steal/resume crash plans, then the fixed store kill-and-restart
+    plans. *)
 let sweep ?(seed0 = 0xC4A05) ?(threads = 4) ?(per_thread = 400) ?(roots = 60)
     ?(k = 8) ~seeds () =
   List.init seeds (fun i ->
       case_for ~threads ~per_thread ~roots ~k i (seed0 + i))
   @ sharded_targeted ~threads ~per_thread ~k ~shards:2 ~seed0:(seed0 + seeds)
+  @ sched_targeted ~threads ~roots ~seed0:(seed0 + seeds + 8)
   @ store_targeted ~threads ~per_thread ~k ~seed0:(seed0 + seeds + 16)
 
 (* ------------------------------------------------------------------ *)

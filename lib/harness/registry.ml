@@ -445,6 +445,41 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** [parse_spec_opt] is {!parse_spec} with errors collapsed to [None]. *)
   let parse_spec_opt s = Result.to_option (parse_spec s)
 
+  (** Scheduler-runtime spec — not a queue.  ["sched"] or
+      ["sched:fibers=<F>"] configures the fiber layer of lib/sched that
+      sits {e on top of} whichever queue spec a run uses: [fibers] is the
+      number of child fibers each task body forks and joins
+      ([Closed_loop.config.fiber_fanout]; 0 = straight-line bodies).
+      Shared by [bin/sched.exe --fibers] and the bench scheduler section
+      so both speak the same string form. *)
+  type sched_cfg = { fibers : int }
+
+  let default_sched_cfg = { fibers = 0 }
+
+  let sched_spec_name c =
+    if c.fibers <= 0 then "sched" else Printf.sprintf "sched:fibers=%d" c.fibers
+
+  let parse_sched_spec s =
+    match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+    | [ "sched" ] -> Ok default_sched_cfg
+    | [ "sched"; kv ] -> (
+        match String.index_opt kv '=' with
+        | Some i when String.equal (String.sub kv 0 i) "fibers" -> (
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            match int_of_string_opt v with
+            | Some f when f >= 0 -> Ok { fibers = f }
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "%S: fibers wants a non-negative integer, got %S" s v))
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "%S: unknown scheduler knob %S (want sched[:fibers=<F>])" s kv))
+    | _ ->
+        Error
+          (Printf.sprintf "%S: not a scheduler spec (want sched[:fibers=<F>])" s)
+
   (** The canonical spec grammar, one [(form, example)] row per accepted
       shape.  This list is the single source of truth for README.md's spec
       table: [bin/docscheck.ml] asserts every form string appears verbatim

@@ -1,0 +1,117 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA'05), over abstract
+   atomic cells so the same code runs on Real (Stdlib.Atomic) and Sim
+   (cost-charged virtual atomics).
+
+   Invariants, with [top <= bottom] up to the transient owner states:
+   - slots [top, bottom) hold live items;
+   - only the owner writes [bottom] and buffer slots;
+   - [top] only moves forward, and only by a successful CAS (a thief, or
+     the owner racing for the last item), so a thief that read slot [t]
+     and then wins [CAS top t (t+1)] knows the owner cannot have recycled
+     that slot in between: recycling index [t] requires [top > t] first,
+     which would make the CAS fail.
+
+   OCaml atomics are sequentially consistent, so the fence the C11
+   formulation needs between the owner's [bottom] store and [top] load in
+   [pop] is implicit. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+end
+
+module Make (A : ATOMIC) = struct
+  type 'a buf = { mask : int; slots : 'a option A.t array }
+
+  type 'a t = {
+    top : int A.t;  (* oldest live index; thieves CAS it forward *)
+    bottom : int A.t;  (* next free index; owner-only writes *)
+    buf : 'a buf A.t;  (* owner grows and republishes *)
+  }
+
+  let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+  let fresh_buf size =
+    { mask = size - 1; slots = Array.init size (fun _ -> A.make None) }
+
+  let create ?(capacity = 16) () =
+    let size = pow2 (max 2 capacity) 2 in
+    (* top and bottom on their own cache lines: the owner hammers bottom
+       on every push/pop and thieves hammer top; sharing a line would put
+       both on every coherence miss. *)
+    {
+      top = Padded.copy_as_padded (A.make 0);
+      bottom = Padded.copy_as_padded (A.make 0);
+      buf = A.make (fresh_buf size);
+    }
+
+  let slot_get b i =
+    match A.get b.slots.(i land b.mask) with
+    | Some x -> x
+    | None -> assert false (* slots in [top, bottom) are always written *)
+
+  (* Owner only; called with the live range [t, b).  Copies into a buffer
+     twice the size and republishes it.  Thieves holding the old buffer
+     stay correct: the old slots for [t, b) are never overwritten again
+     (the owner writes only the new buffer from here on). *)
+  let grow q bf ~t ~b =
+    let size = (bf.mask + 1) * 2 in
+    let nbf = fresh_buf size in
+    for i = t to b - 1 do
+      A.set nbf.slots.(i land nbf.mask) (A.get bf.slots.(i land bf.mask))
+    done;
+    A.set q.buf nbf;
+    nbf
+
+  let push q x =
+    let b = A.get q.bottom in
+    let t = A.get q.top in
+    let bf = A.get q.buf in
+    let bf = if b - t > bf.mask then grow q bf ~t ~b else bf in
+    A.set bf.slots.(b land bf.mask) (Some x);
+    A.set q.bottom (b + 1)
+
+  let pop q =
+    let b = A.get q.bottom - 1 in
+    let bf = A.get q.buf in
+    A.set q.bottom b;
+    let t = A.get q.top in
+    if b < t then begin
+      (* already empty: undo the speculative decrement *)
+      A.set q.bottom t;
+      None
+    end
+    else if b > t then Some (slot_get bf b)
+    else begin
+      (* single item left: race thieves for it via top *)
+      let won = A.compare_and_set q.top t (t + 1) in
+      A.set q.bottom (t + 1);
+      if won then Some (slot_get bf b) else None
+    end
+
+  let steal q =
+    let t = A.get q.top in
+    let b = A.get q.bottom in
+    if t >= b then `Empty
+    else begin
+      let bf = A.get q.buf in
+      (* Read the slot before the CAS: winning the CAS certifies the read
+         (see the header invariant); losing it discards the value.  The
+         buffer read is newer than the index reads, so a grow that raced
+         in between may have dropped index [t] from the copy ([top] moved
+         past it first) — that surfaces as an empty slot and the CAS below
+         would fail anyway. *)
+      match A.get bf.slots.(t land bf.mask) with
+      | None -> `Race
+      | Some x -> if A.compare_and_set q.top t (t + 1) then `Stolen x else `Race
+    end
+
+  let size q =
+    let b = A.get q.bottom in
+    let t = A.get q.top in
+    max 0 (b - t)
+end

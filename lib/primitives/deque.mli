@@ -1,0 +1,47 @@
+(** Chase–Lev work-stealing deque (CL05), functorized over an atomic-cell
+    implementation so one code path serves both backends.
+
+    The owner treats the deque as a LIFO stack ([push]/[pop] at the
+    bottom); thieves take the {e oldest} item ([steal] at the top, FIFO),
+    so stolen work is the work the owner is least likely to touch soon —
+    the classic depth-first-local / breadth-first-steal split of Cilk-style
+    schedulers.  Only [steal] and the last-item [pop] race; both are
+    resolved by a single CAS on [top].
+
+    The [top] and [bottom] indices live on separate cache lines
+    ({!Padded.copy_as_padded}) so the owner's bottom traffic does not
+    evict every thief's cached top.  The circular buffer grows
+    geometrically and is published through an atomic so thieves always
+    read a consistent (buffer, top) pair. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+end
+
+module Make (_ : ATOMIC) : sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] is the initial buffer size (rounded up to a power of two,
+      default 16); the deque grows without bound as needed. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Owner only: push at the bottom. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only: pop the most recently pushed item (LIFO).  [None] when
+      empty or when a thief won the race for the last item. *)
+
+  val steal : 'a t -> [ `Stolen of 'a | `Empty | `Race ]
+  (** Any thread: take the oldest item (FIFO).  [`Race] means another
+      thief (or the owner, on the last item) interfered — the deque may
+      still be non-empty, retry if desired. *)
+
+  val size : 'a t -> int
+  (** Racy snapshot of [bottom - top]; >= 0. *)
+end

@@ -52,6 +52,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     priorities : Workload.t;  (** key distribution for task priorities *)
     spawn_fanout : int;  (** children per task, 0 = no spawning *)
     spawn_depth : int;  (** spawn recursion depth below each root *)
+    fiber_fanout : int;
+        (** child fibers forked (and awaited) per task body, 0 = the
+            legacy straight-line body.  Each task then runs as
+            [1 + fiber_fanout] fibers sharing its service demand, with
+            odd-indexed children yielding once mid-work — the knob the
+            [sched:fibers=<F>] spec form sets *)
     batch : int;  (** submitter buffer size *)
     urgency_margin : int;  (** submitter priority-inversion flush margin *)
     capacity : int;  (** admission bound on in-flight tasks *)
@@ -74,6 +80,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       priorities = Workload.Uniform (1 lsl 20);
       spawn_fanout = 0;
       spawn_depth = 0;
+      fiber_fanout = 0;
       batch = 16;
       urgency_margin = 512;
       capacity = 4096;
@@ -103,17 +110,46 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     | Exponential mean ->
         max 1 (int_of_float (-.mean *. log (1.0 -. Xoshiro.float rng)))
 
-  (* The task body: consume [ticks] units of (virtual) service time, then
-     spawn the next layer of the tree.  Child priorities and demands derive
-     only from the parent's, so the tree is schedule-independent. *)
+  (* The task body: consume [ticks] units of (virtual) service time —
+     straight-line, or exploded into a fiber tree when [fiber_fanout] > 0 —
+     then spawn the next layer of the task tree.  Child priorities and
+     demands derive only from the parent's, and fibers are forked and
+     awaited in a fixed order, so the workload replays identically
+     regardless of which worker (or thief) executes what. *)
   let rec make_body cfg ~depth ~priority ~ticks =
     Task.Body
-      (fun ~spawn ->
-        B.tick ticks;
+      (fun api ->
+        if cfg.fiber_fanout > 0 then begin
+          (* Fork the children in index order, then join them in index
+             order and check each value, so a mis-routed resumption
+             cannot go unnoticed.  Odd children yield once mid-work to
+             exercise the suspend/requeue/steal surface. *)
+          let share = max 1 (ticks / cfg.fiber_fanout) in
+          let kids =
+            let rec build i acc =
+              if i >= cfg.fiber_fanout then List.rev acc
+              else
+                let kid =
+                  api.Task.fork (fun () ->
+                      if i land 1 = 1 then api.Task.yield ();
+                      B.tick share;
+                      priority + i)
+                in
+                build (i + 1) (kid :: acc)
+            in
+            build 0 []
+          in
+          List.iteri
+            (fun i f ->
+              if api.Task.await f <> priority + i then
+                failwith "Closed_loop: fiber tree joined to the wrong value")
+            kids
+        end
+        else B.tick ticks;
         if depth > 0 then
           for i = 1 to cfg.spawn_fanout do
             let child_priority = priority + i in
-            spawn ~priority:child_priority
+            api.Task.spawn ~priority:child_priority
               (make_body cfg ~depth:(depth - 1) ~priority:child_priority
                  ~ticks:(max 1 (ticks / 2)))
           done)
@@ -141,6 +177,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     leftovers : (int * string) list;
         (** unresolved (id, state) pairs after a drain or give-up *)
     gave_up : bool;  (** the run hit [robust.run_deadline]; must be false *)
+    fiber_lost : int;
+        (** fibers created minus fiber thunks finished, summed over
+            workers — the per-fiber exactly-once audit.  Must be 0 in a
+            fault-free run; under injected crashes a positive value is
+            the expected signature of fibers that died with their worker
+            (the task-level lease machinery re-ran them) *)
     queue_stats : Obs.snapshot;
         (** the queue's internal counters (Pq_intf.stats; lib/obs) *)
     sched_stats : Obs.snapshot;
@@ -180,8 +222,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         in
         let obs = Obs.handle sched_obs ~tid in
         let ctx =
-          Worker.make_ctx ~obs ~pool ~tid ~sub ~pop:h.Registry.try_delete_min
-            ~metrics:metrics.(tid) ()
+          Worker.make_ctx ~obs ~steal_seed:(config.seed + (6271 * tid)) ~pool
+            ~tid ~sub ~pop:h.Registry.try_delete_min ~metrics:metrics.(tid) ()
         in
         let rng = Xoshiro.create ~seed:(config.seed + (7919 * tid)) in
         let next_priority = Workload.generator config.priorities rng in
@@ -275,6 +317,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       shed = summary.Metrics.shed;
       leftovers = Worker.leftovers pool;
       gave_up = Worker.gave_up pool;
+      fiber_lost = summary.Metrics.fibers - summary.Metrics.fibers_completed;
       queue_stats = instance.Registry.stats ();
       sched_stats = Obs.snapshot sched_obs;
     }

@@ -56,6 +56,17 @@ type worker = {
       (** bodies that finished after the task's fate was sealed elsewhere *)
   mutable worker_deaths : int;  (** peers this worker declared dead *)
   mutable sweeps : int;  (** supervision passes over the task table *)
+  mutable fibers : int;  (** fibers this worker created (roots + forks) *)
+  mutable fibers_completed : int;
+      (** fiber thunks that finished on this worker — equals the summed
+          [fibers] after a fault-free run (per-fiber exactly-once) *)
+  mutable fiber_suspends : int;  (** awaits/yields that actually parked *)
+  mutable fiber_resumes : int;  (** parked fibers continued by this worker *)
+  mutable steal_attempts : int;  (** Deque.steal calls on victims *)
+  mutable steals : int;  (** attempts that took a fiber *)
+  mutable steal_fallbacks : int;
+      (** scheduling steps that found deque and victims dry and fell back
+          to the shared queue's delete-min *)
   delays : series;  (** queueing delay per executed task, seconds *)
   slacks : series;  (** dequeue priority inversion per task, key units *)
 }
@@ -78,6 +89,13 @@ let fresh_worker () =
     late_completions = 0;
     worker_deaths = 0;
     sweeps = 0;
+    fibers = 0;
+    fibers_completed = 0;
+    fiber_suspends = 0;
+    fiber_resumes = 0;
+    steal_attempts = 0;
+    steals = 0;
+    steal_fallbacks = 0;
     delays = series ();
     slacks = series ();
   }
@@ -101,6 +119,13 @@ type summary = {
   late_completions : int;
   worker_deaths : int;
   sweeps : int;
+  fibers : int;
+  fibers_completed : int;
+  fiber_suspends : int;
+  fiber_resumes : int;
+  steal_attempts : int;
+  steals : int;
+  steal_fallbacks : int;
   delay : Stats.summary option;  (** [None] when nothing executed *)
   delay_p99 : float;
   slack : Stats.summary option;
@@ -134,6 +159,13 @@ let summarize (workers : worker array) =
     late_completions = sum (fun w -> w.late_completions);
     worker_deaths = sum (fun w -> w.worker_deaths);
     sweeps = sum (fun w -> w.sweeps);
+    fibers = sum (fun w -> w.fibers);
+    fibers_completed = sum (fun w -> w.fibers_completed);
+    fiber_suspends = sum (fun w -> w.fiber_suspends);
+    fiber_resumes = sum (fun w -> w.fiber_resumes);
+    steal_attempts = sum (fun w -> w.steal_attempts);
+    steals = sum (fun w -> w.steals);
+    steal_fallbacks = sum (fun w -> w.steal_fallbacks);
     delay = opt_summary delays;
     delay_p99 = p99 delays;
     slack = opt_summary slacks;

@@ -28,15 +28,41 @@
     delivers the same task twice loses the [try_lease] race and executes
     nothing.
 
-    Tasks may spawn tasks (the Pheet pattern): a body receives a [spawn]
-    callback wired by the executing worker to its own submission path, so
-    children inherit the batching/backpressure machinery of the parent's
-    thread. *)
+    Tasks may spawn tasks (the Pheet pattern): a body receives an {!api}
+    record wired by the executing worker, so children inherit the
+    batching/backpressure machinery of whichever thread runs the parent.
+
+    {2 Fibers}
+
+    A task body runs as the {e root fiber} of its lease attempt
+    ({!Fiber}): besides [spawn] (a new task, through the queue) the {!api}
+    offers [fork] (a child {e fiber}, pushed to the executing worker's
+    own deque — never through the shared queue), [await] (block this
+    fiber until a forked fiber finishes; {!Worker} resumes it exactly
+    once) and [yield] (cooperative reschedule, the shape a fiber blocked
+    on a spilled-block fetch uses).  A task completes when {e all} fibers
+    of its attempt have finished — exactly-once accounting is asserted
+    per-fiber, not just per-body. *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
+  module Fiber = Fiber.Make (B)
+
   (** A task body.  The wrapper type breaks the recursion between "a body"
       and "the spawn callback that accepts bodies". *)
-  type body = Body of (spawn:(priority:int -> body -> unit) -> unit)
+  type body = Body of (api -> unit)
+
+  (** The capabilities a body receives from its executing worker. *)
+  and api = {
+    spawn : priority:int -> body -> unit;
+        (** a new {e task}, through admission + the shared queue *)
+    fork : 'a. (unit -> 'a) -> 'a Fiber.t;
+        (** a child {e fiber} of this task's attempt, pushed to the
+            current worker's deque (stealable by idle peers) *)
+    await : 'a. 'a Fiber.t -> 'a;
+        (** park this fiber until that one finishes; re-raises its
+            exception *)
+    yield : unit -> unit;  (** cooperative reschedule point *)
+  }
 
   (** Execution state; the [int] is the number of lease attempts so far. *)
   type status =
@@ -75,10 +101,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       finished_at = nan;
     }
 
-  (** Lift a plain closure into a non-spawning body. *)
-  let fn f = Body (fun ~spawn:_ -> f ())
+  (** Lift a plain closure into a non-spawning, non-forking body. *)
+  let fn f = Body (fun _ -> f ())
 
-  let noop = Body (fun ~spawn:_ -> ())
+  let noop = Body (fun _ -> ())
 
   let status t = B.get t.status
 
@@ -190,7 +216,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Seconds between submission and completion. *)
   let response_time t = t.finished_at -. t.enqueued_at
 
-  let run t ~spawn =
+  let run t api =
     let (Body f) = t.body in
-    f ~spawn
+    f api
 end

@@ -1,62 +1,87 @@
-(** Worker loops: the execution layer of the scheduler.
+(** Worker loops: the execution layer of the scheduler, rebuilt on
+    fibers and work-stealing deques.
 
     A pool is one scheduling run's shared state — the task table, the
-    in-flight accounting, the completion log, and (when a {!robust}
-    configuration enables them) the supervision structures.  Each
-    participating thread builds a {!ctx} around its queue handle and runs
-    {!run}, which interleaves four duties:
+    in-flight accounting, the completion log, the per-worker
+    work-stealing deques, and (when a {!robust} configuration enables
+    them) the supervision structures.  Each participating thread builds a
+    {!ctx} around its queue handle and runs {!run}, which interleaves
+    five duties:
 
     + admitting new root tasks from an arrival source (with backpressure:
       a rejected arrival is retried after serving, never busy-waited on —
       and with load shedding: a full task table refuses admission with
       [`Overflow] instead of killing the worker);
-    + popping task ids from the priority queue and executing their bodies
-      under a {e lease} ({!Task.try_lease}), wiring the [spawn] callback so
-      tasks can spawn tasks (the Pheet pattern) through the executing
-      worker's own batched submitter;
-    + degrading gracefully when the queue runs dry: the worker first
-      flushes its own submission buffer (the only place remaining work can
-      hide from other threads), relying on the k-LSM's own spy/steal path
-      for work sitting in other threads' DistLSMs, and backs off before
-      re-polling so an idle worker does not saturate the shared components;
+    + draining its own deque LIFO: every task body runs as the root
+      {!Fiber} of its lease attempt, and fibers it forks (plus fibers it
+      yields) land on the executing worker's deque, so the cache-hot,
+      most-recently-created work is served first without touching the
+      shared queue at all;
+    + when the deque is dry, stealing FIFO from a random victim's deque —
+      the {e oldest} fiber, the one the owner is least likely to come
+      back to — {e before} falling back to the shared k-LSM;
+    + only then popping a fresh task id from the priority queue and
+      leasing it ({!Task.try_lease}).  The shared component alone decides
+      {e which task starts next} (so the k-LSM's rank bound still governs
+      priority order); the deques only absorb the churn of the short-lived
+      fibers a started task explodes into;
     + {b supervising} (robust mode): on dry rounds the worker heartbeat-
-      checks its peers, declares silent ones dead (so termination does not
-      wait for a crashed fiber's arrivals), expires overdue leases into
-      parked retries or the dead-letter queue, re-enqueues parked tasks
-      whose backoff elapsed, and — after a persistent idle streak —
-      re-enqueues [Pending] tasks wholesale, recovering ids lost inside a
-      crashed worker's unflushed submission buffer.  Re-enqueueing is
-      always safe: a duplicate delivery loses the lease CAS and executes
-      nothing.
+      checks its peers, declares silent ones dead, expires overdue leases
+      into parked retries or the dead-letter queue, re-enqueues parked
+      tasks whose backoff elapsed, and — after a persistent idle streak —
+      re-enqueues [Pending] tasks wholesale.  Re-enqueueing is always
+      safe: a duplicate delivery loses the lease CAS and executes nothing.
+
+    {2 Per-fiber exactly-once}
+
+    A lease attempt owns a padded live-fiber counter, starting at 1 for
+    the root; [fork] increments it, every fiber decrements it when its
+    thunk finishes, and whichever worker drives it to zero {e seals} the
+    attempt — the [try_complete] CAS, the completion-log append, the
+    in-flight release.  Sealing therefore happens exactly once per task
+    even though its fibers ran on many workers, and a crashed worker
+    (whose stolen fiber died with it) simply never drives the counter to
+    zero: the lease expires and a fresh attempt gets a fresh counter, so
+    orphaned fibers of the dead attempt can never double-complete the
+    task.
 
     Termination is exact, not heuristic: a worker exits only when every
     arrival source has finished {e and} the in-flight counter is zero.
-    The counter is incremented before a task becomes visible and
-    decremented only after the task's fate is sealed (completed or
-    dead-lettered), so "0" proves resolution of everything ever admitted.
-    Under fault injection two escape hatches bound the wait: a crashed
-    peer's source is closed by supervision, and a [run_deadline] turns a
-    run that stopped making progress into an explicit give-up
-    ({!gave_up}) rather than a hang — the "bounded virtual-time progress"
-    the chaos suite asserts.
+    Fibers cannot be stranded by that rule — an unfinished fiber keeps
+    its task unsealed, hence in flight, hence some worker serving.
 
-    Determinism: under [Sim.Fair] with a fixed seed the whole loop — pops,
-    leases, completion-log appends — is a deterministic function of the
-    virtual schedule, which is what makes same-seed runs byte-identical
-    (asserted by [test/test_sched.ml]). *)
+    Determinism: under [Sim.Fair] with a fixed seed the whole loop —
+    pops, leases, steals (victims come from a per-worker seeded stream),
+    fiber resumptions, completion-log appends — is a deterministic
+    function of the virtual schedule, which is what makes same-seed runs
+    byte-identical (asserted by [test/test_sched.ml]). *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Task = Task.Make (B)
+  module Fiber = Task.Fiber
   module Submitter = Submitter.Make (B)
   module Backoff = Klsm_primitives.Backoff
   module Xoshiro = Klsm_primitives.Xoshiro
+  module Padded = Klsm_primitives.Padded
   module Obs = Klsm_obs.Obs
+
+  module Deque = Klsm_primitives.Deque.Make (struct
+    type 'a t = 'a B.atomic
+
+    let make = B.make
+    let get = B.get
+    let set = B.set
+    let compare_and_set = B.compare_and_set
+  end)
 
   (* Observability (lib/obs; docs/METRICS.md).  These double the
      always-on {!Metrics} fields into the shared counter namespace so one
      BENCH_stats.json carries queue internals and scheduler behaviour
      side by side; [sched.flush]/[sched.urgent_flush] are folded in from
-     the submitter after the run (see {!Closed_loop}). *)
+     the submitter after the run (see {!Closed_loop}).  The fiber-side
+     counters [fiber.spawn]/[fiber.suspend]/[fiber.resume] are declared
+     in {!Fiber} and incremented here through the executing worker
+     ({!cur}). *)
   let c_claim_race = Obs.counter "sched.claim_race"
   let c_empty_pop = Obs.counter "sched.empty_pop"
   let c_reject = Obs.counter "sched.reject"
@@ -71,6 +96,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_late = Obs.counter "sched.late_completion"
   let c_worker_dead = Obs.counter "sched.worker_dead"
   let c_sweep = Obs.counter "sched.sweep"
+  let c_steal_attempt = Obs.counter "steal.attempt"
+  let c_steal_success = Obs.counter "steal.success"
+  let c_steal_fallback = Obs.counter "steal.fallback"
 
   (** Robustness knobs.  {!default_robust} disables everything (infinite
       leases and deadlines, one attempt), reproducing the trusting
@@ -109,8 +137,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     || rc.liveness_timeout < infinity
     || rc.run_deadline < infinity || rc.max_attempts > 1
 
+  (* Every hot atomic below is cache-line-padded (Padded.copy_as_padded):
+     the task-table slots, the admission/termination counters and the
+     per-worker lease clocks are the cells every worker hammers, and
+     before padding they were allocated back to back — one worker's CAS
+     traffic evicted its neighbours' lines. *)
+  let patomic v = Padded.copy_as_padded (B.make v)
+
   type pool = {
-    tasks : Task.t option B.atomic array;  (** id -> task *)
+    tasks : Task.t option B.atomic array;  (** id -> task; padded slots *)
     next_id : int B.atomic;
     inflight : int B.atomic;  (** admitted - resolved; 0 = drained *)
     peak_inflight : int B.atomic;
@@ -118,7 +153,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     completed : int B.atomic;
     log : int array;
         (** completion order: task ids in the order execution finished.
-            Each slot is written once by the finishing worker; read after
+            Each slot is written once by the sealing worker; read after
             the run joins. *)
     log_next : int B.atomic;
     last_started : int B.atomic;  (** priority watermark for slack metric *)
@@ -127,12 +162,34 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     created_at : float;  (** backend time at pool creation (run_deadline) *)
     draining : bool B.atomic;  (** graceful shutdown: stop admission *)
     gave_up : bool B.atomic;  (** run_deadline elapsed without completion *)
-    beats : float B.atomic array;  (** per-worker heartbeat timestamps *)
+    beats : float B.atomic array;
+        (** per-worker heartbeat timestamps (the lease clocks); padded *)
     source_done : bool B.atomic array;
         (** per-worker "arrival source closed" latch; guards the single
             [sources_live] decrement whether the worker closed it itself
             or a supervisor declared it dead *)
     dead : int list B.atomic;  (** the dead-letter queue (task ids) *)
+    deques : Fiber.work Deque.t array;  (** per-worker stealable deques *)
+    failure : exn option B.atomic;
+        (** first exception to escape a fiber; re-raised by the next
+            worker to notice, aborting the run like an un-fibered body
+            exception used to *)
+    ctxs : ctx option array;
+        (** tid -> that worker's context, registered by {!make_ctx}; the
+            table behind {!cur} (each slot is written once, by its own
+            worker or before the run starts) *)
+  }
+
+  and ctx = {
+    pool : pool;
+    tid : int;
+    sub : Submitter.t;
+    pop : unit -> (int * int) option;  (** the queue's try_delete_min *)
+    w : Metrics.worker;
+    obs : Obs.handle;
+    deque : Fiber.work Deque.t;  (** this worker's own deque *)
+    steal_rng : Xoshiro.t;  (** victim selection; seeded for replay *)
+    hooks : Fiber.hooks;  (** suspend/resume accounting (see {!hooks_of}) *)
   }
 
   let create_pool ?(robust = default_robust) ~max_tasks ~num_workers () =
@@ -142,23 +199,26 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       invalid_arg "Worker.create_pool: max_attempts < 1";
     let now = B.time () in
     {
-      tasks = Array.init max_tasks (fun _ -> B.make None);
-      next_id = B.make 0;
-      inflight = B.make 0;
-      peak_inflight = B.make 0;
-      sources_live = B.make num_workers;
-      completed = B.make 0;
+      tasks = Array.init max_tasks (fun _ -> patomic None);
+      next_id = patomic 0;
+      inflight = patomic 0;
+      peak_inflight = patomic 0;
+      sources_live = patomic num_workers;
+      completed = patomic 0;
       log = Array.make max_tasks (-1);
-      log_next = B.make 0;
-      last_started = B.make 0;
+      log_next = patomic 0;
+      last_started = patomic 0;
       rc = robust;
       supervised = robust_active robust;
       created_at = now;
-      draining = B.make false;
-      gave_up = B.make false;
-      beats = Array.init num_workers (fun _ -> B.make now);
-      source_done = Array.init num_workers (fun _ -> B.make false);
-      dead = B.make [];
+      draining = patomic false;
+      gave_up = patomic false;
+      beats = Array.init num_workers (fun _ -> patomic now);
+      source_done = Array.init num_workers (fun _ -> patomic false);
+      dead = patomic [];
+      deques = Array.init num_workers (fun _ -> Deque.create ());
+      failure = patomic None;
+      ctxs = Array.make num_workers None;
     }
 
   let completed_count pool = B.get pool.completed
@@ -194,17 +254,66 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     done;
     !acc
 
-  type ctx = {
-    pool : pool;
-    tid : int;
-    sub : Submitter.t;
-    pop : unit -> (int * int) option;  (** the queue's try_delete_min *)
-    w : Metrics.worker;
-    obs : Obs.handle;
-  }
+  (* The worker currently executing, resolved through [B.self ()] (the
+     backend's dynamic thread identity) and the pool's registration
+     table.  Fibers migrate: a continuation parked by worker A can be
+     resumed inline by worker B (whoever finishes the awaited fiber), so
+     accounting inside fiber code must bill the worker {e running right
+     now}, not the one that created the closure — on the Real backend the
+     latter would be a cross-domain mutation of another worker's metrics
+     record.  [Domain.DLS] is NOT a valid shortcut here: under Sim every
+     virtual worker shares one domain, so a domain-keyed ambient would
+     hand one worker's submitter — and with it the strictly per-thread
+     k-LSM insertion handle behind it — to a concurrently-running peer,
+     corrupting the handle's snapshot state. *)
+  let cur pool =
+    let tid = B.self () in
+    if tid < 0 || tid >= Array.length pool.ctxs then
+      failwith "Worker: fiber operation outside a worker loop"
+    else
+      match pool.ctxs.(tid) with
+      | Some c -> c
+      | None -> failwith "Worker: fiber operation outside a worker loop"
 
-  let make_ctx ?(obs = Obs.null_handle) ~pool ~tid ~sub ~pop ~metrics () =
-    { pool; tid; sub; pop; w = metrics; obs }
+  (* Suspend/resume accounting callbacks handed to {!Fiber}.  Resolved
+     through {!cur} at event time because the suspending/resuming fiber
+     may be running on any worker by then. *)
+  let hooks_of pool =
+    {
+      Fiber.on_suspend =
+        (fun () ->
+          let c = cur pool in
+          c.w.Metrics.fiber_suspends <- c.w.Metrics.fiber_suspends + 1;
+          Obs.incr c.obs Fiber.c_suspend);
+      on_resume =
+        (fun () ->
+          let c = cur pool in
+          c.w.Metrics.fiber_resumes <- c.w.Metrics.fiber_resumes + 1;
+          Obs.incr c.obs Fiber.c_resume);
+    }
+
+  let make_ctx ?(obs = Obs.null_handle) ?steal_seed ~pool ~tid ~sub ~pop
+      ~metrics () =
+    if tid < 0 || tid >= Array.length pool.ctxs then
+      invalid_arg "Worker.make_ctx: tid out of range";
+    let seed =
+      match steal_seed with Some s -> s | None -> 0x9E3779B9 + (6271 * tid)
+    in
+    let c =
+      {
+        pool;
+        tid;
+        sub;
+        pop;
+        w = metrics;
+        obs;
+        deque = pool.deques.(tid);
+        steal_rng = Xoshiro.create ~seed;
+        hooks = hooks_of pool;
+      }
+    in
+    pool.ctxs.(tid) <- Some c;
+    c
 
   let rec bump_peak pool v =
     let cur = B.get pool.peak_inflight in
@@ -258,8 +367,11 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (* Spawn path handed to executing bodies: bypasses the admission bound
      (see Submitter.admit_spawn) but fully participates in accounting and
-     batching.  Overflow sheds the child like a root. *)
-  let spawn ctx ~priority body =
+     batching.  Overflow sheds the child like a root.  Resolves the
+     executing worker at call time: the spawning fiber may have migrated
+     since it was created. *)
+  let spawn_task pool ~priority body =
+    let ctx = cur pool in
     Submitter.admit_spawn ctx.sub;
     match inject ctx ~priority body with
     | `Ok -> ctx.w.spawned <- ctx.w.spawned + 1
@@ -278,6 +390,86 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     ctx.w.dead_letters <- ctx.w.dead_letters + 1;
     Obs.incr ctx.obs c_dead_letter
 
+  (* One lease attempt of one task: the root fiber plus everything it
+     forks, sharing a live-fiber counter.  The counter cell is padded —
+     it is CASed by every worker that runs one of the attempt's fibers. *)
+  type attempt = { task : Task.t; live : int B.atomic; pool : pool }
+
+  let record_failure pool e =
+    ignore (B.compare_and_set pool.failure None (Some e))
+
+  (* Seal the attempt whose last fiber just finished: runs on whichever
+     worker drove [live] to zero, using pool atomics plus that worker's
+     own metrics/obs (the {!cur} read), so it is cross-domain safe. *)
+  let seal att =
+    let ctx = cur att.pool in
+    B.fault_point "sched.execute.pre_complete";
+    if Task.try_complete att.task ~now:(B.time ()) then begin
+      let slot = B.fetch_and_add ctx.pool.log_next 1 in
+      ctx.pool.log.(slot) <- att.task.Task.id;
+      ignore (B.fetch_and_add ctx.pool.completed 1);
+      Submitter.release ctx.sub;
+      ctx.w.executed <- ctx.w.executed + 1;
+      Obs.incr ctx.obs c_execute
+    end
+    else begin
+      (* The supervisor sealed this task's fate (re-leased elsewhere or
+         dead-lettered) while the attempt ran: the work is done but must
+         not be accounted — whoever owns the terminal state did that. *)
+      ctx.w.late_completions <- ctx.w.late_completions + 1;
+      Obs.incr ctx.obs c_late
+    end
+
+  (* A fiber of [att] finished its thunk.  Crash discipline: this is only
+     reached on normal return or a non-fatal exception — a killed worker
+     unwinds past it, leaving [live] > 0 forever, which is exactly what
+     routes the task to lease-expiry recovery instead of a bogus seal. *)
+  let fiber_done att =
+    let c = cur att.pool in
+    c.w.Metrics.fibers_completed <- c.w.Metrics.fibers_completed + 1;
+    if B.fetch_and_add att.live (-1) = 1 then seal att
+
+  (* Wrap a fiber thunk with the attempt accounting.  A non-fatal
+     exception still counts the fiber as finished (its work is over),
+     is recorded as the run's failure — an exception escaping a fiber
+     aborts the run, as it did when bodies ran bare — and then re-raised
+     so Fiber turns it into [Raise] and waiters are discontinued. *)
+  let wrap att th () =
+    match th () with
+    | v ->
+        fiber_done att;
+        v
+    | exception e when not (Fiber.fatal e) ->
+        record_failure att.pool e;
+        fiber_done att;
+        raise e
+
+  let fork_fiber att th =
+    let ctx = cur att.pool in
+    ignore (B.fetch_and_add att.live 1);
+    let fib = Fiber.create (wrap att th) in
+    Deque.push ctx.deque (Fiber.Work fib);
+    ctx.w.Metrics.fibers <- ctx.w.Metrics.fibers + 1;
+    Obs.incr ctx.obs Fiber.c_spawn;
+    fib
+
+  let requeue_here pool w =
+    let ctx = cur pool in
+    Deque.push ctx.deque w
+
+  (* The capability record a body sees.  Everything resolves the
+     executing worker at call time because the calling fiber migrates. *)
+  let api_of att =
+    let hooks = hooks_of att.pool in
+    {
+      Task.spawn = (fun ~priority body -> spawn_task att.pool ~priority body);
+      fork = (fun th -> fork_fiber att th);
+      await = (fun f -> Fiber.await hooks f);
+      yield = (fun () -> Fiber.yield hooks ~requeue:(requeue_here att.pool));
+    }
+
+  (* Start a freshly-leased task: build the attempt, count the root fiber,
+     and run it inline (it parks itself in the deque whenever it blocks). *)
   let execute ctx task ~attempt =
     Metrics.push ctx.w.delays (Task.queueing_delay task);
     let prev = B.exchange ctx.pool.last_started task.Task.priority in
@@ -288,27 +480,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       Obs.incr ctx.obs c_retry
     end;
     B.fault_point "sched.execute.post_lease";
-    Task.run task ~spawn:(fun ~priority body -> spawn ctx ~priority body);
-    B.fault_point "sched.execute.pre_complete";
-    if Task.try_complete task ~now:(B.time ()) then begin
-      let slot = B.fetch_and_add ctx.pool.log_next 1 in
-      ctx.pool.log.(slot) <- task.Task.id;
-      ignore (B.fetch_and_add ctx.pool.completed 1);
-      Submitter.release ctx.sub;
-      ctx.w.executed <- ctx.w.executed + 1;
-      Obs.incr ctx.obs c_execute
-    end
-    else begin
-      (* The supervisor sealed this task's fate (re-leased elsewhere or
-         dead-lettered) while the body ran: the work is done but must not
-         be accounted — whoever owns the terminal state did/does that. *)
-      ctx.w.late_completions <- ctx.w.late_completions + 1;
-      Obs.incr ctx.obs c_late
-    end
+    let att = { task; live = patomic 1; pool = ctx.pool } in
+    ctx.w.Metrics.fibers <- ctx.w.Metrics.fibers + 1;
+    Obs.incr ctx.obs Fiber.c_spawn;
+    let root = Fiber.create (wrap att (fun () -> Task.run task (api_of att))) in
+    Fiber.run ctx.hooks (Fiber.Work root)
 
-  (** Pop and execute at most one task; [false] when the queue looked
-      empty.  A task id delivered twice (queue race or supervisor
-      re-enqueue) loses the lease race and is counted, never
+  (** Pop and execute at most one task from the shared queue; [false]
+      when it looked empty.  A task id delivered twice (queue race or
+      supervisor re-enqueue) loses the lease race and is counted, never
       re-executed. *)
   let try_execute_one ctx =
     match ctx.pop () with
@@ -335,6 +515,60 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 dead_letter ctx task));
         true
 
+  (* Steal the oldest fiber from a random victim's deque: up to two
+     seeded-random victims per round, retrying a [`Race] once (someone is
+     moving — work exists, one more CAS is cheap).  The crash window
+     between winning the steal CAS and running the fiber is a first-class
+     fault site: a kill here strands the stolen fiber, and recovery must
+     come from the lease, never from the deque (docs/CHAOS.md). *)
+  let try_steal (ctx : ctx) =
+    let pool = ctx.pool in
+    let n = Array.length pool.deques in
+    if n <= 1 then None
+    else begin
+      let found = ref None in
+      let rounds = ref 0 in
+      while !found = None && !rounds < 2 do
+        incr rounds;
+        let victim =
+          let v = Xoshiro.int ctx.steal_rng (n - 1) in
+          if v >= ctx.tid then v + 1 else v
+        in
+        let dq = pool.deques.(victim) in
+        let rec attempt retries =
+          ctx.w.steal_attempts <- ctx.w.steal_attempts + 1;
+          Obs.incr ctx.obs c_steal_attempt;
+          match Deque.steal dq with
+          | `Stolen w ->
+              ctx.w.steals <- ctx.w.steals + 1;
+              Obs.incr ctx.obs c_steal_success;
+              B.fault_point "sched.steal";
+              found := Some w
+          | `Race -> if retries > 0 then attempt (retries - 1)
+          | `Empty -> ()
+        in
+        attempt 1
+      done;
+      !found
+    end
+
+  (** One scheduling step: own deque (LIFO), then a steal round (FIFO
+      from a victim), then the shared queue.  [false] = everything dry. *)
+  let serve ctx =
+    match Deque.pop ctx.deque with
+    | Some w ->
+        Fiber.run ctx.hooks w;
+        true
+    | None -> (
+        match try_steal ctx with
+        | Some w ->
+            Fiber.run ctx.hooks w;
+            true
+        | None ->
+            ctx.w.steal_fallbacks <- ctx.w.steal_fallbacks + 1;
+            Obs.incr ctx.obs c_steal_fallback;
+            try_execute_one ctx)
+
   (* Declare worker [w]'s arrival source closed; [true] iff this caller
      performed the (exactly-once) transition. *)
   let mark_source_done pool w =
@@ -350,7 +584,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
      task to recover ids stranded in a crashed worker's submission buffer.
      Everything here is idempotent or CAS-guarded, so concurrent
      supervisors cannot double-account. *)
-  let supervise ctx ~rescue =
+  let supervise (ctx : ctx) ~rescue =
     let pool = ctx.pool in
     let rc = pool.rc in
     let now = B.time () in
@@ -402,7 +636,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       - [`Submit (priority, body)]: a root task wants in now;
       - [`Wait]: nothing due yet (open-loop pacing) — keep serving;
       - [`Done]: this worker's arrival stream is exhausted (final). *)
-  let run ?jitter ctx ~arrivals =
+  let run ?jitter (ctx : ctx) ~arrivals =
     let pool = ctx.pool in
     let rc = pool.rc in
     let pending = ref None in
@@ -419,6 +653,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       end
     in
     let rec loop () =
+      (match B.get pool.failure with Some e -> raise e | None -> ());
       if pool.supervised then B.set pool.beats.(ctx.tid) (B.time ());
       if B.get pool.draining then begin
         (* Graceful shutdown: drop the backpressured arrival (it was never
@@ -442,14 +677,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             | `Wait -> ()
             | `Done -> close_source ()
           end);
-      (* 2. Serve the queue. *)
-      if try_execute_one ctx then begin
+      (* 2. Serve: deque, then steal, then the shared queue. *)
+      if serve ctx then begin
         idle := 0;
         Backoff.reset bo;
         loop ()
       end
       else begin
-        (* The queue looks dry.  Remaining work can only hide in (a) our
+        (* Everything looks dry.  Remaining work can only hide in (a) our
            own submission buffer — flush it; (b) other threads' DistLSMs —
            the queue's own spy path covers that on the next pop; (c) other
            workers' buffers — their own dry-queue flushes cover those, or

@@ -165,6 +165,215 @@ let test_backpressure_bounds_inflight () =
   if r.CL.metrics.M.rejected = 0 then
     Alcotest.fail "capacity 8 under 400 tasks never triggered backpressure"
 
+(* ---------------- fibers: determinism, depth, starvation -------------- *)
+
+let test_fiber_steal_determinism_fuzzed () =
+  (* 32 randomized preemption schedules with fibered bodies: forks land
+     on deques, thieves steal them, yields requeue them — and the whole
+     steal schedule must still replay byte-identically from the seed
+     (victims come from per-worker seeded streams, Sim preemption from
+     the configured seed). *)
+  let config =
+    {
+      base_config with
+      CL.num_workers = 4;
+      roots_per_worker = 6;
+      fiber_fanout = 3;
+      service = CL.Fixed 24;
+    }
+  in
+  let spec = CL.Registry.Klsm 8 in
+  for seed = 1 to 32 do
+    let go () =
+      Sim.configure ~seed ~policy:(Sim.Random_preempt 0.25) ();
+      CL.run { config with CL.seed } spec
+    in
+    let a = go () in
+    let b = go () in
+    let name = Printf.sprintf "fibers seed %d" seed in
+    check_conserving name a;
+    Alcotest.(check int) (name ^ ": no fiber lost") 0 a.CL.fiber_lost;
+    (* every task = 1 root + fiber_fanout forked children *)
+    Alcotest.(check int)
+      (name ^ ": fiber count")
+      (a.CL.total_tasks * (1 + 3))
+      a.CL.metrics.M.fibers;
+    Alcotest.(check (array int))
+      (name ^ ": same completion order") a.CL.completion_order
+      b.CL.completion_order;
+    Alcotest.(check int)
+      (name ^ ": same steal count") a.CL.metrics.M.steals
+      b.CL.metrics.M.steals;
+    Alcotest.(check int)
+      (name ^ ": same suspension count") a.CL.metrics.M.fiber_suspends
+      b.CL.metrics.M.fiber_suspends
+  done;
+  Sim.configure ~policy:Sim.Fair ()
+
+(* A minimal direct-Worker harness for hand-written task bodies (the
+   Closed_loop driver only builds its own body shapes): worker 0 submits
+   [bodies] in order, everyone serves to exact termination. *)
+module W = Klsm_sched.Worker.Make (Sim)
+
+let run_custom_bodies ~num_workers ~seed bodies =
+  Sim.configure ~seed ~policy:Sim.Fair ();
+  let instance =
+    CL.Registry.make ~seed ~num_threads:num_workers (CL.Registry.Klsm 8)
+  in
+  let pool =
+    W.create_pool ~max_tasks:(List.length bodies) ~num_workers ()
+  in
+  let metrics = M.create ~num_workers in
+  Sim.parallel_run ~num_threads:num_workers (fun tid ->
+      let h = instance.CL.Registry.register tid in
+      let sub =
+        W.Submitter.create
+          ~cfg:{ W.Submitter.batch = 1; urgency_margin = 1; capacity = max_int }
+          ~inflight:pool.W.inflight
+          ~enqueue_batch:h.CL.Registry.insert_batch ()
+      in
+      let ctx =
+        W.make_ctx ~pool ~tid ~sub ~pop:h.CL.Registry.try_delete_min
+          ~metrics:metrics.(tid) ()
+      in
+      let todo = ref (if tid = 0 then bodies else []) in
+      let arrivals () =
+        match !todo with
+        | [] -> `Done
+        | (priority, body) :: rest ->
+            todo := rest;
+            `Submit (priority, body)
+      in
+      W.run ctx ~arrivals);
+  (pool, M.summarize metrics)
+
+let test_fiber_tree_depth_1000 () =
+  (* A fork/await chain 1000 deep: each fiber forks its successor and
+     blocks on it, so the whole tower is parked in Join cells at peak;
+     the deepest return unwinds it resumption by resumption, and the sum
+     must come back intact. *)
+  let depth = 1000 in
+  let result = ref (-1) in
+  let body =
+    W.Task.Body
+      (fun api ->
+        let rec chain d =
+          if d = 0 then 0
+          else 1 + api.W.Task.await (api.W.Task.fork (fun () -> chain (d - 1)))
+        in
+        result := chain depth)
+  in
+  let pool, summary = run_custom_bodies ~num_workers:2 ~seed:3 [ (5, body) ] in
+  Alcotest.(check int) "chain joined to the right value" depth !result;
+  Alcotest.(check int) "task completed" 1 (W.completed_count pool);
+  Alcotest.(check int) "all fibers finished" (depth + 1) summary.M.fibers_completed;
+  Alcotest.(check int) "fibers = root + chain" (depth + 1) summary.M.fibers;
+  (* every await but the last-instant ones must actually have parked *)
+  if summary.M.fiber_suspends < depth / 2 then
+    Alcotest.failf "only %d suspensions across a %d-deep chain"
+      summary.M.fiber_suspends depth
+
+let test_fiber_hog_cannot_stall_drain () =
+  (* One hog fiber burning 200k ticks without yielding must not stall
+     queue drain: with a second worker serving, every quick task (16
+     ticks each) completes, and the hog — submitted first and most
+     urgent, so it is picked up first — seals last. *)
+  let quick = 16 in
+  let hog =
+    W.Task.Body
+      (fun api ->
+        let f =
+          api.W.Task.fork (fun () ->
+              Sim.tick 200_000;
+              ())
+        in
+        api.W.Task.await f)
+  in
+  let bodies =
+    (0, hog)
+    :: List.init quick (fun i -> (100 + i, W.Task.fn (fun () -> Sim.tick 16)))
+  in
+  let pool, _ = run_custom_bodies ~num_workers:2 ~seed:9 bodies in
+  Alcotest.(check int) "everything completed" (quick + 1)
+    (W.completed_count pool);
+  let log = W.completion_log pool in
+  Alcotest.(check int) "log complete" (quick + 1) (Array.length log);
+  Alcotest.(check int) "hog (id 0) sealed last" 0 (log.(Array.length log - 1))
+
+(* ---------------- deque unit tests (Real atomics) ---------------- *)
+
+module Dq = Klsm_primitives.Deque.Make (struct
+  type 'a t = 'a Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let set = Atomic.set
+  let compare_and_set = Atomic.compare_and_set
+end)
+
+let test_deque_lifo_fifo () =
+  let d = Dq.create ~capacity:2 () in
+  (* capacity 2 forces several buffer growths *)
+  for i = 1 to 100 do
+    Dq.push d i
+  done;
+  Alcotest.(check int) "size" 100 (Dq.size d);
+  (match Dq.steal d with
+  | `Stolen v -> Alcotest.(check int) "steal takes the oldest" 1 v
+  | _ -> Alcotest.fail "steal on non-empty deque");
+  (match Dq.steal d with
+  | `Stolen v -> Alcotest.(check int) "steal is FIFO" 2 v
+  | _ -> Alcotest.fail "second steal");
+  Alcotest.(check (option int)) "pop takes the newest" (Some 100) (Dq.pop d);
+  Alcotest.(check (option int)) "pop is LIFO" (Some 99) (Dq.pop d);
+  (* drain the middle from both ends *)
+  let popped = ref 0 and stolen = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Dq.pop d with
+    | Some _ -> incr popped
+    | None -> (
+        match Dq.steal d with
+        | `Stolen _ -> incr stolen
+        | `Race -> ()
+        | `Empty -> continue_ := false)
+  done;
+  Alcotest.(check int) "conservation" 96 (!popped + !stolen);
+  Alcotest.(check (option int)) "empty pop" None (Dq.pop d);
+  (match Dq.steal d with
+  | `Empty -> ()
+  | _ -> Alcotest.fail "empty steal")
+
+(* ---------------- sched spec parsing ---------------- *)
+
+let test_parse_sched_spec () =
+  let fibers_of = function
+    | Ok c -> c.CL.Registry.fibers
+    | Error e -> Alcotest.failf "unexpected parse error: %s" e
+  in
+  Alcotest.(check int) "bare sched" 0
+    (fibers_of (CL.Registry.parse_sched_spec "sched"));
+  Alcotest.(check int) "fibers knob" 7
+    (fibers_of (CL.Registry.parse_sched_spec "sched:fibers=7"));
+  Alcotest.(check int) "case and whitespace" 3
+    (fibers_of (CL.Registry.parse_sched_spec "  SCHED:Fibers=3 "));
+  let rejects s =
+    match CL.Registry.parse_sched_spec s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  rejects "sched:fibers=x";
+  rejects "sched:fibers=-1";
+  rejects "sched:threads=2";
+  rejects "klsm:8";
+  (* canonical names round-trip *)
+  Alcotest.(check int) "name round-trips" 9
+    (fibers_of
+       (CL.Registry.parse_sched_spec
+          (CL.Registry.sched_spec_name { CL.Registry.fibers = 9 })));
+  Alcotest.(check string) "zero fibers is bare sched" "sched"
+    (CL.Registry.sched_spec_name { CL.Registry.fibers = 0 })
+
 (* ---------------- submitter unit tests (Real backend) ---------------- *)
 
 module Sub = Klsm_sched.Submitter.Make (Real)
@@ -264,6 +473,22 @@ let () =
             test_exactly_once_fuzzed_spawns_and_queues;
           Alcotest.test_case "backpressure bounds in-flight" `Quick
             test_backpressure_bounds_inflight;
+        ] );
+      ( "fibers",
+        [
+          Alcotest.test_case "32 fuzzed steal schedules replay" `Slow
+            test_fiber_steal_determinism_fuzzed;
+          Alcotest.test_case "fork/await chain 1000 deep" `Quick
+            test_fiber_tree_depth_1000;
+          Alcotest.test_case "hog fiber cannot stall drain" `Quick
+            test_fiber_hog_cannot_stall_drain;
+        ] );
+      ( "deque",
+        [ Alcotest.test_case "LIFO pop, FIFO steal" `Quick test_deque_lifo_fifo ] );
+      ( "spec",
+        [
+          Alcotest.test_case "sched:fibers parsing" `Quick
+            test_parse_sched_spec;
         ] );
       ( "submitter",
         [
