@@ -5,7 +5,7 @@
        dune exec bench/main.exe
    Run one section:
        dune exec bench/main.exe -- fig3 | fig4a | fig4b | quality | sharded |
-                                   sched | stats | chaos | store |
+                                   batch | sched | stats | chaos | store |
                                    ablation-spill | ablation-bloom |
                                    ablation-cost | ablation-workload |
                                    bnb | micro
@@ -384,6 +384,150 @@ let sharded () =
   Report.table
     ~header:[ "impl"; "deletes"; "mean"; "max"; "rho = (T+S)*ceil(k/S)" ]
     qrows
+
+(* ------------------------------------------------------------------ *)
+(* Batch: the deletion-batch sweep (DESIGN.md §17)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Throughput and rank error of the batched delete-min (dbuf=B,
+   lib/core/sharded_klsm.ml) on the tuned spec as the batch size sweeps
+   B in {1, 2, 4, 8, 16}: B = 1 is the dbuf-off control (the classic
+   single-pop delete-min), every larger B claims a run of B items with
+   one shared CAS (`shared.batch_claim`) and serves up to B - 1 of them
+   from the per-handle deletion buffer.  The quality table is the
+   measured side of the DESIGN.md §17 trade: the max column must stay
+   within the widened bound rho <= (T+S)*ceil(k/S) + T*(B-1), and the
+   rank-error-vs-B curve is how an operator prices the slack before
+   turning the knob (the measured basis of docs/TUNING.md's dbuf row).
+   Emits the sweep into BENCH_throughput.json, fig3-style — run it
+   standalone (`dune exec bench/main.exe -- batch`) to keep the file. *)
+let batch () =
+  let k = 1024 and shards = 4 in
+  let t_axis = [ 1; 2; 4; 8; 16 ] in
+  let bs = [ 1; 2; 4; 8; 16 ] in
+  let spec_of b =
+    if b = 1 then R.klsm_sharded ~sticky:16 ~buf:16 k shards
+    else R.klsm_sharded ~sticky:16 ~buf:16 ~dbuf:b k shards
+  in
+  let measured =
+    List.map
+      (fun b ->
+        let spec = spec_of b in
+        let points =
+          List.map
+            (fun t ->
+              let config =
+                {
+                  T.default_config with
+                  num_threads = t;
+                  prefill = 8_000;
+                  ops_per_thread = max 500 (16_000 / t);
+                }
+              in
+              let r = T.run config spec in
+              (t, r.T.throughput_per_thread))
+            t_axis
+        in
+        (b, spec, points))
+      bs
+  in
+  let rows =
+    List.map
+      (fun (_, spec, points) ->
+        R.spec_name spec
+        :: List.map (fun (_, thr) -> Report.human_float thr) points)
+      measured
+  in
+  Report.section
+    (Printf.sprintf
+       "Batch: throughput/thread/s vs deletion batch B, k=%d S=%d, 50-50 mix \
+        (sim)"
+       k shards);
+  Report.table
+    ~header:("impl" :: List.map (fun t -> Printf.sprintf "T=%d" t) t_axis)
+    rows;
+  (* Rank error vs B at T = 8: the quality price of the batch. *)
+  let t = 8 in
+  let qmeasured =
+    List.map
+      (fun b ->
+        let r = Q.run { Q.default_config with num_threads = t } (spec_of b) in
+        let rho = ((t + shards) * ((k + shards - 1) / shards)) + (t * (b - 1)) in
+        (b, r, rho))
+      bs
+  in
+  let qrows =
+    List.map
+      (fun (b, r, rho) ->
+        [
+          R.spec_name (spec_of b);
+          string_of_int b;
+          string_of_int r.Q.deletes;
+          Printf.sprintf "%.2f" r.Q.mean_rank_error;
+          Printf.sprintf "%.0f" r.Q.p99_rank_error;
+          string_of_int r.Q.max_rank_error;
+          string_of_int rho;
+        ])
+      qmeasured
+  in
+  Report.section (Printf.sprintf "Batch: rank error vs B at T=%d (sim)" t);
+  Report.table
+    ~header:
+      [
+        "impl";
+        "B";
+        "deletes";
+        "mean";
+        "p99";
+        "max";
+        "rho = (T+S)*ceil(k/S) + T*(B-1)";
+      ]
+    qrows;
+  let path = "BENCH_throughput.json" in
+  Report.write_json ~path
+    (Report.Obj
+       [
+         ("benchmark", Report.String "batch-sweep");
+         ("backend", Report.String Sim.name);
+         ("metric", Report.String "throughput_per_thread_per_s");
+         ("impl_base", Report.String (R.spec_name (spec_of 1)));
+         ( "series",
+           Report.List
+             (List.map
+                (fun (b, spec, points) ->
+                  Report.Obj
+                    [
+                      ("batch", Report.Int b);
+                      ("impl", Report.String (R.spec_name spec));
+                      ( "points",
+                        Report.List
+                          (List.map
+                             (fun (t, thr) ->
+                               Report.Obj
+                                 [
+                                   ("threads", Report.Int t);
+                                   ("throughput_per_thread", Report.Float thr);
+                                 ])
+                             points) );
+                    ])
+                measured) );
+         ( "quality",
+           Report.List
+             (List.map
+                (fun (b, r, rho) ->
+                  Report.Obj
+                    [
+                      ("batch", Report.Int b);
+                      ("threads", Report.Int t);
+                      ("deletes", Report.Int r.Q.deletes);
+                      ("mean_rank_error", Report.Float r.Q.mean_rank_error);
+                      ("p99_rank_error", Report.Float r.Q.p99_rank_error);
+                      ("max_rank_error", Report.Int r.Q.max_rank_error);
+                      ("rho", Report.Int rho);
+                    ])
+                qmeasured) );
+       ]);
+  Printf.printf "wrote %s\n%!" path
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler: queues as scheduling backbones (lib/sched)               *)
@@ -1227,6 +1371,7 @@ let sections =
     ("fig4b", fig4b);
     ("quality", quality);
     ("sharded", sharded);
+    ("batch", batch);
     ("sched", sched);
     ("stats", stats_section);
     ("chaos", chaos_section);

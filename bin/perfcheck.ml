@@ -274,6 +274,116 @@ let real_knobs_section () =
              sweep_points) );
     ]
 
+(* The DESIGN.md §17 batched-delete gate (ISSUE 10 acceptance bar): the
+   tuned spec with dbuf=8 — one shared CAS claims a run of 8 items, the
+   per-handle deletion buffer serves the next 7 pops privately — against
+   the dbuf-off tuned spec as control, on the same light workload the
+   knob sweep records (prefill 20k, 32k total ops split across threads).
+   Two floors:
+
+   - T = 8, interleaved median-of-5 (same discipline as
+     [real_sharded_section]: alternate control/batched samples with a
+     compaction before each, compare medians): >= [batch_real_floor_t8]
+     ops/thread/s — the pre-batch T = 8 sweep figure, so batching must
+     not cost throughput where the queue was already healthy;
+   - T = 16 (2x oversubscription on CI boxes, where the pre-batch sweep
+     collapsed to ~20.7k): best-of-up-to-[batch_reps16] compaction-
+     normalized reps must clear [batch_real_floor_t16], the same
+     pass-on-first-crossing discipline as [real_knobs_section] and for
+     the same reason (+-50% wall-clock noise on a loaded shared box; a
+     healthy queue crosses within a few reps, a real regression has no
+     path past the floor) — the batch claim divides the shared
+     copy-and-CAS work per pop by ~B, which is exactly the regime where
+     that work dominated.  The T = 16 leg runs 8k ops/thread rather than
+     the sweep's 2k: the harness times domain spawn/join inside the
+     measured window, and at 2k ops the 16-domain spawn on a small CI
+     box dominates the figure — the gate would measure the OS, not the
+     queue. *)
+let batch_spec = knob_spec ^ ":dbuf=8"
+let batch_real_floor_t8 = 37_200.0
+let batch_real_floor_t16 = 24_000.0
+let batch_reps = 5
+let batch_reps16 = 10
+
+let real_batch_section () =
+  let module T = Klsm_harness.Throughput.Make (Real) in
+  let module R = Klsm_harness.Registry.Make (Real) in
+  let parse s =
+    match R.parse_spec s with Ok s -> s | Error m -> failwith m
+  in
+  let batched = parse batch_spec and control = parse knob_spec in
+  let config ~ops t =
+    {
+      T.default_config with
+      num_threads = t;
+      prefill = 20_000;
+      ops_per_thread = ops;
+      seed = 42;
+    }
+  in
+  let sample ~ops t spec =
+    Gc.compact ();
+    let r = T.run (config ~ops t) spec in
+    r.T.throughput_per_thread
+  in
+  let sample8 = sample ~ops:4_000 8 and sample16 = sample ~ops:8_000 16 in
+  let control_s = Array.make batch_reps 0.0
+  and batched_s = Array.make batch_reps 0.0 in
+  for i = 0 to batch_reps - 1 do
+    control_s.(i) <- sample8 control;
+    batched_s.(i) <- sample8 batched
+  done;
+  let median a =
+    let a = Array.copy a in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let control8 = median control_s and batched8 = median batched_s in
+  Printf.printf
+    "perf-check real batch: T=8 %.0f ops/thread/s median-of-%d (%s) vs \
+     control %.0f (floor %.0f)\n%!"
+    batched8 batch_reps batch_spec control8 batch_real_floor_t8;
+  if batched8 < batch_real_floor_t8 then begin
+    Printf.eprintf
+      "perf-check FAILED: batched T=8 throughput %.0f ops/thread/s under \
+       the %.0f floor\n%!"
+      batched8 batch_real_floor_t8;
+    exit 1
+  end;
+  let best16 = ref 0.0 and reps16 = ref 0 in
+  (while !reps16 < batch_reps16 && !best16 < batch_real_floor_t16 do
+     incr reps16;
+     best16 := Float.max !best16 (sample16 batched)
+   done);
+  let best16 = !best16 and reps16 = !reps16 in
+  Printf.printf
+    "perf-check real batch: T=16 %.0f ops/thread/s in %d rep(s) (floor \
+     %.0f)\n%!"
+    best16 reps16 batch_real_floor_t16;
+  if best16 < batch_real_floor_t16 then begin
+    Printf.eprintf
+      "perf-check FAILED: batched T=16 throughput %.0f ops/thread/s under \
+       the %.0f floor\n%!"
+      best16 batch_real_floor_t16;
+    exit 1
+  end;
+  Report.Obj
+    [
+      ("backend", Report.String "real");
+      ("impl", Report.String batch_spec);
+      ("control_impl", Report.String knob_spec);
+      ("prefill", Report.Int 20_000);
+      ("t8_ops_per_thread", Report.Int 4_000);
+      ("t16_ops_per_thread", Report.Int 8_000);
+      ("reps", Report.Int batch_reps);
+      ("t8_ops_per_thread_per_sec_median", Report.Float batched8);
+      ("t8_control_ops_per_thread_per_sec_median", Report.Float control8);
+      ("t8_floor_ops_per_thread_per_sec", Report.Float batch_real_floor_t8);
+      ("t16_ops_per_thread_per_sec_best", Report.Float best16);
+      ("t16_reps", Report.Int reps16);
+      ("t16_floor_ops_per_thread_per_sec", Report.Float batch_real_floor_t16);
+    ]
+
 (* The fiber-runtime gate (lib/sched effects runtime; DESIGN.md section
    16): the closed-loop driver on the tuned sharded spec, with every task
    exploded into a [1 + fiber_fanout]-fiber tree, must push 100k+ fibers
@@ -564,6 +674,7 @@ let () =
   let real = real_section () in
   let real_sharded = real_sharded_section () in
   let real_knobs = real_knobs_section () in
+  let real_batch = real_batch_section () in
   let real_fibers = real_fibers_section () in
   let sim = sim_section () in
   let sim_sharded = sharded_sim_section () in
@@ -577,6 +688,7 @@ let () =
          ("real", real);
          ("real_sharded", real_sharded);
          ("real_knobs", real_knobs);
+         ("real_batch", real_batch);
          ("real_fibers", real_fibers);
          ("sim", sim);
          ("sim_sharded", sim_sharded);

@@ -37,7 +37,7 @@ let parse_service s =
   | _ -> failwith ("unknown service distribution " ^ s ^ " (fixed:N | uniform:N | exp:MEAN)")
 
 let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
-    ~depth ~fibers ~batch ~margin ~capacity ~seed ~stats ~oversubscribe =
+    ~depth ~fibers ~batch ~dbuf ~margin ~capacity ~seed ~stats ~oversubscribe =
   (* Must happen before any queue is created: lib/obs latches the flag at
      sheet creation. *)
   if stats then Klsm_obs.Obs.set_enabled true;
@@ -102,6 +102,7 @@ let run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload ~fanout
         spawn_depth = depth;
         fiber_fanout = sched_cfg.CL.Registry.fibers;
         batch;
+        dbuf;
         urgency_margin = margin;
         capacity;
         seed;
@@ -257,6 +258,17 @@ let oversubscribe =
 let batch =
   Arg.(value & opt int 16 & info [ "batch" ] ~doc:"Submitter buffer size.")
 
+let dbuf =
+  Arg.(
+    value & opt int 0
+    & info [ "dbuf" ]
+        ~doc:
+          "Tasks pulled per shared-queue round trip by each worker (the \
+           delete-side counterpart of --batch; pair with a klsm-sharded \
+           queue's dbuf=B knob for single-CAS batch claims).  The head \
+           task starts inline, the rest seed the worker's deque as \
+           steal-ready fibers.  0 = classic one-pop serving.")
+
 let margin =
   Arg.(
     value & opt int 512
@@ -283,12 +295,13 @@ let cmd =
   Cmd.v (Cmd.info "sched" ~doc)
     Term.(
       const (fun mode queues threads tasks arrival service workload fanout
-                 depth fibers batch margin capacity seed stats oversubscribe ->
+                 depth fibers batch dbuf margin capacity seed stats
+                 oversubscribe ->
           run ~mode ~queues ~threads ~tasks ~arrival ~service ~workload
-            ~fanout ~depth ~fibers ~batch ~margin ~capacity ~seed ~stats
+            ~fanout ~depth ~fibers ~batch ~dbuf ~margin ~capacity ~seed ~stats
             ~oversubscribe)
       $ mode $ queues $ threads $ tasks $ arrival $ service $ workload $ fanout
-      $ depth $ fibers $ batch $ margin $ capacity $ seed $ stats
+      $ depth $ fibers $ batch $ dbuf $ margin $ capacity $ seed $ stats
       $ oversubscribe)
 
 let () = exit (Cmd.eval cmd)

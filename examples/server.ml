@@ -37,6 +37,7 @@ let () =
       capacity = 256;
       (* small bound => visible backpressure under bursts *)
       batch = 8;
+      dbuf = 0;
       urgency_margin = 4096;
       seed = 7;
       robust = CL.Worker.default_robust;

@@ -76,6 +76,17 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     in
     walk 0 (Sk.bottom_head sk)
 
+  (* Batched delete (Pq_intf shape): no bulk path in a skiplist; loop. *)
+  let try_delete_min_batch h n =
+    let rec go acc got =
+      if got >= n then List.rev acc
+      else
+        match try_delete_min h with
+        | Some kv -> go (kv :: acc) (got + 1)
+        | None -> List.rev acc
+    in
+    go [] 0
+
   (** Alive length; O(n), for tests. *)
   let alive_size t = List.length (Sk.to_alive_list t.sk)
 end

@@ -52,6 +52,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   let try_delete_min h = locked h (fun () -> Heap.pop_min h.t.heap)
 
+  (* Batched delete (Pq_intf): one lock acquisition for the whole batch. *)
+  let try_delete_min_batch h n =
+    if n <= 0 then []
+    else
+      locked h (fun () ->
+          let rec go acc got =
+            if got >= n then List.rev acc
+            else
+              match Heap.pop_min h.t.heap with
+              | Some kv -> go (kv :: acc) (got + 1)
+              | None -> List.rev acc
+          in
+          go [] 0)
+
   let size t = Lock.with_lock t.lock (fun () -> Heap.size t.heap)
 end
 

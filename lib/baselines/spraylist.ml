@@ -151,6 +151,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       attempt 0
     end
 
+  (* Batched delete (Pq_intf shape): each spray re-randomizes per item —
+     that is the quality mechanism — so no bulk shortcut; loop. *)
+  let try_delete_min_batch h n =
+    let rec go acc got =
+      if got >= n then List.rev acc
+      else
+        match try_delete_min h with
+        | Some kv -> go (kv :: acc) (got + 1)
+        | None -> List.rev acc
+    in
+    go [] 0
+
   let alive_size t = List.length (Sk.to_alive_list t.sk)
 end
 

@@ -88,6 +88,31 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         in
         pop ())
 
+  (* Batched delete (Pq_intf): one lock acquisition for the whole batch. *)
+  let try_delete_min_batch h n =
+    if n <= 0 then []
+    else
+      locked h (fun () ->
+          let rec pop () =
+            match Heap.pop_min h.t.heap with
+            | None -> None
+            | Some (key, v) -> (
+                match h.t.should_delete with
+                | Some p when p key v ->
+                    Obs.incr h.obs c_lazy_drop;
+                    h.t.on_lazy_delete key v;
+                    pop ()
+                | _ -> Some (key, v))
+          in
+          let rec go acc got =
+            if got >= n then List.rev acc
+            else
+              match pop () with
+              | Some kv -> go (kv :: acc) (got + 1)
+              | None -> List.rev acc
+          in
+          go [] 0)
+
   let size (t : _ t) = Lock.with_lock t.lock (fun () -> Heap.size t.heap)
 end
 

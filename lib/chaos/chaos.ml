@@ -78,6 +78,7 @@ let sites =
     "sharded.spill.publish";
     "sharded.migrate";
     "sharded.buffer.flush";
+    "sharded.dbuf.flush";
     "sharded.resize";
     "store.spill";
     "store.rehydrate";

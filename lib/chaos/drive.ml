@@ -229,8 +229,8 @@ let queue_case ~seed ~threads ~per_thread ~k plan =
     and CAS-failure storms on one stripe must only slow things down (and
     trip the migration policy), never break conservation.  Structural
     invariants are asserted per stripe. *)
-let sharded_case ?(sticky = 0) ?(buf = 0) ?adapt ~seed ~threads ~per_thread
-    ~k ~shards plan =
+let sharded_case ?(sticky = 0) ?(buf = 0) ?(dbuf = 0) ?adapt ~seed ~threads
+    ~per_thread ~k ~shards plan =
   Sim.configure ~seed ();
   let plan_text = Chaos.plan_to_string plan in
   (* Latch counters on for this queue's sheet so the report can show the
@@ -239,8 +239,8 @@ let sharded_case ?(sticky = 0) ?(buf = 0) ?adapt ~seed ~threads ~per_thread
   let was_obs = Obs.enabled () in
   Obs.set_enabled true;
   let q =
-    SK.create_with ~seed ~k ~shards ~sticky ~buf ?adapt ~num_threads:threads
-      ()
+    SK.create_with ~seed ~k ~shards ~sticky ~buf ~dbuf ?adapt
+      ~num_threads:threads ()
   in
   Obs.set_enabled was_obs;
   let handles = Array.make threads None in
@@ -283,17 +283,33 @@ let sharded_case ?(sticky = 0) ?(buf = 0) ?adapt ~seed ~threads ~per_thread
      it crashed in the middle of: flush_buffer pops each item only after
      it entered the LSM) vanish with it — that is the documented crash
      cost of [~buf] (up to B items; DESIGN.md §15) — so they are not owed
-     by conservation.  Survivors' buffers are flushed explicitly before
-     the drain: the drainer can spy their LSMs but cannot see their
-     buffers. *)
+     by conservation.  The same holds on the delete side ([~dbuf];
+     DESIGN.md §17): items in a crashed thread's deletion buffer were
+     already claimed out of the stripe by the batch CAS, so the crash
+     consumes them — and a crash {e inside} a batch claim
+     ([internal_dbuf_pending], the run staged before the publish CAS) is
+     exempt in both CAS outcomes: CAS lost means the items are still in
+     the stripe (delivered once at most), CAS won means they died with
+     the crasher; a double delivery would need two winning [Item.take]s
+     on one item, which the flag CAS forbids.  Survivors' buffers are
+     flushed explicitly before the drain: the drainer can spy their LSMs
+     but cannot see their buffers. *)
   Array.iteri
     (fun tid h ->
       match h with
       | Some h when List.mem tid crashed ->
           List.iter
             (fun (_, payload) -> submitted.(payload) <- false)
-            (SK.internal_buffered h)
-      | Some h -> SK.flush_buffer h
+            (SK.internal_buffered h);
+          List.iter
+            (fun (_, payload) -> submitted.(payload) <- false)
+            (SK.internal_dbuf h);
+          List.iter
+            (fun (_, payload) -> submitted.(payload) <- false)
+            (SK.internal_dbuf_pending h)
+      | Some h ->
+          SK.flush_buffer h;
+          SK.flush_dbuf h
       | None -> ())
     handles;
   let drained = ref 0 in
@@ -405,6 +421,9 @@ let sharded_case ?(sticky = 0) ?(buf = 0) ?adapt ~seed ~threads ~per_thread
         ("stripe_resize", stat "stripe.resize");
         ("buffer_flush", stat "stripe.buffer_flush");
         ("sticky_hit", stat "stripe.sticky_hit");
+        ("batch_claim", stat "shared.batch_claim");
+        ("dbuf_hit", stat "stripe.dbuf_hit");
+        ("dbuf_flush", stat "stripe.dbuf_flush");
       ];
   }
 
@@ -698,15 +717,16 @@ let queue_sites =
     "block_array.consolidate";
   ]
 
-(* The sharded composition reaches every queue site plus its own four
-   (spill publish, home migration, insertion-buffer flush, adaptive
-   resize). *)
+(* The sharded composition reaches every queue site plus its own five
+   (spill publish, home migration, insertion-buffer flush, deletion-buffer
+   flush, adaptive resize). *)
 let sharded_sites =
   queue_sites
   @ [
       "sharded.spill.publish";
       "sharded.migrate";
       "sharded.buffer.flush";
+      "sharded.dbuf.flush";
       "sharded.resize";
     ]
 
@@ -737,11 +757,11 @@ let case_for ~threads ~per_thread ~roots ~k i seed =
   in
   if sched then sched_case ~seed ~threads ~roots plan
   else if sharded then
-    (* Modest §15 knobs so the random draw can land on the buffer-flush
-       site (and the buffered-crash exemption gets coverage); kp =
-       ceil(k/2) bounds buf. *)
-    sharded_case ~sticky:2 ~buf:2 ~seed ~threads ~per_thread ~k ~shards:2
-      plan
+    (* Modest §15/§17 knobs so the random draw can land on the buffer- and
+       dbuf-flush sites (and both buffered-crash exemptions get coverage);
+       kp = ceil(k/2) bounds buf + dbuf. *)
+    sharded_case ~sticky:2 ~buf:2 ~dbuf:2 ~seed ~threads ~per_thread ~k
+      ~shards:2 plan
   else queue_case ~seed ~threads ~per_thread ~k plan
 
 (** Fixed sharded-queue plans the ISSUE's acceptance bar names explicitly
@@ -761,7 +781,11 @@ let case_for ~threads ~per_thread ~roots ~k i seed =
     - a resize-under-storm case ([~adapt]): a concentrated failure storm
       long enough to cross the adapt window forces an active-stripe-count
       grow mid-run (with the first resize CAS itself forced to fail), and
-      conservation must hold across the re-homing. *)
+      conservation must hold across the re-homing;
+    - two deletion-buffer cases ([~dbuf]): a kill with a nonempty buffer
+      (mid-flush, the claimed remainder dies with the crasher) and a kill
+      at the batch claim's publish CAS itself (the staged run is exempt
+      whichever way the CAS went). *)
 let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
   (* A storm aimed at one thread: its first [n] arrivals at the publish
      CAS all fail, and (spills all target its home stripe) the home-stripe
@@ -799,6 +823,21 @@ let sharded_targeted ~threads ~per_thread ~k ~shards ~seed0 =
         ~per_thread ~k ~shards
         (storm ~tid:1 48 "shared.push_snapshot.before"
         @ [ Chaos.rule ~hit:1 "sharded.resize" Chaos.Cas_fail ]);
+      (* Kill thread 1 with a nonempty deletion buffer ([~dbuf]; DESIGN.md
+         §17): the crash lands inside flush_dbuf, before the first
+         reinsert, so the whole buffered remainder — items the batch CAS
+         already claimed out of the stripe — dies with the crasher.  The
+         exemption above must absorb exactly those items; everything
+         already served from the buffer, and everything still in the
+         stripes, must survive with no duplicates. *)
+      sharded_case ~dbuf:4 ~seed:(seed0 + 6) ~threads ~per_thread ~k ~shards
+        [ Chaos.rule ~tid:1 ~hit:1 "sharded.dbuf.flush" Chaos.Crash ];
+      (* Kill thread 2 in the middle of a batch claim, at the publish CAS
+         itself: the staged run ([internal_dbuf_pending]) is in limbo —
+         claimed if the CAS won, still queued if it lost — and the
+         either-way exemption must hold. *)
+      sharded_case ~dbuf:4 ~seed:(seed0 + 7) ~threads ~per_thread ~k ~shards
+        [ Chaos.rule ~tid:2 ~hit:4 "shared.push_snapshot.before" Chaos.Crash ];
     ]
 
 (** Fixed scheduler plans aimed at the fiber runtime's two crash windows

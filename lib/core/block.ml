@@ -433,6 +433,48 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     B.tick f;
     nb
 
+  (** [copy_prefix ~alive t ~keep] copies the first [keep] entries of [t]
+      (its {e largest} keys — entries [keep..filled-1] are the small tail a
+      batch claim consumed) into a fresh block of the same level, filtering
+      dead items on the way.  The Bloom filter is preserved: it already
+      over-approximates the surviving subset, which is all local ordering
+      needs.  The level is kept rather than shrunk so a rebuilt array keeps
+      its strictly-decreasing-levels invariant without re-normalizing. *)
+  let copy_prefix ?pool ~alive t ~keep =
+    let its = items t in
+    let nb = create_with_exemplar ?pool t.level its.(0) in
+    nb.filter <- t.filter;
+    for i = 0 to keep - 1 do
+      append_keyed ~alive nb its.(i) t.keys.(i)
+    done;
+    B.tick keep;
+    nb
+
+  (** [prefix_view t ~keep] is the O(1) form of {!copy_prefix} for a
+      [Published] input: a fresh block {e record} sharing [t]'s arrays
+      (and, when spilled, its cold payload and rehydration memo) with only
+      the first [keep] entries visible.  No copying, no allocation beyond
+      the record — the whole point of the batched claim's rebuild
+      (DESIGN.md §17) is that removing a block's small tail must not cost
+      a copy of its large prefix.  Safe because published arrays are
+      immutable-shared and never pool-recycled (§4.4: the GC reclaims
+      them; appends only ever target [Private] blocks), and the new record
+      carries its own [filled] cell, so the benign shrink races of
+      {!peek_min}/{!shrink} stay per-record.  Dead entries inside the kept
+      prefix survive the view (unlike {!copy_prefix}'s alive filter);
+      consolidation purges them exactly as it does in any snapshot.  The
+      Bloom filter over-approximates the subset, as in {!copy_prefix}. *)
+  let prefix_view t ~keep =
+    B.tick 1;
+    {
+      level = t.level;
+      payload = t.payload;
+      keys = t.keys;
+      filled = B.make keep;
+      filter = t.filter;
+      state = Published;
+    }
+
   (** Two-way merge of [b1] and [b2] into a fresh block whose level always
       has room for both inputs; alive filtering happens on the way.  The
       Bloom filters are united — the only point where filters change.

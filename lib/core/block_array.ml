@@ -177,12 +177,54 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (** Shrink every block and re-establish the level invariant; [true] iff a
       merge occurred (Listing 2's return value, used to decide whether the
-      snapshot must be pushed). *)
-  let consolidate ?pool ?scratch ~alive t =
+      snapshot must be pushed).
+
+      [changed] (when given) reports whether the block {e set} changed
+      physically — any block replaced, merged or dropped.  A consolidation
+      that only trimmed dead tails in place (or did nothing) leaves the
+      pointers identical; the previous pivots are then still sound (deletion
+      only shrinks candidate ranges, and [find_min] falls back to block
+      minima when a range empties), so they are restored — [normalize]
+      zeroes them unconditionally — and the caller may skip the O(k·size)
+      pivot rescan.  Note [changed] is deliberately wider than the return
+      value: an in-place dead-tail trim returns [false] from both. *)
+  let consolidate ?pool ?scratch ?changed ~alive t =
     B.fault_point "block_array.consolidate";
     let before = size t in
+    let before_blocks, before_pivots =
+      match changed with
+      | Some _ -> (Array.copy t.blocks, Array.copy t.pivots)
+      | None -> ([||], [||])
+    in
     let merged = normalize ?pool ?scratch ~alive t in
-    merged || size t <> before
+    let structural = merged || size t <> before in
+    (match changed with
+    | Some r ->
+        let phys =
+          structural
+          || Array.length t.blocks <> Array.length before_blocks
+          ||
+          let diff = ref false in
+          Array.iteri
+            (fun i b -> if b != before_blocks.(i) then diff := true)
+            t.blocks;
+          !diff
+        in
+        r := phys;
+        if not phys then t.pivots <- before_pivots
+    | None -> ());
+    structural
+
+  (** Replace the block set of a {e private} snapshot wholesale — the batch
+      claim ({!Shared_klsm.try_pop_batch}) rebuilds the array with consumed
+      runs removed and installs the result here.  Levels must already be
+      strictly decreasing.  Pivots are zeroed; the caller recomputes them
+      before publishing. *)
+  let replace_blocks t blocks =
+    t.blocks <- blocks;
+    let m = Array.length blocks in
+    if Array.length t.pivots <> m then t.pivots <- Array.make m 0
+    else Array.fill t.pivots 0 m 0
 
   (** Recompute [pivots] so the candidate ranges hold the (at most) [k + 1]
       smallest keys: a bounded multiway merge pops the globally smallest

@@ -132,6 +132,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     in
     outer ()
 
+  (* Batched delete (Pq_intf): the distributed LSM has no shared component
+     to claim a run from; plain loop. *)
+  let try_delete_min_batch h n =
+    let rec go acc got =
+      if got >= n then List.rev acc
+      else
+        match try_delete_min h with
+        | Some kv -> go (kv :: acc) (got + 1)
+        | None -> List.rev acc
+    in
+    go [] 0
+
   let approximate_size t =
     let acc = ref 0 in
     Array.iter

@@ -250,6 +250,74 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     in
     outer ()
 
+  (** Batched delete-min (DESIGN.md §17): when the shared component holds
+      the minimum, claim a whole run of it with one CAS
+      ({!Shared_klsm.try_pop_batch}) capped at the local minimum so every
+      returned key is one [try_delete_min] could have returned at its
+      position; local wins are taken one at a time (they are already
+      CAS-free).  Returns up to [n] items ascending; short batches mean the
+      queue looked empty mid-run (same contract as a spurious [None]). *)
+  let try_delete_min_batch h n =
+    if n <= 0 then []
+    else begin
+      let out = ref [] (* descending *) and got = ref 0 in
+      let rec go () =
+        if !got < n then begin
+          let local = Dist_lsm.find_min h.dist in
+          let shared = Shared_klsm.find_min h.shared_h in
+          (* Local at least ties — same arbitration as the single-pop race
+             (ties go local). *)
+          let take_local it =
+            if Item.take it then begin
+              Obs.incr h.obs c_delete_local;
+              out := (Item.key it, Item.value it) :: !out;
+              incr got
+            end
+            else Obs.incr h.obs c_take_race;
+            go ()
+          in
+          match (local, shared) with
+          | Some it, None -> take_local it
+          | Some it, Some s when Item.key it <= Item.key s -> take_local it
+          | _, Some s -> (
+              let limit =
+                match local with Some it -> Item.key it | None -> max_int
+              in
+              match
+                Shared_klsm.try_pop_batch h.shared_h ~limit (n - !got)
+              with
+              | [] ->
+                  (* Contended or stale view: fall back to a single take. *)
+                  if Item.take s then begin
+                    Obs.incr h.obs c_delete_shared;
+                    out := (Item.key s, Item.value s) :: !out;
+                    incr got
+                  end
+                  else Obs.incr h.obs c_take_race;
+                  go ()
+              | kvs ->
+                  List.iter
+                    (fun kv ->
+                      Obs.incr h.obs c_delete_shared;
+                      out := kv :: !out;
+                      incr got)
+                    kvs;
+                  go ())
+          | None, None ->
+              (* Both empty: one spy round, then report the short batch. *)
+              Dist_lsm.consolidate h.dist;
+              Obs.incr h.obs c_spy_attempt;
+              if spy_once h then begin
+                Obs.incr h.obs c_spy_success;
+                go ()
+              end
+              else Obs.incr h.obs c_delete_empty
+        end
+      in
+      go ();
+      List.rev !out
+    end
+
   (** Relaxed peek (the paper's try_find_min interface extension, §4):
       returns a key/value among the rho+1 smallest without deleting it.
       The item may be deleted concurrently right after (or even just

@@ -101,6 +101,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_sticky_hit = Obs.counter "stripe.sticky_hit"
   let c_buffer_flush = Obs.counter "stripe.buffer_flush"
   let c_resize = Obs.counter "stripe.resize"
+  let c_dbuf_hit = Obs.counter "stripe.dbuf_hit"
+  let c_dbuf_flush = Obs.counter "stripe.dbuf_flush"
 
   (** Per-stripe relaxation: the global budget split evenly, rounded up so
       S stripes never under-spend the contract ([S * ceil(k/S) >= k]). *)
@@ -155,6 +157,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (** durability hook (lib/store); see {!Klsm.Make.spill_policy} *)
     sticky_window : int;  (** stickiness window W; 0 = off *)
     buf_cap : int;  (** insertion-buffer capacity B; 0 = off *)
+    dbuf_cap : int;
+        (** deletion batch size B (DESIGN.md §17): shared deletes claim up
+            to B items with one publish CAS, serving B - 1 follow-ups from
+            the owner's deletion buffer; 0 = off *)
     adapt : (int * int) option;
         (** adaptive active-stripe-count targets (lo, hi); [None] = fixed *)
     active : int B.atomic;
@@ -204,6 +210,22 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             consults it can only over-flush, never hide an item *)
     mutable buf_age : int;
         (** owner operations since the oldest buffered item arrived *)
+    mutable dbuf : (int * 'v) list;
+        (** deletion buffer, ascending: items claimed-deleted from a stripe
+            in a batch, not yet returned to the owner.  Invisible to every
+            other thread — charged as the T * (B - 1) term of the widened
+            rank bound (DESIGN.md §17) *)
+    mutable dbuf_len : int;
+    mutable dbuf_age : int;
+        (** owner operations since the buffer last emptied; at
+            {!buffer_age_bound} the remainder is flushed back into the
+            thread-local LSM (liveness: a handle that stops deleting must
+            not sit on claimed items) *)
+    mutable dbuf_pending : (int * 'v) list;
+        (** tentative batch claim, recorded {e before} the publish CAS and
+            cleared when the claim resolves; read only by the chaos drive's
+            crash accounting (a thread killed inside the publish holds the
+            claim here whether or not its CAS landed) *)
     mutable pub_seen : int;  (** publish CASes in the current adapt window *)
     mutable pub_fail : int;  (** failed ones *)
     rng : Xoshiro.t;
@@ -212,8 +234,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   }
 
   let create_with ?(seed = 1) ?(k = 256) ?(shards = 4) ?(sticky = 0)
-      ?(buf = 0) ?adapt ?should_delete ?on_lazy_delete ?spill_max_level
-      ?spill_policy ?(local_ordering = true) ~num_threads () =
+      ?(buf = 0) ?(dbuf = 0) ?adapt ?should_delete ?on_lazy_delete
+      ?spill_max_level ?spill_policy ?(local_ordering = true) ~num_threads () =
     if num_threads < 1 then
       invalid_arg "Sharded_klsm.create: num_threads < 1";
     if shards < 1 then invalid_arg "Sharded_klsm.create: shards < 1";
@@ -255,6 +277,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
             budget ceil(k/S) = %d (buffered items are charged against the \
             local relaxation budget)"
            buf kp);
+    if dbuf < 0 || dbuf > kp then
+      invalid_arg
+        (Printf.sprintf
+           "Sharded_klsm.create: deletion batch %d exceeds the per-stripe \
+            budget ceil(k/S) = %d (a batch claim must fit inside one \
+            stripe's relaxation)"
+           dbuf kp);
+    if buf + dbuf > kp then
+      invalid_arg
+        (Printf.sprintf
+           "Sharded_klsm.create: insertion buffer %d + deletion batch %d \
+            overdraw the per-stripe budget ceil(k/S) = %d"
+           buf dbuf kp);
     let hasher = Tabular_hash.create ~seed:(seed lxor 0x5eed) in
     let alive =
       match should_delete with
@@ -290,6 +325,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       spill_policy;
       sticky_window = sticky;
       buf_cap = buf;
+      dbuf_cap = dbuf;
       adapt;
       active = Klsm_primitives.Padded.copy_as_padded (B.make shards);
       obs = Obs.create_sheet ~now:B.time ~num_threads ();
@@ -310,10 +346,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let set_k t k =
     if k < t.num_stripes then invalid_arg "Sharded_klsm.set_k: k < shards";
     let kp = stripe_k ~k ~shards:t.num_stripes in
-    if t.buf_cap > kp then
+    if t.buf_cap + t.dbuf_cap > kp then
       invalid_arg
-        "Sharded_klsm.set_k: new per-stripe budget below the insertion \
-         buffer capacity";
+        "Sharded_klsm.set_k: new per-stripe budget below the configured \
+         insertion-buffer + deletion-batch capacities";
     B.set t.k k;
     Array.iter (fun s -> Shared_klsm.set_k s kp) t.stripes
 
@@ -396,6 +432,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         buf_len = 0;
         buf_min = max_int;
         buf_age = 0;
+        dbuf = [];
+        dbuf_len = 0;
+        dbuf_age = 0;
+        dbuf_pending = [];
         pub_seen = 0;
         pub_fail = 0;
         rng;
@@ -494,11 +534,47 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       drain ()
     end
 
+  (** Return claimed-but-unserved deletion-buffer items to the queue: each
+      is reinserted into the thread-local LSM as a fresh item (the claimed
+      originals were consumed from their stripe and are invisible to every
+      other thread, so reinsertion is the only way back to visibility).
+      Triggered by the owner's age bound — a handle that stops deleting
+      must not sit on claimed items — and by the chaos drive on surviving
+      threads.  Items leave the buffer one by one {e after} reinsertion,
+      mirroring {!flush_buffer}'s crash discipline: a crash mid-flush
+      leaves the not-yet-reinserted tail visible in [h.dbuf] for the
+      conservation accounting (an item caught on both sides is delivered
+      at most once — the buffered copy never leaves a dead handle). *)
+  let flush_dbuf h =
+    if h.dbuf_len > 0 then begin
+      B.fault_point "sharded.dbuf.flush";
+      Obs.incr h.obs c_dbuf_flush;
+      let rec drain () =
+        match h.dbuf with
+        | [] -> h.dbuf_age <- 0
+        | (key, value) :: rest ->
+            insert_now h key value;
+            h.dbuf <- rest;
+            h.dbuf_len <- h.dbuf_len - 1;
+            drain ()
+      in
+      drain ()
+    end
+
+  (* One owner operation elapsed while deletion-buffer items wait; flush
+     the remainder once the age bound is crossed. *)
+  let dbuf_tick h =
+    if h.dbuf_len > 0 then begin
+      h.dbuf_age <- h.dbuf_age + 1;
+      if h.dbuf_age >= buffer_age_bound then flush_dbuf h
+    end
+
   (** §4.3 [insert], through the per-handle insertion buffer when one is
       configured (DESIGN.md §15): the common case is a buffer push; the
       LSM merge cascade and any stripe publish happen only on flush. *)
   let insert h key value =
     if key < 0 then invalid_arg "Sharded_klsm.insert: negative key";
+    dbuf_tick h;
     if h.t.buf_cap = 0 then insert_now h key value
     else begin
       if h.buf_len > 0 then begin
@@ -680,45 +756,129 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       | Some victim -> Dist_lsm.spy h.dist ~victim
     end
 
+  (* Batched shared delete (DESIGN.md §17): claim up to B = [dbuf_cap]
+     items from the stripe that won the race with ONE publish CAS
+     ({!Shared_klsm.try_pop_batch}), capped at the local minimum — the
+     run must not reach past what the owner itself holds.  No cross-stripe
+     cap is applied at claim time: stripe hints lower-bound the smallest
+     {e alive} key through logically deleted items, so they are
+     systematically stale-low and would veto nearly every claim; instead
+     the serve rule in {!try_delete_min} re-certifies the buffered head
+     against the {e live} hints at every serve, which is strictly stronger
+     than a claim-time check (hints move; the serve-time one is the one
+     that matters for the rank bound).  The head is returned now; the rest
+     lands in the owner's deletion buffer.  [dbuf_pending] records the
+     tentative run before the CAS, for the chaos drive's crash accounting.
+     [None] = claim lost or nothing under the cap; the caller falls back
+     to the single take. *)
+  let claim_batch h ~local_key =
+    let stripe_i = h.cached_stripe in
+    let run =
+      Shared_klsm.try_pop_batch
+        ~stage:(fun pending -> h.dbuf_pending <- pending)
+        ~limit:local_key h.stripe_hs.(stripe_i) h.t.dbuf_cap
+    in
+    h.dbuf_pending <- [];
+    match run with
+    | [] -> None
+    | (key, value) :: rest ->
+        h.dbuf <- rest;
+        h.dbuf_len <- List.length rest;
+        h.dbuf_age <- 0;
+        Obs.incr h.obs c_delete_shared;
+        if h.t.sticky_window > 0 then begin
+          h.sticky_stripe <- stripe_i;
+          h.sticky_left <- h.t.sticky_window
+        end;
+        (* The winning publish restructured the stripe; drop the candidate
+           cache rather than let it point at a just-claimed item. *)
+        h.cached <- None;
+        Some (key, value)
+
   (** Listing 5's [delete_min] over the striped shared component: race the
       thread-local minimum against {!stripes_find_min}, test-and-set, retry
       lost races, spy before reporting empty.  A successful shared delete
-      opens (or refreshes) the stickiness window on the serving stripe. *)
+      opens (or refreshes) the stickiness window on the serving stripe.
+
+      With deletion batching on ([~dbuf:B]), the deletion buffer is
+      consulted first: its head was globally minimal under the rank bound
+      when claimed, and is served — with zero CASes and zero stripe
+      consults beyond the hint loads — whenever neither the local minimum
+      nor any stripe hint undercuts it.  A shared win with an empty buffer
+      claims a fresh run via {!claim_batch}. *)
   let try_delete_min h =
+    dbuf_tick h;
     let rec outer () =
       let rec take_loop () =
         let local = local_min_flushing h in
+        let local_key =
+          match local with Some it -> Item.key it | None -> max_int
+        in
+        let dhead =
+          match h.dbuf with [] -> max_int | (key, _) :: _ -> key
+        in
+        let best_known = min local_key dhead in
         let shared =
-          match local with
-          | Some it when stripes_certified_above h (Item.key it) ->
-              Obs.incr h.obs c_hint_skip;
-              None
-          | _ -> stripes_find_min h
+          if best_known < max_int && stripes_certified_above h best_known
+          then begin
+            Obs.incr h.obs c_hint_skip;
+            None
+          end
+          else stripes_find_min h
         in
-        let candidate, from_shared =
-          match (local, shared) with
-          | None, sh -> (sh, true)
-          | Some it, Some sh when Item.key sh < Item.key it -> (Some sh, true)
-          | Some _, _ -> (local, false)
+        let shared_key =
+          match shared with Some it -> Item.key it | None -> max_int
         in
-        match candidate with
-        | None -> None
-        | Some item ->
-            if Item.take item then begin
-              if from_shared then begin
-                Obs.incr h.obs c_delete_shared;
-                if h.t.sticky_window > 0 && h.cached_stripe >= 0 then begin
-                  h.sticky_stripe <- h.cached_stripe;
-                  h.sticky_left <- h.t.sticky_window
-                end
-              end
-              else Obs.incr h.obs c_delete_local;
-              Some (Item.key item, Item.value item)
-            end
-            else begin
-              Obs.incr h.obs c_take_race;
-              take_loop ()
-            end
+        if dhead < max_int && dhead <= local_key && dhead <= shared_key then begin
+          (* Deletion-buffer hit: the claimed head is still the best known
+             candidate (ties go to the buffer — its item is already
+             deleted, so serving it costs nothing). *)
+          match h.dbuf with
+          | (key, value) :: rest ->
+              h.dbuf <- rest;
+              h.dbuf_len <- h.dbuf_len - 1;
+              if h.dbuf_len = 0 then h.dbuf_age <- 0;
+              Obs.incr h.obs c_dbuf_hit;
+              Obs.incr h.obs c_delete_shared;
+              Some (key, value)
+          | [] -> assert false
+        end
+        else
+          let candidate, from_shared =
+            match (local, shared) with
+            | None, sh -> (sh, true)
+            | Some it, Some sh when Item.key sh < Item.key it ->
+                (Some sh, true)
+            | Some _, _ -> (local, false)
+          in
+          match candidate with
+          | None -> None
+          | Some item -> (
+              match
+                if
+                  from_shared && h.t.dbuf_cap > 0 && h.dbuf_len = 0
+                  && h.cached_stripe >= 0
+                then claim_batch h ~local_key
+                else None
+              with
+              | Some kv -> Some kv
+              | None ->
+                  if Item.take item then begin
+                    if from_shared then begin
+                      Obs.incr h.obs c_delete_shared;
+                      if h.t.sticky_window > 0 && h.cached_stripe >= 0
+                      then begin
+                        h.sticky_stripe <- h.cached_stripe;
+                        h.sticky_left <- h.t.sticky_window
+                      end
+                    end
+                    else Obs.incr h.obs c_delete_local;
+                    Some (Item.key item, Item.value item)
+                  end
+                  else begin
+                    Obs.incr h.obs c_take_race;
+                    take_loop ()
+                  end)
       in
       match take_loop () with
       | Some kv -> Some kv
@@ -739,23 +899,53 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   (** Relaxed peek; advisory on a concurrent queue (see
       {!Klsm.try_find_min}).  Flushes the insertion buffer when a buffered
       key undercuts the local minimum, so no buffered item hides below the
-      answer. *)
+      answer; a deletion-buffer head competes like any candidate (it is
+      part of the owner's view, so hiding it would break owner
+      exactness). *)
   let try_find_min h =
     let local = local_min_flushing h in
+    let local_key =
+      match local with Some it -> Item.key it | None -> max_int
+    in
+    let dhead = match h.dbuf with [] -> max_int | (key, _) :: _ -> key in
+    let best_known = min local_key dhead in
     let shared =
-      match local with
-      | Some it when stripes_certified_above h (Item.key it) ->
-          Obs.incr h.obs c_hint_skip;
-          None
-      | _ -> stripes_find_min h
+      if best_known < max_int && stripes_certified_above h best_known
+      then begin
+        Obs.incr h.obs c_hint_skip;
+        None
+      end
+      else stripes_find_min h
     in
-    let candidate =
-      match (local, shared) with
-      | None, sh -> sh
-      | Some it, Some sh when Item.key sh < Item.key it -> Some sh
-      | Some _, _ -> local
+    let shared_key =
+      match shared with Some it -> Item.key it | None -> max_int
     in
-    Option.map (fun it -> (Item.key it, Item.value it)) candidate
+    if dhead < max_int && dhead <= local_key && dhead <= shared_key then
+      match h.dbuf with
+      | (key, value) :: _ -> Some (key, value)
+      | [] -> assert false
+    else
+      let candidate =
+        match (local, shared) with
+        | None, sh -> sh
+        | Some it, Some sh when Item.key sh < Item.key it -> Some sh
+        | Some _, _ -> local
+      in
+      Option.map (fun it -> (Item.key it, Item.value it)) candidate
+
+  (** Batched delete-min: a plain {!try_delete_min} loop — with deletion
+      batching on, the first iteration claims a run and the rest of the
+      batch drains the buffer, so the whole call still costs one publish
+      CAS per up-to-B items (see {!Pq_intf.S.try_delete_min_batch}). *)
+  let try_delete_min_batch h n =
+    let rec go acc got =
+      if got >= n then List.rev acc
+      else
+        match try_delete_min h with
+        | Some kv -> go (kv :: acc) (got + 1)
+        | None -> List.rev acc
+    in
+    go [] 0
 
   (** Meld (§4.5, non-linearizable; see {!Klsm.meld}): adopt every block of
       [src] into the queue behind [h], through [h]'s home stripe.  Like the
@@ -811,6 +1001,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let internal_stripe_handles h = h.stripe_hs
   let internal_dist h = h.dist
   let internal_buffered h = h.buf
+  let internal_dbuf h = h.dbuf
+  let internal_dbuf_pending h = h.dbuf_pending
   let internal_sticky_left h = h.sticky_left
   let internal_sticky_stripe h = h.sticky_stripe
   let internal_active t = active_stripes t

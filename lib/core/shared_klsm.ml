@@ -29,6 +29,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
   let c_consolidate = Obs.counter "shared.consolidate"
   let c_pivots = Obs.counter "shared.pivot_recompute"
   let c_empty_publish = Obs.counter "shared.empty_publish"
+  let c_batch_claim = Obs.counter "shared.batch_claim"
   let s_insert = Obs.span "shared.insert"
   let s_find_min = Obs.span "shared.find_min"
 
@@ -232,14 +233,20 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                   refresh_snapshot h
                 end
                 else begin
-                  (* Stale view: rebuild and retry. *)
+                  (* Stale view: rebuild and retry.  The pivot rescan is
+                     skipped when the consolidation changed no block
+                     physically — the restored pivots are still sound
+                     (candidate ranges only shrink under deletion). *)
                   Obs.incr h.obs c_consolidate;
+                  let changed = ref true in
                   ignore
                     (Block_array.consolidate ~pool:h.pool ~scratch:h.scratch
-                       ~alive snap);
-                  Obs.incr h.obs c_pivots;
-                  Block_array.calculate_pivots ~scratch:h.scratch snap
-                    ~k:(B.get h.q.k)
+                       ~changed ~alive snap);
+                  if !changed then begin
+                    Obs.incr h.obs c_pivots;
+                    Block_array.calculate_pivots ~scratch:h.scratch snap
+                      ~k:(B.get h.q.k)
+                  end
                 end
               end;
               if Option.is_none h.snapshot then None else loop ()
@@ -248,9 +255,10 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
               else begin
                 (* Deleted minimum: clean up, publish if we restructured. *)
                 Obs.incr h.obs c_consolidate;
+                let changed = ref true in
                 let push =
                   Block_array.consolidate ~pool:h.pool ~scratch:h.scratch
-                    ~alive snap
+                    ~changed ~alive snap
                 in
                 if Block_array.is_empty snap then begin
                   (* Whether or not our CAS wins, someone published a newer
@@ -260,9 +268,15 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                   refresh_snapshot h
                 end
                 else begin
-                  Obs.incr h.obs c_pivots;
-                  Block_array.calculate_pivots ~scratch:h.scratch snap
-                    ~k:(B.get h.q.k);
+                  (* As above: an all-in-place consolidation (the common
+                     shape of a delete retry whose CAS raced but whose view
+                     is otherwise current) keeps its restored pivots and
+                     skips the rescan. *)
+                  if !changed then begin
+                    Obs.incr h.obs c_pivots;
+                    Block_array.calculate_pivots ~scratch:h.scratch snap
+                      ~k:(B.get h.q.k)
+                  end;
                   if push then begin
                     (* As in [insert]: a successfully pushed snapshot is
                        shared from now on, so leave [observed] stale and let
@@ -277,6 +291,148 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     let r = loop () in
     Obs.span_end h.obs s_find_min t0;
     r
+
+  (** Batched delete (DESIGN.md §17): claim up to [n] smallest alive items
+      of the shared array with a {e single} publish CAS.  A bounded
+      multiway merge over the block tails (the same cursor walk as
+      [calculate_pivots], but alive-filtered) selects the run; the snapshot
+      is then rebuilt with the run removed — untouched blocks stay shared,
+      a partially-consumed block is replaced by an O(1) same-level
+      {!Block.prefix_view} over its own arrays, a fully-consumed one is
+      dropped — pivots are recomputed and the result installed.  Only
+      items with key [<= limit] are claimed, which is how callers keep
+      the run within their own relaxed budget (the sharded composition
+      caps at its local minimum and re-certifies each buffered item at
+      serve time).
+
+      The winning CAS is the linearization point of the whole run: from
+      then on no other thread can reach the claimed items structurally, and
+      the follow-up [Item.take] per item only arbitrates against threads
+      holding older snapshots — a lost take means that thread consumed the
+      item first, and it is silently dropped from the result.
+
+      [stage] (when given) runs with the tentative run {e before} the CAS —
+      the chaos harness's crash-accounting window: a thread killed inside
+      the publish has the claim recorded whether or not the CAS landed.
+
+      Returns the claimed [(key, value)] run in ascending key order; [[]]
+      when nothing was claimable or the CAS lost twice (callers fall back
+      to the single-pop path). *)
+  let try_pop_batch ?stage ?(limit = max_int) h n =
+    let alive = h.q.alive in
+    if n <= 0 then []
+    else begin
+      let rec attempt tries =
+        refresh_snapshot h;
+        match h.snapshot with
+        | None -> []
+        | Some snap ->
+            let blocks = Block_array.blocks snap in
+            let nb = Array.length blocks in
+            if nb = 0 then []
+            else begin
+              (* Multiway scan from each block's minimum ([filled - 1])
+                 upward, skipping dead items; collects the ascending run.
+                 The key walk streams the resident key mirrors; a block's
+                 boxed items are fetched lazily on its first claim, so
+                 blocks whose tail never wins the scan — and in particular
+                 spilled blocks, whose [items] is a disk fault — are never
+                 touched. *)
+              let cursor = Array.map (fun b -> Block.filled b - 1) blocks in
+              let items = Array.make nb [||] in
+              let items_of i =
+                if Array.length items.(i) = 0 then
+                  items.(i) <- Block.items blocks.(i);
+                items.(i)
+              in
+              let claimed = ref [] (* descending *) and claimed_n = ref 0 in
+              let scanning = ref true in
+              while !scanning && !claimed_n < n do
+                let best = ref (-1) and best_key = ref max_int in
+                for i = 0 to nb - 1 do
+                  if cursor.(i) >= 0 then begin
+                    let key = blocks.(i).Block.keys.(cursor.(i)) in
+                    if !best = -1 || key < !best_key then begin
+                      best := i;
+                      best_key := key
+                    end
+                  end
+                done;
+                B.tick nb;
+                if !best = -1 || !best_key > limit then scanning := false
+                else begin
+                  let i = !best in
+                  let it = (items_of i).(cursor.(i)) in
+                  if alive it then begin
+                    claimed := it :: !claimed;
+                    incr claimed_n
+                  end;
+                  cursor.(i) <- cursor.(i) - 1
+                end
+              done;
+              if !claimed_n = 0 then []
+              else begin
+                (* Rebuild without the consumed tails.  [cursor.(i)] is the
+                   last unexamined index, so entries [0 .. cursor] remain: a
+                   partially-consumed block is replaced by an O(1)
+                   [prefix_view] over the same (published, never-recycled)
+                   arrays — the rebuild must not pay a copy of the large
+                   prefix to drop the small tail. *)
+                let kept = ref [] in
+                for i = nb - 1 downto 0 do
+                  let b = blocks.(i) in
+                  let keep = cursor.(i) + 1 in
+                  if keep >= Block.filled b then kept := b :: !kept
+                  else if keep > 0 then
+                    kept := Block.prefix_view b ~keep :: !kept
+                done;
+                let run = List.rev !claimed in
+                (match stage with
+                | Some f ->
+                    f (List.map (fun it -> (Item.key it, Item.value it)) run)
+                | None -> ());
+                let arr = Array.of_list !kept in
+                let won =
+                  if Array.length arr = 0 then begin
+                    Obs.incr h.obs c_empty_publish;
+                    push_snapshot h None
+                  end
+                  else begin
+                    Block_array.replace_blocks snap arr;
+                    Obs.incr h.obs c_pivots;
+                    Block_array.calculate_pivots ~scratch:h.scratch snap
+                      ~k:(B.get h.q.k);
+                    push_snapshot h (Some snap)
+                  end
+                in
+                if won then begin
+                  Obs.incr h.obs c_batch_claim;
+                  (* Takes arbitrate against older-snapshot readers: a take
+                     that fails with the flag set was consumed by them and
+                     drops out of the run.  A failure with the flag still
+                     clear is spurious (the chaos engine injects these) and
+                     must be retried — the item is already pruned from the
+                     published array, so silently dropping it here would
+                     lose the payload. *)
+                  let rec take_claimed it =
+                    if Item.take it then true
+                    else if Item.is_taken it then false
+                    else take_claimed it
+                  in
+                  List.filter_map
+                    (fun it ->
+                      if take_claimed it then
+                        Some (Item.key it, Item.value it)
+                      else None)
+                    run
+                end
+                else if tries > 0 then attempt (tries - 1)
+                else []
+              end
+            end
+      in
+      attempt 1
+    end
 
   (** Item count as observed in the current shared array (may include
       logically deleted items; the paper allows [size] to be off by rho). *)

@@ -39,6 +39,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     shards : int;  (** stripe count S (initial count with [adapt]) *)
     sticky : int;  (** stickiness window W; 0 = off *)
     buf : int;  (** insertion-buffer capacity B; 0 = off *)
+    dbuf : int;  (** deletion batch size B (DESIGN.md §17); 0 = off *)
     adapt : (int * int) option;  (** adaptive stripe targets (lo, hi) *)
   }
 
@@ -57,8 +58,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
 
   (** [klsm_sharded k shards] with the contention knobs defaulted off —
       the exact PR 5 sharded queue. *)
-  let klsm_sharded ?(sticky = 0) ?(buf = 0) ?adapt k shards =
-    Klsm_sharded { k; shards; sticky; buf; adapt }
+  let klsm_sharded ?(sticky = 0) ?(buf = 0) ?(dbuf = 0) ?adapt k shards =
+    Klsm_sharded { k; shards; sticky; buf; dbuf; adapt }
 
   let rec spec_name = function
     | Heap_lock -> "heap+lock"
@@ -74,6 +75,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           Buffer.add_string b (Printf.sprintf ",sticky=%d" cfg.sticky);
         if cfg.buf > 0 then
           Buffer.add_string b (Printf.sprintf ",buf=%d" cfg.buf);
+        if cfg.dbuf > 0 then
+          Buffer.add_string b (Printf.sprintf ",dbuf=%d" cfg.dbuf);
         (match cfg.adapt with
         | Some (lo, hi) ->
             Buffer.add_string b (Printf.sprintf ",adapt=%d-%d" lo hi)
@@ -195,6 +198,18 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                                 (omit buf= to disable buffering)"
                                s)
                       | Ok b -> collect rest ~npos { acc with buf = b })
+                  | "dbuf" -> (
+                      match
+                        parse_int ~what:"the deletion batch size B" v
+                      with
+                      | Error e -> Error e
+                      | Ok 0 ->
+                          Error
+                            (Printf.sprintf
+                               "%S: deletion batch size must be >= 1 (omit \
+                                dbuf= to disable delete batching)"
+                               s)
+                      | Ok b -> collect rest ~npos { acc with dbuf = b })
                   | "adapt" -> (
                       match String.index_opt v '-' with
                       | None ->
@@ -234,12 +249,12 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                       Error
                         (Printf.sprintf
                            "%S: unknown parameter %S (known: sticky=<W>, \
-                            buf=<B>, adapt=<LO>-<HI>)"
+                            buf=<B>, dbuf=<B>, adapt=<LO>-<HI>)"
                            s key)))
         in
         match
           collect toks ~npos:0
-            { k = 256; shards = 4; sticky = 0; buf = 0; adapt = None }
+            { k = 256; shards = 4; sticky = 0; buf = 0; dbuf = 0; adapt = None }
         with
         | Error e -> Error e
         | Ok cfg ->
@@ -300,6 +315,19 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                           against the local relaxation budget, so B must \
                           fit inside it)"
                          s cfg.buf kp)
+                  else if cfg.dbuf > kp then
+                    Error
+                      (Printf.sprintf
+                         "%S: deletion batch %d exceeds the per-stripe \
+                          budget ceil(k/S) = %d (a batch claim must fit \
+                          inside one stripe's relaxation)"
+                         s cfg.dbuf kp)
+                  else if cfg.buf + cfg.dbuf > kp then
+                    Error
+                      (Printf.sprintf
+                         "%S: insertion buffer %d + deletion batch %d \
+                          overdraw the per-stripe budget ceil(k/S) = %d"
+                         s cfg.buf cfg.dbuf kp)
                   else Ok (Klsm_sharded cfg)
             end)
     | "dlsm" -> no_arg Dlsm
@@ -311,8 +339,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           (Printf.sprintf
              "unknown implementation %S; known: heap, linden, spray, \
               multiq[:C], klsm[:K], \
-              klsm-sharded[:K[:S]][:sticky=W][:buf=B][:adapt=LO-HI], dlsm, \
-              centralized, hybrid[:K]; klsm and klsm-sharded accept \
+              klsm-sharded[:K[:S]][:sticky=W][:buf=B][:dbuf=B][:adapt=LO-HI], \
+              dlsm, centralized, hybrid[:K]; klsm and klsm-sharded accept \
               +spill:<bytes> and +store:<dir> suffixes"
              s)
 
@@ -493,8 +521,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
       ("spraylist", "spraylist");
       ("multiq[:C]", "multiq:2");
       ("klsm[:K]", "klsm:256");
-      ( "klsm-sharded[:K[:S]][:sticky=W][:buf=B][:adapt=LO-HI]",
-        "klsm-sharded:256:4:sticky=8:buf=16:adapt=2-8" );
+      ( "klsm-sharded[:K[:S]][:sticky=W][:buf=B][:dbuf=B][:adapt=LO-HI]",
+        "klsm-sharded:256:4:sticky=8:buf=16:dbuf=8:adapt=2-8" );
       ("dlsm", "dlsm");
       ("centralized-k", "centralized-k");
       ("hybrid-k[:K]", "hybrid-k:256");
@@ -517,6 +545,9 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         (** bulk path (Pq_intf.insert_batch); the k-LSM linearizes the whole
             batch as one shared-component update *)
     try_delete_min : unit -> (int * int) option;
+    try_delete_min_batch : int -> (int * int) list;
+        (** bulk delete path (Pq_intf.try_delete_min_batch): up to n items,
+            ascending; the k-LSMs claim the run with a single CAS *)
   }
 
   type instance = {
@@ -543,6 +574,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Locked_heap.insert h;
                 insert_batch = Locked_heap.insert_batch h;
                 try_delete_min = (fun () -> Locked_heap.try_delete_min h);
+                try_delete_min_batch = Locked_heap.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Locked_heap.size q);
           stats = (fun () -> Locked_heap.stats q);
@@ -558,6 +590,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Linden.insert h;
                 insert_batch = Linden.insert_batch h;
                 try_delete_min = (fun () -> Linden.try_delete_min h);
+                try_delete_min_batch = Linden.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Linden.alive_size q);
           stats = (fun () -> Linden.stats q);
@@ -573,6 +606,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Spraylist.insert h;
                 insert_batch = Spraylist.insert_batch h;
                 try_delete_min = (fun () -> Spraylist.try_delete_min h);
+                try_delete_min_batch = Spraylist.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Spraylist.alive_size q);
           stats = (fun () -> Spraylist.stats q);
@@ -588,6 +622,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Multiq.insert h;
                 insert_batch = Multiq.insert_batch h;
                 try_delete_min = (fun () -> Multiq.try_delete_min h);
+                try_delete_min_batch = Multiq.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Multiq.approximate_size q);
           stats = (fun () -> Multiq.stats q);
@@ -603,13 +638,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Klsm.insert h;
                 insert_batch = Klsm.insert_batch h;
                 try_delete_min = (fun () -> Klsm.try_delete_min h);
+                try_delete_min_batch = Klsm.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Klsm.approximate_size q);
           stats = (fun () -> Klsm.stats q);
         }
-    | Klsm_sharded { k; shards; sticky; buf; adapt } ->
+    | Klsm_sharded { k; shards; sticky; buf; dbuf; adapt } ->
         let q =
-          Sharded.create_with ~seed ~k ~shards ~sticky ~buf ?adapt
+          Sharded.create_with ~seed ~k ~shards ~sticky ~buf ~dbuf ?adapt
             ?should_delete ?on_lazy_delete ~num_threads ()
         in
         {
@@ -621,6 +657,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Sharded.insert h;
                 insert_batch = Sharded.insert_batch h;
                 try_delete_min = (fun () -> Sharded.try_delete_min h);
+                try_delete_min_batch = Sharded.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Sharded.approximate_size q);
           stats = (fun () -> Sharded.stats q);
@@ -636,6 +673,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Dlsm.insert h;
                 insert_batch = Dlsm.insert_batch h;
                 try_delete_min = (fun () -> Dlsm.try_delete_min h);
+                try_delete_min_batch = Dlsm.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Dlsm.approximate_size q);
           stats = (fun () -> Dlsm.stats q);
@@ -655,6 +693,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert_batch = Wimmer_centralized.insert_batch h;
                 try_delete_min =
                   (fun () -> Wimmer_centralized.try_delete_min h);
+                try_delete_min_batch = Wimmer_centralized.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Wimmer_centralized.size q);
           stats = (fun () -> Wimmer_centralized.stats q);
@@ -673,6 +712,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                 insert = Wimmer_hybrid.insert h;
                 insert_batch = Wimmer_hybrid.insert_batch h;
                 try_delete_min = (fun () -> Wimmer_hybrid.try_delete_min h);
+                try_delete_min_batch = Wimmer_hybrid.try_delete_min_batch h;
               });
           approximate_size = (fun () -> Wimmer_hybrid.approximate_size q);
           stats = (fun () -> Wimmer_hybrid.stats q);
@@ -711,13 +751,14 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                     insert = Klsm.insert h;
                     insert_batch = Klsm.insert_batch h;
                     try_delete_min = (fun () -> Klsm.try_delete_min h);
+                try_delete_min_batch = Klsm.try_delete_min_batch h;
                   });
               approximate_size = (fun () -> Klsm.approximate_size q);
               stats = merge_stats (fun () -> Klsm.stats q);
             }
-        | Klsm_sharded { k; shards; sticky; buf; adapt } ->
+        | Klsm_sharded { k; shards; sticky; buf; dbuf; adapt } ->
             let q =
-              Sharded.create_with ~seed ~k ~shards ~sticky ~buf ?adapt
+              Sharded.create_with ~seed ~k ~shards ~sticky ~buf ~dbuf ?adapt
                 ?should_delete ?on_lazy_delete ~spill_policy:policy
                 ~num_threads ()
             in
@@ -730,6 +771,7 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
                     insert = Sharded.insert h;
                     insert_batch = Sharded.insert_batch h;
                     try_delete_min = (fun () -> Sharded.try_delete_min h);
+                try_delete_min_batch = Sharded.try_delete_min_batch h;
                   });
               approximate_size = (fun () -> Sharded.approximate_size q);
               stats = merge_stats (fun () -> Sharded.stats q);

@@ -20,7 +20,13 @@
       bounded queue.  [try_admit] refuses new roots beyond [capacity];
       {!admit_wait} converts refusal into a backoff-based backpressure
       wait ({!Klsm_primitives.Backoff}), which is the signal a load-shedding
-      layer above would consume. *)
+      layer above would consume.
+
+    The drain side has a symmetric knob: {!Worker.make_ctx}'s
+    [~batch]/[~pop_batch] pulls a run of task ids per shared-queue round
+    trip ([try_delete_min_batch]; one claiming CAS on the k-LSMs), so a
+    flush published here as one block can be consumed as one batch there
+    ([Closed_loop.config.dbuf] / [sched --dbuf]). *)
 
 module Make (B : Klsm_backend.Backend_intf.S) = struct
   module Backoff = Klsm_primitives.Backoff

@@ -24,7 +24,11 @@
       leasing it ({!Task.try_lease}).  The shared component alone decides
       {e which task starts next} (so the k-LSM's rank bound still governs
       priority order); the deques only absorb the churn of the short-lived
-      fibers a started task explodes into;
+      fibers a started task explodes into.  With a delete batch configured
+      ([make_ctx ~batch ~pop_batch]) that round trip claims a whole run of
+      ids at once — one shared-component CAS on the k-LSMs — starting the
+      most urgent inline and parking the rest in the deque as immediately
+      steal-ready, lease-on-run fibers;
     + {b supervising} (robust mode): on dry rounds the worker heartbeat-
       checks its peers, declares silent ones dead, expires overdue leases
       into parked retries or the dead-letter queue, re-enqueues parked
@@ -185,6 +189,13 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     tid : int;
     sub : Submitter.t;
     pop : unit -> (int * int) option;  (** the queue's try_delete_min *)
+    pop_batch : int -> (int * int) list;
+        (** the queue's try_delete_min_batch; on the k-LSMs one call
+            claims a whole run of tasks from the shared component with a
+            single CAS (see Shared_klsm.try_pop_batch) *)
+    batch : int;
+        (** tasks pulled per shared-queue round trip; 1 = the classic
+            one-pop serve loop, byte-identical to the pre-batch worker *)
     w : Metrics.worker;
     obs : Obs.handle;
     deque : Fiber.work Deque.t;  (** this worker's own deque *)
@@ -292,12 +303,28 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
           Obs.incr c.obs Fiber.c_resume);
     }
 
-  let make_ctx ?(obs = Obs.null_handle) ?steal_seed ~pool ~tid ~sub ~pop
-      ~metrics () =
+  let make_ctx ?(obs = Obs.null_handle) ?steal_seed ?(batch = 1) ?pop_batch
+      ~pool ~tid ~sub ~pop ~metrics () =
     if tid < 0 || tid >= Array.length pool.ctxs then
       invalid_arg "Worker.make_ctx: tid out of range";
+    if batch < 1 then invalid_arg "Worker.make_ctx: batch < 1";
     let seed =
       match steal_seed with Some s -> s | None -> 0x9E3779B9 + (6271 * tid)
+    in
+    let pop_batch =
+      match pop_batch with
+      | Some f -> f
+      | None ->
+          (* Queues without a bulk path: the Pq_intf default loop. *)
+          fun n ->
+            let rec go acc got =
+              if got >= n then List.rev acc
+              else
+                match pop () with
+                | Some kv -> go (kv :: acc) (got + 1)
+                | None -> List.rev acc
+            in
+            go [] 0
     in
     let c =
       {
@@ -305,6 +332,8 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
         tid;
         sub;
         pop;
+        pop_batch;
+        batch;
         w = metrics;
         obs;
         deque = pool.deques.(tid);
@@ -486,34 +515,115 @@ module Make (B : Klsm_backend.Backend_intf.S) = struct
     let root = Fiber.create (wrap att (fun () -> Task.run task (api_of att))) in
     Fiber.run ctx.hooks (Fiber.Work root)
 
+  (* Lease and start one freshly-popped task id on this worker, inline. *)
+  let start_one (ctx : ctx) id =
+    match B.get ctx.pool.tasks.(id) with
+    | None ->
+        (* Unreachable with a conserving queue: ids are enqueued only
+           after table publication. *)
+        ctx.w.double_claims <- ctx.w.double_claims + 1;
+        Obs.incr ctx.obs c_claim_race
+    | Some task -> (
+        match Task.try_lease task ~now:(B.time ()) with
+        | Task.Leased attempt -> execute ctx task ~attempt
+        | Task.Lost ->
+            ctx.w.double_claims <- ctx.w.double_claims + 1;
+            Obs.incr ctx.obs c_claim_race
+        | Task.Deadline_expired ->
+            ctx.w.timeouts <- ctx.w.timeouts + 1;
+            Obs.incr ctx.obs c_timeout;
+            dead_letter ctx task)
+
+  (* Park a batch-claimed task in the deque as a steal-ready fiber.  The
+     LEASE happens when the fiber runs, not when it is deferred: the
+     lease clock must not start ticking on a task that may sit in the
+     deque behind a long head, and a worker killed with deferred tasks
+     still on its deque leaves them [Pending] — never leased — so the
+     supervisor's rescue sweep re-enqueues them exactly like ids stranded
+     in a crashed worker's submission buffer.  All accounting resolves
+     the executing worker through {!cur} because a thief, not the
+     deferrer, may run the fiber.  The fiber is counted as spawned here
+     and completed in every terminal branch (lease won or lost), keeping
+     the per-fiber exactly-once audit balanced. *)
+  let defer_task (ctx : ctx) (_priority, id) =
+    let pool = ctx.pool in
+    ctx.w.Metrics.fibers <- ctx.w.Metrics.fibers + 1;
+    Obs.incr ctx.obs Fiber.c_spawn;
+    let fib =
+      Fiber.create (fun () ->
+          let c = cur pool in
+          let undone () =
+            c.w.Metrics.fibers_completed <- c.w.Metrics.fibers_completed + 1
+          in
+          match B.get pool.tasks.(id) with
+          | None ->
+              c.w.double_claims <- c.w.double_claims + 1;
+              Obs.incr c.obs c_claim_race;
+              undone ()
+          | Some task -> (
+              match Task.try_lease task ~now:(B.time ()) with
+              | Task.Leased attempt ->
+                  (* This fiber becomes the attempt's root: same
+                     accounting as {!execute}, minus the extra fiber
+                     spawn (this fiber was counted at defer time). *)
+                  Metrics.push c.w.delays (Task.queueing_delay task);
+                  let prev =
+                    B.exchange pool.last_started task.Task.priority
+                  in
+                  Metrics.push c.w.slacks
+                    (float_of_int (max 0 (prev - task.Task.priority)));
+                  if attempt > 1 then begin
+                    c.w.retries <- c.w.retries + 1;
+                    Obs.incr c.obs c_retry
+                  end;
+                  B.fault_point "sched.execute.post_lease";
+                  let att = { task; live = patomic 1; pool } in
+                  wrap att (fun () -> Task.run task (api_of att)) ()
+              | Task.Lost ->
+                  c.w.double_claims <- c.w.double_claims + 1;
+                  Obs.incr c.obs c_claim_race;
+                  undone ()
+              | Task.Deadline_expired ->
+                  c.w.timeouts <- c.w.timeouts + 1;
+                  Obs.incr c.obs c_timeout;
+                  dead_letter c task;
+                  undone ()))
+    in
+    Deque.push ctx.deque (Fiber.Work fib)
+
   (** Pop and execute at most one task from the shared queue; [false]
       when it looked empty.  A task id delivered twice (queue race or
       supervisor re-enqueue) loses the lease race and is counted, never
-      re-executed. *)
+      re-executed.
+
+      With [ctx.batch > 1] the pull claims up to [batch] tasks in one
+      shared-component round trip ({!ctx.pop_batch}; a single CAS on the
+      k-LSMs): the most urgent starts inline and the rest are deferred
+      into the deque as immediately steal-ready fibers.  The tail is
+      pushed most-urgent-last so this worker's LIFO pop resumes the batch
+      in priority order, while a thief's FIFO steal takes the batch's
+      {e least} urgent task — the one the owner would reach last. *)
   let try_execute_one ctx =
-    match ctx.pop () with
-    | None ->
-        ctx.w.empty_pops <- ctx.w.empty_pops + 1;
-        Obs.incr ctx.obs c_empty_pop;
-        false
-    | Some (_priority, id) ->
-        (match B.get ctx.pool.tasks.(id) with
-        | None ->
-            (* Unreachable with a conserving queue: ids are enqueued only
-               after table publication. *)
-            ctx.w.double_claims <- ctx.w.double_claims + 1;
-            Obs.incr ctx.obs c_claim_race
-        | Some task -> (
-            match Task.try_lease task ~now:(B.time ()) with
-            | Task.Leased attempt -> execute ctx task ~attempt
-            | Task.Lost ->
-                ctx.w.double_claims <- ctx.w.double_claims + 1;
-                Obs.incr ctx.obs c_claim_race
-            | Task.Deadline_expired ->
-                ctx.w.timeouts <- ctx.w.timeouts + 1;
-                Obs.incr ctx.obs c_timeout;
-                dead_letter ctx task));
-        true
+    if ctx.batch > 1 then begin
+      match ctx.pop_batch ctx.batch with
+      | [] ->
+          ctx.w.empty_pops <- ctx.w.empty_pops + 1;
+          Obs.incr ctx.obs c_empty_pop;
+          false
+      | (_priority, id) :: rest ->
+          List.iter (defer_task ctx) (List.rev rest);
+          start_one ctx id;
+          true
+    end
+    else
+      match ctx.pop () with
+      | None ->
+          ctx.w.empty_pops <- ctx.w.empty_pops + 1;
+          Obs.incr ctx.obs c_empty_pop;
+          false
+      | Some (_priority, id) ->
+          start_one ctx id;
+          true
 
   (* Steal the oldest fiber from a random victim's deque: up to two
      seeded-random victims per round, retrying a [`Race] once (someone is

@@ -102,6 +102,12 @@ let test_parse_spec () =
       ( "sharded:256:4:buf=16:sticky=8",
         Some (R.klsm_sharded ~sticky:8 ~buf:16 256 4) );
       ("klsm-sharded:64:4:adapt=2-16", Some (R.klsm_sharded ~adapt:(2, 16) 64 4));
+      (* the §17 deletion-batch knob, alone and alongside the others *)
+      ("klsm-sharded:64:8:dbuf=4", Some (R.klsm_sharded ~dbuf:4 64 8));
+      ( "klsm-sharded:256:4:sticky=8:buf=16:dbuf=8",
+        Some (R.klsm_sharded ~sticky:8 ~buf:16 ~dbuf:8 256 4) );
+      ( "sharded:256:4:dbuf=8:buf=16",
+        Some (R.klsm_sharded ~buf:16 ~dbuf:8 256 4) );
       ("nonsense", None);
     ]
   in
@@ -129,6 +135,11 @@ let test_parse_spec_rejects_bad_args () =
       "klsm-sharded:64:8:adapt=2-128"; "klsm-sharded:64:6:adapt=2-8";
       "klsm-sharded:64:8:adapt=16-32"; "klsm-sharded:64:8:wat=1";
       "klsm-sharded:64:8:1";
+      (* dbuf: 0 means "omit the knob"; a batch beyond the per-stripe
+         budget ceil(k/S) = 8 cannot fit one stripe's relaxation; and
+         buf + dbuf together must not overdraw that same budget *)
+      "klsm-sharded:64:8:dbuf=0"; "klsm-sharded:64:8:dbuf=9";
+      "klsm-sharded:64:8:dbuf=x"; "klsm-sharded:64:8:buf=5:dbuf=4";
     ]
   in
   List.iter

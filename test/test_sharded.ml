@@ -6,7 +6,10 @@
    empirically on the simulator, and the §15 contention knobs: stickiness
    window open/decay/expiry, insertion-buffer flush triggers (undercutting
    find_min, capacity, age) and their exactness, conservation with
-   buffering, resize-under-storm, and the rank bound with the knobs on. *)
+   buffering, resize-under-storm, the rank bound with the knobs on, and
+   the §17 batched delete-min: batch exactness for the combined and the
+   striped queue, empty/short edges, a batch+single-pop fuzz against the
+   sequential oracle, and the widened rank bound under [~dbuf]. *)
 
 open Helpers
 module SK = Klsm_core.Sharded_klsm.Default
@@ -341,6 +344,126 @@ let test_storm_migrates_and_conserves () =
      failures and grow the active stripe count mid-run. *)
   check_bool "storm forced a resize" true (info_of 5 "stripe_resize" >= 1)
 
+(* ---------------- batched delete-min (DESIGN.md §17) ---------------- *)
+
+module K = Klsm_core.Klsm.Default
+
+let prop_klsm_batch_exact =
+  qtest "combined k-LSM batch pop = n smallest keys, ascending" ~count:80
+    QCheck2.Gen.(pair keys_gen (int_range 1 16))
+    (fun (keys, b) ->
+      (* Small k pushes most items into the shared component, so the
+         single-CAS claim path (Shared_klsm.try_pop_batch: multiway merge
+         over block tails, prefix-copy rebuild) carries the batch. *)
+      let q = K.create_with ~k:8 ~num_threads:1 () in
+      let h = K.register q 0 in
+      List.iter (fun key -> K.insert h key ()) keys;
+      let expect = ref (List.sort compare keys) in
+      let ok = ref true in
+      let misses = ref 0 in
+      while !expect <> [] && !misses < 200 do
+        match K.try_delete_min_batch h b with
+        | [] -> incr misses
+        | got ->
+            misses := 0;
+            List.iter
+              (fun (dk, ()) ->
+                match !expect with
+                | e :: rest when e = dk -> expect := rest
+                | _ -> ok := false)
+              got
+      done;
+      !ok && !expect = [])
+
+let prop_sharded_batch_exact =
+  qtest "sharded+dbuf batch pop = B smallest keys, ascending" ~count:80
+    QCheck2.Gen.(triple keys_gen (int_range 1 8) (int_range 1 4))
+    (fun (keys, b, shards) ->
+      (* With the deletion buffer on, each batch pop claims a run from one
+         stripe under the cross-stripe hint limit and serves the rest from
+         the buffer — single-threaded both must stay exact. *)
+      let k = 32 in
+      let kp = (k + shards - 1) / shards in
+      let q =
+        SK.create_with ~k ~shards ~dbuf:(min b kp) ~num_threads:1 ()
+      in
+      let h = SK.register q 0 in
+      List.iter (fun key -> SK.insert h key ()) keys;
+      let expect = ref (List.sort compare keys) in
+      let ok = ref true in
+      let misses = ref 0 in
+      while !expect <> [] && !misses < 200 do
+        match SK.try_delete_min_batch h b with
+        | [] -> incr misses
+        | got ->
+            misses := 0;
+            List.iter
+              (fun (dk, ()) ->
+                match !expect with
+                | e :: rest when e = dk -> expect := rest
+                | _ -> ok := false)
+              got
+      done;
+      !ok && !expect = [])
+
+let test_batch_edges () =
+  let q = SK.create_with ~k:16 ~shards:2 ~dbuf:4 ~num_threads:1 () in
+  let h = SK.register q 0 in
+  check_bool "empty queue: batch = []" true (SK.try_delete_min_batch h 4 = []);
+  SK.insert h 3 ();
+  SK.insert h 1 ();
+  SK.insert h 2 ();
+  check_bool "n = 0 yields []" true (SK.try_delete_min_batch h 0 = []);
+  let got = List.map fst (SK.try_delete_min_batch h 10) in
+  check_list_int "short batch: everything, ascending" [ 1; 2; 3 ] got;
+  check_bool "then dry" true (SK.try_delete_min h = None)
+
+let test_fuzz_batch_and_single_pops () =
+  (* 32 seeds of a mixed stream — inserts, single pops, batch pops of
+     random sizes — against the sorted-list oracle (Seq_lsm semantics).
+     Single-threaded the sharded queue is exact even with every knob on,
+     so every pop, batched or not, must return the oracle's minima in
+     order. *)
+  for seed = 1 to 32 do
+    let rng = Xoshiro.create ~seed:(0xBA7C4 + seed) in
+    let q =
+      SK.create_with ~k:16 ~shards:2 ~sticky:2 ~buf:2 ~dbuf:4 ~num_threads:1
+        ()
+    in
+    let h = SK.register q 0 in
+    let oracle = Oracle_pq.create () in
+    for _ = 1 to 400 do
+      match Xoshiro.int rng 4 with
+      | 0 | 1 ->
+          let key = Xoshiro.int rng 10_000 in
+          SK.insert h key ();
+          Oracle_pq.insert oracle key
+      | 2 ->
+          let got = Option.map fst (SK.try_delete_min h) in
+          let want = Oracle_pq.delete_min oracle in
+          if got <> want then
+            Alcotest.failf "seed %d: single pop %s, oracle %s" seed
+              (match got with Some k -> string_of_int k | None -> "None")
+              (match want with Some k -> string_of_int k | None -> "None")
+      | _ ->
+          let n = 1 + Xoshiro.int rng 6 in
+          let got = SK.try_delete_min_batch h n in
+          List.iter
+            (fun (dk, ()) ->
+              match Oracle_pq.delete_min oracle with
+              | Some want when want = dk -> ()
+              | want ->
+                  Alcotest.failf "seed %d: batch pop %d, oracle %s" seed dk
+                    (match want with
+                    | Some k -> string_of_int k
+                    | None -> "None"))
+            got;
+          if List.length got < n && Oracle_pq.to_list oracle <> [] then
+            Alcotest.failf "seed %d: short batch (%d/%d) left oracle items"
+              seed (List.length got) n
+    done
+  done
+
 (* ---------------- rank-error bound (Sim) ---------------- *)
 
 let test_rank_bound_partitioned () =
@@ -392,6 +515,36 @@ let test_rank_bound_with_knobs () =
     true
     (r.QS.max_rank_error <= bound)
 
+let test_rank_bound_with_dbuf () =
+  (* DESIGN.md §17: per-handle deletion buffers widen the bound to
+     rho <= (T+S) * ceil(k/S) + T * (B-1) — every handle can hold up to
+     B-1 claimed-but-unserved items whose absence other threads cannot
+     observe; + T slack for in-flight inserts as in the §12 test. *)
+  Sim.configure ~seed:11 ~policy:Sim.Fair ();
+  let threads = 4 and k = 32 and shards = 4 in
+  let dbuf = 4 in
+  let config =
+    {
+      QS.default_config with
+      num_threads = threads;
+      prefill = 2_000;
+      ops_per_thread = 1_000;
+      seed = 11;
+    }
+  in
+  let r = QS.run config (RS.klsm_sharded ~dbuf k shards) in
+  let bound =
+    ((threads + shards) * ((k + shards - 1) / shards))
+    + (threads * (dbuf - 1))
+    + threads
+  in
+  check_bool "some deletes measured" true (r.QS.deletes > 0);
+  check_bool
+    (Printf.sprintf "max rank error %d within widened bound %d under dbuf"
+       r.QS.max_rank_error bound)
+    true
+    (r.QS.max_rank_error <= bound)
+
 let () =
   Alcotest.run "sharded"
     [
@@ -430,6 +583,14 @@ let () =
           Alcotest.test_case "age bound flushes" `Quick
             test_buffer_age_bound_flushes;
         ] );
+      ( "batch",
+        [
+          prop_klsm_batch_exact;
+          prop_sharded_batch_exact;
+          Alcotest.test_case "empty and short batches" `Quick test_batch_edges;
+          Alcotest.test_case "fuzz batch+single pops vs oracle" `Slow
+            test_fuzz_batch_and_single_pops;
+        ] );
       ( "chaos",
         [
           Alcotest.test_case "storm migrates, conserves" `Slow
@@ -441,5 +602,7 @@ let () =
             test_rank_bound_partitioned;
           Alcotest.test_case "rank bound under sticky+buf" `Slow
             test_rank_bound_with_knobs;
+          Alcotest.test_case "widened rank bound under dbuf" `Slow
+            test_rank_bound_with_dbuf;
         ] );
     ]
